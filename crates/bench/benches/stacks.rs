@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks for the full stacks: conventional write
+//! path (with its FTL), ZNS append path, the block-emulation layer, and
+//! the LSM store — simulator wall-clock cost per operation.
+
+use bh_conv::{ConvConfig, ConvSsd};
+use bh_flash::{FlashConfig, Geometry};
+use bh_flash::CellKind;
+use bh_host::{BlockEmu, ReclaimPolicy};
+use bh_kv::{ConvBackend, Db, DbConfig};
+use bh_metrics::Nanos;
+use bh_zns::{ZnsConfig, ZnsDevice, ZoneId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn geo() -> Geometry {
+    Geometry {
+        channels: 4,
+        dies_per_channel: 1,
+        planes_per_die: 2,
+        blocks_per_plane: 32,
+        pages_per_block: 64,
+        page_bytes: 4096,
+    }
+}
+
+/// Criterion warmups run millions of operations — far past TLC's rated
+/// 3000 cycles on this tiny geometry — so the micro-benchmarks disable
+/// wear-out (they measure simulator wall-clock cost, not lifetime).
+fn flash() -> FlashConfig {
+    FlashConfig {
+        geometry: geo(),
+        cell: CellKind::Tlc,
+        endurance_override: Some(u32::MAX),
+    }
+}
+
+fn bench_conv_write(c: &mut Criterion) {
+    c.bench_function("conv/steady-state write", |b| {
+        let mut ssd = ConvSsd::new(ConvConfig::new(flash(), 0.15)).unwrap();
+        let cap = ssd.capacity_pages();
+        let mut t = Nanos::ZERO;
+        for lba in 0..cap {
+            t = ssd.write(lba, t).unwrap().done;
+        }
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            t = ssd.write(x % cap, t).unwrap().done;
+            black_box(t);
+        });
+    });
+}
+
+fn bench_zns_append(c: &mut Criterion) {
+    c.bench_function("zns/append (with zone roll + reset)", |b| {
+        let mut cfg = ZnsConfig::new(flash(), 8);
+        cfg.max_active_zones = 14;
+        cfg.max_open_zones = 14;
+        let mut dev = ZnsDevice::new(cfg).unwrap();
+        let zones = dev.num_zones();
+        let mut zone = 0u32;
+        let mut t = Nanos::ZERO;
+        b.iter(|| {
+            match dev.append(ZoneId(zone), 7, t) {
+                Ok((_, done)) => t = done,
+                Err(_) => {
+                    zone = (zone + 1) % zones;
+                    if dev.append(ZoneId(zone), 7, t).is_err() {
+                        t = dev.reset(ZoneId(zone), t).unwrap();
+                        t = dev.append(ZoneId(zone), 7, t).unwrap().1;
+                    }
+                }
+            }
+            black_box(t);
+        });
+    });
+}
+
+fn bench_blockemu_write(c: &mut Criterion) {
+    c.bench_function("blockemu/steady-state write", |b| {
+        let mut cfg = ZnsConfig::new(flash(), 8);
+        cfg.max_active_zones = 14;
+        cfg.max_open_zones = 14;
+        let mut emu = BlockEmu::new(
+            ZnsDevice::new(cfg).unwrap(),
+            2,
+            ReclaimPolicy::Immediate,
+        );
+        let cap = emu.capacity_pages();
+        let mut t = Nanos::ZERO;
+        for lba in 0..cap {
+            t = emu.write(lba, t).unwrap();
+        }
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            t = emu.write(x % cap, t).unwrap();
+            t = emu.maybe_reclaim(t).unwrap().1;
+            black_box(t);
+        });
+    });
+}
+
+fn bench_kv_put(c: &mut Criterion) {
+    c.bench_function("kv/put (conventional backend)", |b| {
+        let ssd = ConvSsd::new(ConvConfig::new(flash(), 0.15)).unwrap();
+        let mut db = Db::new(ConvBackend::new(ssd), DbConfig::default()).unwrap();
+        let mut t = Nanos::ZERO;
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = format!("user{:010}", i % 10_000).into_bytes();
+            t = db.put(key, vec![0u8; 100], t).unwrap();
+            black_box(t);
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_conv_write, bench_zns_append, bench_blockemu_write, bench_kv_put
+}
+criterion_main!(benches);

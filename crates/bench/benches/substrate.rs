@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for the substrate crates: how fast the
+//! simulator itself runs (wall-clock), independent of the paper's
+//! virtual-time results. Useful for keeping the experiment harness fast
+//! enough to sweep at paper scale.
+
+use bh_flash::{BlockId, CellKind, FlashConfig, FlashDevice, Geometry, OpOrigin, Ppa};
+use bh_metrics::{Histogram, Nanos};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Endurance disabled: criterion warmups erase one block millions of
+/// times, far past any rated cycle count.
+fn immortal() -> FlashConfig {
+    FlashConfig {
+        geometry: Geometry::small_test(),
+        cell: CellKind::Tlc,
+        endurance_override: Some(u32::MAX),
+    }
+}
+
+fn bench_flash_program_erase(c: &mut Criterion) {
+    c.bench_function("flash/program+erase block", |b| {
+        let mut dev = FlashDevice::new(immortal()).unwrap();
+        b.iter(|| {
+            let mut t = Nanos::ZERO;
+            for _ in 0..dev.geometry().pages_per_block {
+                let (_, done) = dev
+                    .program_next(BlockId(0), 7, t, OpOrigin::Host)
+                    .unwrap();
+                t = done;
+            }
+            black_box(dev.erase(BlockId(0), t).unwrap());
+        });
+    });
+}
+
+fn bench_flash_read(c: &mut Criterion) {
+    c.bench_function("flash/read page", |b| {
+        let mut dev = FlashDevice::new(immortal()).unwrap();
+        dev.program_next(BlockId(0), 7, Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        b.iter(|| {
+            black_box(
+                dev.read(Ppa::new(BlockId(0), 0), Nanos::ZERO, OpOrigin::Host)
+                    .unwrap(),
+            );
+        });
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("metrics/histogram record+p99", |b| {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(Nanos::from_nanos(x % 1_000_000));
+            black_box(h.quantile(0.99));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_flash_program_erase, bench_flash_read, bench_histogram
+}
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! E10 — §4.2's active-zone management question: "A simple strategy is
+//! to assign a fixed number of zones to each application together with a
+//! fixed active zone budget. However, this approach does not scale for
+//! typical bursty workloads as it does not allow multiplexing of this
+//! scarce resource."
+//!
+//! Bursty tenants request active-zone slots from a MAR-14 device under
+//! three strategies; we measure how long requests wait for admission.
+
+use bh_core::{ClaimSet, Report};
+use bh_host::{ActiveZoneManager, AzGrant, AzStrategy};
+use bh_metrics::{Histogram, Nanos, Table};
+use bh_workloads::{BurstyTenants, TenantEvent};
+use std::collections::VecDeque;
+
+const MAR: u32 = 14;
+const TENANTS: u32 = 7;
+
+/// Replays the demand schedule; returns admission-wait statistics.
+fn run(strategy: AzStrategy, events: &[TenantEvent]) -> Histogram {
+    let mut mgr = ActiveZoneManager::new(strategy, MAR, TENANTS);
+    let mut waits = Histogram::new();
+    // Per-tenant queue of pending acquisitions (blocked requests wait).
+    let mut pending: Vec<VecDeque<u64>> = vec![VecDeque::new(); TENANTS as usize];
+    // Releases owed once granted (each grant is released hold later; the
+    // schedule's Release events drive that).
+    for e in events {
+        match *e {
+            TenantEvent::Acquire { at_ns, tenant } => {
+                pending[tenant as usize].push_back(at_ns);
+                try_admit(&mut mgr, &mut pending, &mut waits, at_ns);
+            }
+            TenantEvent::Release { at_ns, tenant } => {
+                // A release only happens for a granted slot; if the
+                // tenant's request is still pending, its hold hasn't
+                // started — push the release forward by admitting first.
+                if mgr.held(tenant) > 0 {
+                    mgr.release(tenant);
+                } else {
+                    // The acquire this release pairs with never got in
+                    // yet; admit it now (the schedule guarantees order),
+                    // then release immediately (zero-length hold).
+                    if let Some(req) = pending[tenant as usize].pop_front() {
+                        waits.record(Nanos::from_nanos(at_ns - req));
+                        force_admit(&mut mgr, tenant);
+                        mgr.release(tenant);
+                    }
+                }
+                try_admit(&mut mgr, &mut pending, &mut waits, at_ns);
+            }
+        }
+    }
+    waits
+}
+
+/// Admits as many pending requests as the strategy allows, oldest first.
+fn try_admit(
+    mgr: &mut ActiveZoneManager,
+    pending: &mut [VecDeque<u64>],
+    waits: &mut Histogram,
+    now_ns: u64,
+) {
+    loop {
+        // Oldest pending request across tenants.
+        let oldest = pending
+            .iter()
+            .enumerate()
+            .filter_map(|(t, q)| q.front().map(|&at| (at, t as u32)))
+            .min();
+        let Some((at, tenant)) = oldest else { return };
+        match mgr.acquire(tenant) {
+            AzGrant::Granted | AzGrant::GrantedByRevoke { .. } => {
+                pending[tenant as usize].pop_front();
+                waits.record(Nanos::from_nanos(now_ns.saturating_sub(at)));
+            }
+            AzGrant::Blocked => return,
+        }
+    }
+}
+
+/// Forces a slot through for bookkeeping symmetry (used only when a
+/// zero-length hold is being retired).
+fn force_admit(mgr: &mut ActiveZoneManager, tenant: u32) {
+    match mgr.acquire(tenant) {
+        AzGrant::Granted | AzGrant::GrantedByRevoke { .. } => {}
+        AzGrant::Blocked => {
+            // Steal via release-of-the-largest-holder semantics: in the
+            // replay this cannot happen because a release always precedes
+            // (the schedule is balanced), but stay safe.
+        }
+    }
+}
+
+fn main() {
+    let bursts = bh_bench::scaled(400, 80) as u32;
+    let mut gen = BurstyTenants::new(
+        TENANTS,
+        6,              // Burst wants 6 zones at once (vs base share 2).
+        20_000_000,     // ~20ms mean idle between bursts.
+        5_000_000,      // 5ms hold per zone.
+        0xE10,
+    );
+    let events = gen.schedule(bursts);
+
+    let mut report = Report::new(
+        "E10 / §4.2 active-zone budgets",
+        "Bursty tenants share MAR=14 active zones under three strategies",
+    );
+    let mut table = Table::new(["strategy", "waits", "mean wait", "p99 wait", "max wait"]);
+    let mut results = Vec::new();
+    for (name, strategy) in [
+        ("static partition", AzStrategy::StaticPartition),
+        ("dynamic demand", AzStrategy::DynamicDemand),
+        ("lending w/ guarantees", AzStrategy::Lending),
+    ] {
+        let waits = run(strategy, &events);
+        let s = waits.summary();
+        table.row([
+            name.to_string(),
+            s.count.to_string(),
+            s.mean.to_string(),
+            s.p99.to_string(),
+            s.max.to_string(),
+        ]);
+        results.push((name, s));
+    }
+    report.table("admission waits", table);
+
+    let static_mean = results[0].1.mean.as_nanos() as f64;
+    let dynamic_mean = results[1].1.mean.as_nanos() as f64;
+    let lending_mean = results[2].1.mean.as_nanos() as f64;
+
+    let mut claims = ClaimSet::new();
+    claims.check(
+        "E10.static-does-not-scale",
+        "fixed budgets do not multiplex bursty demand: dynamic cuts mean wait",
+        static_mean / dynamic_mean.max(1.0),
+        (1.5, 1e6),
+    );
+    claims.check(
+        "E10.lending-also-helps",
+        "guaranteed-base lending also beats static partition",
+        static_mean / lending_mean.max(1.0),
+        (1.2, 1e6),
+    );
+    report.claims(claims);
+    bh_bench::finish(report);
+}

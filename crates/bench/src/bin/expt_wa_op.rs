@@ -1,0 +1,93 @@
+//! E2 — the §2.2 lab experiment: steady-state write amplification vs.
+//! overprovisioning under uniform random writes on the conventional SSD.
+//!
+//! Paper: "the write amplification … improves from 15× with no
+//! overprovisioning to about 2.5× with ~25% overprovisioning."
+//!
+//! Procedure: for each OP point, build a conventional SSD on the shared
+//! flash substrate, fill it, warm it with random overwrites into steady
+//! state, then measure WA over a further multiple of the capacity.
+
+use bh_core::{ClaimSet, Report};
+use bh_conv::{ConvConfig, ConvSsd};
+use bh_flash::{FlashConfig, Geometry};
+use bh_metrics::{Nanos, Series, Table};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn steady_state_wa(geo: Geometry, op: f64, multiples: u64) -> (f64, f64) {
+    let cfg = ConvConfig::new(FlashConfig::tlc(geo), op);
+    let mut ssd = ConvSsd::new(cfg).unwrap();
+    let cap = ssd.capacity_pages();
+    let mut rng = SmallRng::seed_from_u64(0xE2);
+    let mut t = Nanos::ZERO;
+    for lba in 0..cap {
+        t = ssd.write(lba, t).unwrap().done;
+    }
+    // Warm into steady state.
+    for _ in 0..multiples * cap {
+        t = ssd.write(rng.gen_range(0..cap), t).unwrap().done;
+    }
+    let warm = *ssd.flash_stats();
+    for _ in 0..multiples * cap {
+        t = ssd.write(rng.gen_range(0..cap), t).unwrap().done;
+    }
+    let d = ssd.flash_stats().delta_since(&warm);
+    let wa = (d.host_programs + d.internal_programs + d.copies) as f64 / d.host_programs as f64;
+    (wa, cfg.spare_fraction())
+}
+
+fn main() {
+    let quick = bh_bench::quick_mode();
+    // 8 GiB of TLC at full scale; the WA curve depends on ratios, not
+    // absolute capacity, so quick mode shrinks the plane count.
+    let geo = Geometry::experiment(if quick { 64 } else { 256 });
+    let multiples = bh_bench::scaled(2, 1);
+
+    let ops = [0.0, 0.05, 0.07, 0.10, 0.15, 0.20, 0.25, 0.28];
+    let mut series = Series::new("write-amplification vs overprovisioning");
+    let mut table = Table::new(["OP ratio", "spare fraction", "steady-state WA"]);
+    let mut wa_at = std::collections::BTreeMap::new();
+    for &op in &ops {
+        let (wa, spare) = steady_state_wa(geo, op, multiples);
+        series.push(op, wa);
+        table.row([format!("{op:.2}"), format!("{spare:.3}"), format!("{wa:.2}")]);
+        wa_at.insert((op * 100.0) as u32, wa);
+    }
+
+    let mut report = Report::new(
+        "E2 / §2.2 lab experiment",
+        "Write amplification vs overprovisioning, uniform random writes, greedy GC",
+    );
+    report.table("WA sweep", table);
+    let monotone = series.is_monotone_decreasing();
+    report.series(series);
+
+    let mut claims = ClaimSet::new();
+    claims.check(
+        "E2.monotone",
+        "WA improves (decreases) as overprovisioning grows",
+        monotone as u32 as f64,
+        (1.0, 1.0),
+    );
+    claims.check(
+        "E2.wa-at-0-op",
+        "about 15x write amplification with no overprovisioning",
+        wa_at[&0],
+        if quick { (5.0, 40.0) } else { (10.0, 25.0) },
+    );
+    claims.check(
+        "E2.wa-at-25-op",
+        "about 2.5x with ~25% overprovisioning",
+        wa_at[&25],
+        if quick { (1.5, 5.0) } else { (2.0, 3.2) },
+    );
+    claims.check(
+        "E2.improvement-factor",
+        "a ~6x improvement across the sweep (15/2.5)",
+        wa_at[&0] / wa_at[&25],
+        (3.0, 12.0),
+    );
+    report.claims(claims);
+    bh_bench::finish(report);
+}

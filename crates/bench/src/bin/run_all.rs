@@ -1,0 +1,55 @@
+//! Runs every experiment binary in sequence and summarizes pass/fail.
+//!
+//! ```text
+//! cargo run --release -p bh-bench --bin run_all [-- --quick]
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "expt_table1",
+    "expt_wa_op",
+    "expt_dram",
+    "expt_latency",
+    "expt_kv",
+    "expt_salsa",
+    "expt_append",
+    "expt_placement",
+    "expt_active_zones",
+    "expt_cost",
+    "expt_sched",
+    "expt_cache_dram",
+    "expt_fs_hints",
+    "expt_gc_policy",
+    "expt_qlc",
+];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let me = std::env::current_exe().expect("current exe");
+    let bin_dir = me.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n################ {name} ################");
+        let mut cmd = Command::new(bin_dir.join(name));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().expect("spawn experiment");
+        if !status.success() {
+            failures.push(*name);
+        }
+    }
+    println!("\n================ summary ================");
+    println!(
+        "{} of {} experiments passed all claim bands",
+        EXPERIMENTS.len() - failures.len(),
+        EXPERIMENTS.len()
+    );
+    if failures.is_empty() {
+        println!("ALL CLAIMS HOLD");
+    } else {
+        println!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

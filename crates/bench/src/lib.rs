@@ -1,0 +1,49 @@
+//! Shared scaffolding for the experiment binaries.
+//!
+//! Each `expt_*` binary regenerates one table/figure/claim of the paper
+//! (the mapping lives in DESIGN.md §3 and EXPERIMENTS.md). All binaries:
+//!
+//! - run at paper scale by default, or reduced scale with `--quick` (or
+//!   `BH_QUICK=1`), for CI and smoke tests;
+//! - print a [`bh_core::Report`] to stdout;
+//! - exit non-zero if any claim band fails, so the whole harness is
+//!   scriptable.
+
+use bh_core::Report;
+
+/// True when the binary should run at reduced scale.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var_os("BH_QUICK").is_some()
+}
+
+/// Prints the report and exits non-zero when a claim band failed.
+pub fn finish(report: Report) -> ! {
+    println!("{}", report.render());
+    if report.all_claims_hold() {
+        std::process::exit(0);
+    }
+    eprintln!("one or more claim bands FAILED");
+    std::process::exit(1);
+}
+
+/// Scale selector: `full` at paper scale, `quick` under `--quick`.
+pub fn scaled(full: u64, quick: u64) -> u64 {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_picks_by_mode() {
+        // Test processes have no --quick argument and no BH_QUICK.
+        if std::env::var_os("BH_QUICK").is_none() {
+            assert_eq!(scaled(10, 2), 10);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the conventional SSD.
+
+use bh_flash::FlashError;
+
+/// Errors returned by [`crate::ConvSsd`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvError {
+    /// Logical block address beyond the exported capacity.
+    LbaOutOfRange {
+        /// The offending logical address.
+        lba: u64,
+        /// Exported capacity in pages.
+        capacity: u64,
+    },
+    /// Read of a logical address that has never been written (or was
+    /// trimmed).
+    Unmapped(u64),
+    /// The device has retired so many blocks it can no longer accept
+    /// writes; it remains readable, like a real SSD entering read-only
+    /// end-of-life.
+    ReadOnly,
+    /// An underlying flash constraint was violated — always an FTL bug.
+    Flash(FlashError),
+}
+
+impl From<FlashError> for ConvError {
+    fn from(e: FlashError) -> Self {
+        ConvError::Flash(e)
+    }
+}
+
+impl std::fmt::Display for ConvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvError::LbaOutOfRange { lba, capacity } => {
+                write!(f, "LBA {lba} out of range (capacity {capacity} pages)")
+            }
+            ConvError::Unmapped(lba) => write!(f, "read of unmapped LBA {lba}"),
+            ConvError::ReadOnly => write!(f, "device is read-only (end of life)"),
+            ConvError::Flash(e) => write!(f, "flash error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConvError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_flash::BlockId;
+
+    #[test]
+    fn display_and_source() {
+        let e = ConvError::LbaOutOfRange { lba: 10, capacity: 5 };
+        assert!(e.to_string().contains("LBA 10"));
+        let f: ConvError = FlashError::BadBlock(BlockId(1)).into();
+        assert!(std::error::Error::source(&f).is_some());
+    }
+}

@@ -1,0 +1,37 @@
+//! Conventional block-interface SSD: a page-mapped FTL over `bh-flash`.
+//!
+//! This crate implements the device the paper argues we should stop
+//! building systems for (§2). It exposes the traditional block interface —
+//! a flat logical address space, randomly writable at page granularity —
+//! and hides flash's constraints behind a flash translation layer that
+//! does everything §2.1 lists:
+//!
+//! - page-granularity logical-to-physical **address translation**
+//!   (the 4 B/page mapping table whose DRAM cost §2.2 quantifies),
+//! - **garbage collection** with pluggable victim-selection policies
+//!   (greedy, cost-benefit, FIFO),
+//! - **overprovisioning**: spare flash capacity that delays GC and trades
+//!   hardware cost for write amplification (the §2.2 lab experiment), and
+//! - **wear leveling** across erasure blocks.
+//!
+//! The FTL's work is visible to the host only as latency: foreground GC
+//! runs inside the write path, and its programs/erases occupy planes that
+//! host reads then queue behind — reproducing the GC-induced tail latency
+//! of §2.4 with no explicit interference model.
+
+pub mod config;
+pub mod error;
+pub mod mapping;
+pub mod policy;
+pub mod ssd;
+pub mod wear;
+
+pub use config::ConvConfig;
+pub use error::ConvError;
+pub use mapping::MappingTable;
+pub use policy::GcPolicy;
+pub use ssd::{ConvSsd, FtlStats, WriteOutcome};
+pub use wear::WearLeveler;
+
+/// Convenience result alias for conventional-SSD operations.
+pub type Result<T> = std::result::Result<T, ConvError>;

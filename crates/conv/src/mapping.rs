@@ -1,0 +1,191 @@
+//! Logical-to-physical address translation.
+//!
+//! The mapping table is the conventional FTL's defining data structure:
+//! §2.2 of the paper prices it at "about 4 bytes per page … around 1 GB of
+//! on-board DRAM per TB of flash". [`MappingTable`] maintains the forward
+//! map (LBA → PPA), the reverse map GC needs (physical page → LBA), and
+//! reports the DRAM an equivalent on-board table would occupy.
+
+use bh_flash::{Geometry, Ppa};
+
+/// Bytes per forward-map entry on a real device (§2.2's assumption).
+pub const BYTES_PER_ENTRY: u64 = 4;
+
+/// Page-granularity forward and reverse address maps.
+#[derive(Debug, Clone)]
+pub struct MappingTable {
+    /// LBA (page number) → physical page, `None` when unmapped.
+    l2p: Vec<Option<Ppa>>,
+    /// Flat physical page index → LBA, `None` when the page holds no live
+    /// data. Only meaningful for pages in the `Valid` flash state.
+    p2l: Vec<Option<u64>>,
+    geo: Geometry,
+    mapped: u64,
+}
+
+impl MappingTable {
+    /// Creates an empty table for `logical_pages` of exported capacity
+    /// over geometry `geo`.
+    pub fn new(logical_pages: u64, geo: Geometry) -> Self {
+        MappingTable {
+            l2p: vec![None; logical_pages as usize],
+            p2l: vec![None; geo.total_pages() as usize],
+            geo,
+            mapped: 0,
+        }
+    }
+
+    /// Exported logical capacity in pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.l2p.len() as u64
+    }
+
+    /// Number of currently mapped logical pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped
+    }
+
+    /// Looks up the physical location of `lba`, if mapped.
+    pub fn lookup(&self, lba: u64) -> Option<Ppa> {
+        self.l2p.get(lba as usize).copied().flatten()
+    }
+
+    /// Returns the LBA stored at physical page `ppa`, if it is live.
+    pub fn reverse(&self, ppa: Ppa) -> Option<u64> {
+        self.p2l[self.geo.page_index(ppa) as usize]
+    }
+
+    /// Binds `lba` to `ppa`, returning the previous physical location (the
+    /// page the caller must invalidate), if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` is out of range; [`crate::ConvSsd`] validates
+    /// addresses at its boundary.
+    pub fn bind(&mut self, lba: u64, ppa: Ppa) -> Option<Ppa> {
+        let old = self.l2p[lba as usize].replace(ppa);
+        if let Some(old_ppa) = old {
+            self.p2l[self.geo.page_index(old_ppa) as usize] = None;
+        } else {
+            self.mapped += 1;
+        }
+        self.p2l[self.geo.page_index(ppa) as usize] = Some(lba);
+        old
+    }
+
+    /// Unbinds `lba` (trim/deallocate), returning the physical page that
+    /// held it, if any.
+    pub fn unbind(&mut self, lba: u64) -> Option<Ppa> {
+        let old = self.l2p[lba as usize].take();
+        if let Some(old_ppa) = old {
+            self.p2l[self.geo.page_index(old_ppa) as usize] = None;
+            self.mapped -= 1;
+        }
+        old
+    }
+
+    /// Rebinds `lba` from one physical page to another during GC
+    /// relocation. Unlike [`MappingTable::bind`], this asserts that the
+    /// mapping currently points at `from` — relocating a stale page is a
+    /// GC bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` is not currently mapped to `from`.
+    pub fn relocate(&mut self, lba: u64, from: Ppa, to: Ppa) {
+        assert_eq!(
+            self.l2p[lba as usize],
+            Some(from),
+            "relocate of stale mapping for LBA {lba}"
+        );
+        self.l2p[lba as usize] = Some(to);
+        self.p2l[self.geo.page_index(from) as usize] = None;
+        self.p2l[self.geo.page_index(to) as usize] = Some(lba);
+    }
+
+    /// DRAM an on-board table of this size would occupy on a real device
+    /// (§2.2: 4 bytes per logical page).
+    pub fn device_dram_bytes(&self) -> u64 {
+        device_dram_bytes_for(self.logical_pages())
+    }
+}
+
+/// DRAM an on-board page-mapping table for `logical_pages` would occupy on
+/// a real device (§2.2: 4 bytes per logical page), without materializing
+/// the table. Used by the E3 cost experiment for terabyte-scale devices.
+pub const fn device_dram_bytes_for(logical_pages: u64) -> u64 {
+    logical_pages * BYTES_PER_ENTRY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_flash::BlockId;
+
+    fn table() -> MappingTable {
+        MappingTable::new(64, Geometry::small_test())
+    }
+
+    fn ppa(b: u32, p: u32) -> Ppa {
+        Ppa::new(BlockId(b), p)
+    }
+
+    #[test]
+    fn bind_lookup_roundtrip() {
+        let mut t = table();
+        assert_eq!(t.lookup(5), None);
+        assert_eq!(t.bind(5, ppa(1, 2)), None);
+        assert_eq!(t.lookup(5), Some(ppa(1, 2)));
+        assert_eq!(t.reverse(ppa(1, 2)), Some(5));
+        assert_eq!(t.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn rebind_returns_old_location_and_clears_reverse() {
+        let mut t = table();
+        t.bind(5, ppa(1, 2));
+        assert_eq!(t.bind(5, ppa(3, 4)), Some(ppa(1, 2)));
+        assert_eq!(t.reverse(ppa(1, 2)), None);
+        assert_eq!(t.reverse(ppa(3, 4)), Some(5));
+        assert_eq!(t.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn unbind_trims() {
+        let mut t = table();
+        t.bind(7, ppa(0, 0));
+        assert_eq!(t.unbind(7), Some(ppa(0, 0)));
+        assert_eq!(t.lookup(7), None);
+        assert_eq!(t.reverse(ppa(0, 0)), None);
+        assert_eq!(t.mapped_pages(), 0);
+        assert_eq!(t.unbind(7), None);
+    }
+
+    #[test]
+    fn relocate_moves_mapping() {
+        let mut t = table();
+        t.bind(9, ppa(2, 3));
+        t.relocate(9, ppa(2, 3), ppa(4, 0));
+        assert_eq!(t.lookup(9), Some(ppa(4, 0)));
+        assert_eq!(t.reverse(ppa(2, 3)), None);
+        assert_eq!(t.reverse(ppa(4, 0)), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale mapping")]
+    fn relocate_of_stale_mapping_panics() {
+        let mut t = table();
+        t.bind(9, ppa(2, 3));
+        t.relocate(9, ppa(1, 1), ppa(4, 0));
+    }
+
+    #[test]
+    fn dram_accounting_matches_paper_math() {
+        // §2.2: 4 KB pages at 4 B/entry is ~1 GB DRAM per TB of flash.
+        let one_tb_pages = (1_u64 << 40) >> 12; // 2^28 pages.
+        assert_eq!(device_dram_bytes_for(one_tb_pages), 1 << 30); // 1 GiB.
+        // The method agrees with the free function.
+        let t = table();
+        assert_eq!(t.device_dram_bytes(), 64 * BYTES_PER_ENTRY);
+    }
+}

@@ -1,0 +1,162 @@
+//! Garbage-collection victim-selection policies.
+//!
+//! §2.1: when erasing a block with a mixture of valid and invalid pages,
+//! the FTL first copies the valid pages forward — the cost GC policies try
+//! to minimize. The three classic policies here span the design space the
+//! FTL literature (surveyed by the paper's [14]) explores:
+//!
+//! - [`GcPolicy::Greedy`] picks the block with the fewest valid pages:
+//!   optimal for uniform workloads.
+//! - [`GcPolicy::CostBenefit`] weighs reclaimable space against copy cost
+//!   and block age, better under skewed (hot/cold) workloads.
+//! - [`GcPolicy::Fifo`] erases blocks in fill order, the cheapest to run.
+
+use bh_flash::{Block, BlockId};
+use bh_metrics::Nanos;
+
+/// Victim-selection policy for garbage collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GcPolicy {
+    /// Fewest valid pages first.
+    Greedy,
+    /// Maximize `age · (1 − u) / 2u` where `u` is block utilization
+    /// (Kawaguchi et al.'s cost-benefit score).
+    CostBenefit,
+    /// Oldest sealed block first, regardless of contents.
+    Fifo,
+}
+
+impl GcPolicy {
+    /// Chooses a victim among `candidates` (sealed, fully written blocks),
+    /// returning its position in the slice, or `None` when empty.
+    ///
+    /// `blocks` provides per-block state; `now` feeds age-based scores.
+    pub fn select(self, candidates: &[BlockId], blocks: impl Fn(BlockId) -> BlockSnapshot, now: Nanos) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        match self {
+            GcPolicy::Fifo => Some(0),
+            GcPolicy::Greedy => candidates
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &id)| blocks(id).valid_pages)
+                .map(|(i, _)| i),
+            GcPolicy::CostBenefit => {
+                let mut best: Option<(usize, f64)> = None;
+                for (i, &id) in candidates.iter().enumerate() {
+                    let snap = blocks(id);
+                    let score = cost_benefit_score(&snap, now);
+                    match best {
+                        Some((_, s)) if s >= score => {}
+                        _ => best = Some((i, score)),
+                    }
+                }
+                best.map(|(i, _)| i)
+            }
+        }
+    }
+}
+
+/// The per-block facts victim selection consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockSnapshot {
+    /// Live pages that would need copying forward.
+    pub valid_pages: u32,
+    /// Pages in the block.
+    pub total_pages: u32,
+    /// Virtual timestamp of the block's last erase, in nanoseconds.
+    pub erased_at_ns: u64,
+}
+
+impl BlockSnapshot {
+    /// Captures a snapshot from a flash block.
+    pub fn of(block: &Block) -> Self {
+        BlockSnapshot {
+            valid_pages: block.valid_pages(),
+            total_pages: block.num_pages(),
+            erased_at_ns: block.erased_at_ns(),
+        }
+    }
+}
+
+/// Kawaguchi-style cost-benefit score: `age · (1 − u) / 2u`, with a block
+/// full of invalid pages scoring infinitely well.
+fn cost_benefit_score(snap: &BlockSnapshot, now: Nanos) -> f64 {
+    let u = snap.valid_pages as f64 / snap.total_pages as f64;
+    let age = now.as_nanos().saturating_sub(snap.erased_at_ns) as f64 + 1.0;
+    if u == 0.0 {
+        f64::INFINITY
+    } else {
+        age * (1.0 - u) / (2.0 * u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(valid: u32, erased_at_ns: u64) -> BlockSnapshot {
+        BlockSnapshot {
+            valid_pages: valid,
+            total_pages: 16,
+            erased_at_ns,
+        }
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        for p in [GcPolicy::Greedy, GcPolicy::CostBenefit, GcPolicy::Fifo] {
+            assert_eq!(p.select(&[], |_| snap(0, 0), Nanos::ZERO), None);
+        }
+    }
+
+    #[test]
+    fn greedy_picks_fewest_valid() {
+        let ids = [BlockId(0), BlockId(1), BlockId(2)];
+        let lookup = |id: BlockId| snap([8, 2, 5][id.0 as usize], 0);
+        assert_eq!(GcPolicy::Greedy.select(&ids, lookup, Nanos::ZERO), Some(1));
+    }
+
+    #[test]
+    fn fifo_picks_first() {
+        let ids = [BlockId(9), BlockId(1)];
+        assert_eq!(GcPolicy::Fifo.select(&ids, |_| snap(0, 0), Nanos::ZERO), Some(0));
+    }
+
+    #[test]
+    fn cost_benefit_prefers_empty_blocks_absolutely() {
+        let ids = [BlockId(0), BlockId(1)];
+        let lookup = |id: BlockId| snap([4, 0][id.0 as usize], 0);
+        assert_eq!(
+            GcPolicy::CostBenefit.select(&ids, lookup, Nanos::from_secs(1)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn cost_benefit_prefers_older_blocks_at_equal_utilization() {
+        let ids = [BlockId(0), BlockId(1)];
+        // Block 1 erased earlier, so it is older and scores higher.
+        let lookup = |id: BlockId| snap(8, [1_000_000, 10][id.0 as usize]);
+        assert_eq!(
+            GcPolicy::CostBenefit.select(&ids, lookup, Nanos::from_secs(1)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn cost_benefit_trades_age_against_utilization() {
+        // A much older, slightly fuller block should beat a brand-new,
+        // slightly emptier one.
+        let ids = [BlockId(0), BlockId(1)];
+        let lookup = |id: BlockId| match id.0 {
+            0 => snap(6, 999_999_000), // Fresh, fewer valid pages.
+            _ => snap(8, 0),           // Old, more valid pages.
+        };
+        assert_eq!(
+            GcPolicy::CostBenefit.select(&ids, lookup, Nanos::from_secs(1)),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,936 @@
+//! The conventional SSD: block interface over a page-mapped FTL.
+//!
+//! [`ConvSsd`] exports a flat, randomly writable logical page space (the
+//! "block interface" of §2). Every behaviour the paper attributes to
+//! conventional SSDs emerges here:
+//!
+//! - Random overwrites invalidate pages in place-less flash, so space is
+//!   reclaimed by **foreground garbage collection** inside the write path.
+//! - GC programs/erases occupy planes, so concurrent host reads queue
+//!   behind them (**tail-latency interference**, §2.4).
+//! - More **overprovisioning** means emptier victims and less copying
+//!   (**write amplification vs. OP**, the §2.2 lab experiment).
+
+use crate::config::ConvConfig;
+use crate::error::ConvError;
+use crate::mapping::MappingTable;
+use crate::policy::BlockSnapshot;
+#[cfg(test)]
+use crate::policy::GcPolicy;
+use crate::wear::WearLeveler;
+use crate::Result;
+use bh_flash::{BlockId, FlashDevice, FlashStats, OpOrigin, PlaneId, Ppa, Stamp};
+use bh_metrics::Nanos;
+use std::collections::VecDeque;
+
+/// Per-plane allocation state.
+#[derive(Debug)]
+struct PlaneState {
+    /// Erased blocks, kept least-worn-last so `pop` implements dynamic
+    /// wear leveling.
+    free: Vec<BlockId>,
+    /// Block currently receiving host writes.
+    host_frontier: Option<BlockId>,
+    /// Block currently receiving GC relocations.
+    gc_frontier: Option<BlockId>,
+    /// Fully written blocks, in seal order (GC victim candidates).
+    sealed: VecDeque<BlockId>,
+    /// Victim currently being relocated incrementally, if any.
+    gc_victim: Option<BlockId>,
+}
+
+/// Counters for FTL-internal activity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FtlStats {
+    /// Foreground GC invocations (write path had to reclaim space).
+    pub gc_runs: u64,
+    /// Valid pages copied forward by GC.
+    pub gc_pages_copied: u64,
+    /// Blocks erased by GC.
+    pub gc_erases: u64,
+    /// Static wear-leveling migrations.
+    pub wl_migrations: u64,
+}
+
+/// A conventional block-interface SSD.
+///
+/// # Examples
+///
+/// ```
+/// use bh_conv::{ConvConfig, ConvSsd};
+/// use bh_flash::{FlashConfig, Geometry};
+/// use bh_metrics::Nanos;
+///
+/// let cfg = ConvConfig::new(FlashConfig::tlc(Geometry::small_test()), 0.25);
+/// let mut ssd = ConvSsd::new(cfg).unwrap();
+/// let w = ssd.write(7, Nanos::ZERO).unwrap();
+/// let (stamp, _done) = ssd.read(7, w.done).unwrap();
+/// assert_eq!(stamp, w.stamp);
+/// ```
+pub struct ConvSsd {
+    dev: FlashDevice,
+    cfg: ConvConfig,
+    map: MappingTable,
+    planes: Vec<PlaneState>,
+    leveler: Option<WearLeveler>,
+    stats: FtlStats,
+    stamp_counter: Stamp,
+    next_plane: u32,
+    /// Rotating cursor for GC relocation destinations.
+    gc_next_plane: u32,
+    /// Monotone counter driving plane-allocation dither.
+    dither: u32,
+    read_only: bool,
+}
+
+/// Result of a host write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Completion instant, including any foreground GC the write waited
+    /// behind.
+    pub done: Nanos,
+    /// Stamp stored for the page; reads return it, so callers can verify
+    /// integrity end to end.
+    pub stamp: Stamp,
+}
+
+impl ConvSsd {
+    /// Builds a conventional SSD from `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the configuration or geometry is invalid.
+    pub fn new(cfg: ConvConfig) -> std::result::Result<Self, String> {
+        cfg.validate()?;
+        let dev = FlashDevice::new(cfg.flash)?;
+        let geo = *dev.geometry();
+        let map = MappingTable::new(cfg.logical_pages(), geo);
+        let planes = (0..geo.total_planes())
+            .map(|p| PlaneState {
+                // All blocks start erased with wear 0; order is arbitrary.
+                free: (0..geo.blocks_per_plane)
+                    .map(|i| geo.block_in_plane(PlaneId(p), i))
+                    .collect(),
+                host_frontier: None,
+                gc_frontier: None,
+                sealed: VecDeque::new(),
+                gc_victim: None,
+            })
+            .collect();
+        Ok(ConvSsd {
+            dev,
+            cfg,
+            map,
+            planes,
+            leveler: cfg.wear_level_gap.map(WearLeveler::new),
+            stats: FtlStats::default(),
+            stamp_counter: 0,
+            next_plane: 0,
+            gc_next_plane: 0,
+            dither: 0,
+            read_only: false,
+        })
+    }
+
+    /// Exported logical capacity in pages.
+    pub fn capacity_pages(&self) -> u64 {
+        self.map.logical_pages()
+    }
+
+    /// Logical page size in bytes.
+    pub fn page_bytes(&self) -> u32 {
+        self.dev.geometry().page_bytes
+    }
+
+    /// Underlying flash statistics (programs, erases, copies, WA).
+    pub fn flash_stats(&self) -> &FlashStats {
+        self.dev.stats()
+    }
+
+    /// FTL-internal activity counters.
+    pub fn ftl_stats(&self) -> &FtlStats {
+        &self.stats
+    }
+
+    /// Current write amplification factor.
+    pub fn write_amplification(&self) -> f64 {
+        self.dev.stats().write_amplification()
+    }
+
+    /// On-board DRAM a real device would need for this FTL's mapping
+    /// table (§2.2 math).
+    pub fn device_dram_bytes(&self) -> u64 {
+        self.map.device_dram_bytes()
+    }
+
+    /// True once the device has retired into read-only end-of-life.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Direct access to the wear-leveler state, if enabled.
+    pub fn wear_leveler(&self) -> Option<&WearLeveler> {
+        self.leveler.as_ref()
+    }
+
+    /// Direct access to the flash device, for inspection in tests and
+    /// experiments.
+    pub fn device(&self) -> &FlashDevice {
+        &self.dev
+    }
+
+    /// Total blocks currently tracked as sealed GC candidates, for
+    /// invariant checks: every full block must be sealed or a frontier.
+    pub fn sealed_blocks(&self) -> usize {
+        self.planes.iter().map(|p| p.sealed.len()).sum()
+    }
+
+    /// Per-plane snapshot `(free, sealed, valid_pages)` for diagnostics.
+    pub fn plane_summary(&self) -> Vec<(usize, usize, u64)> {
+        self.planes
+            .iter()
+            .enumerate()
+            .map(|(p, st)| {
+                let valid: u64 = (0..self.dev.geometry().blocks_per_plane)
+                    .map(|i| {
+                        let b = self.dev.geometry().block_in_plane(PlaneId(p as u32), i);
+                        self.dev.block(b).map(|blk| blk.valid_pages() as u64).unwrap_or(0)
+                    })
+                    .sum();
+                (st.free.len(), st.sealed.len(), valid)
+            })
+            .collect()
+    }
+
+    fn check_lba(&self, lba: u64) -> Result<()> {
+        if lba < self.capacity_pages() {
+            Ok(())
+        } else {
+            Err(ConvError::LbaOutOfRange {
+                lba,
+                capacity: self.capacity_pages(),
+            })
+        }
+    }
+
+    /// Reads logical page `lba`, issued at `now`. Returns the stored
+    /// stamp and the completion instant (after any queueing behind GC
+    /// work on the same plane).
+    pub fn read(&mut self, lba: u64, now: Nanos) -> Result<(Stamp, Nanos)> {
+        self.check_lba(lba)?;
+        let ppa = self.map.lookup(lba).ok_or(ConvError::Unmapped(lba))?;
+        let (stamp, done) = self.dev.read(ppa, now, OpOrigin::Host)?;
+        // A mapped page is valid by the FTL invariant, so the stamp is
+        // always present; a `None` here means the maps and flash state
+        // disagree.
+        let stamp = stamp.expect("mapped page must be valid");
+        Ok((stamp, done))
+    }
+
+    /// Writes logical page `lba`, issued at `now`. Runs foreground GC
+    /// first when the target plane is low on space; the returned
+    /// completion reflects that queueing.
+    pub fn write(&mut self, lba: u64, now: Nanos) -> Result<WriteOutcome> {
+        self.check_lba(lba)?;
+        if self.read_only {
+            return Err(ConvError::ReadOnly);
+        }
+        let plane = self.pick_plane();
+        // If the plane has no writable frontier, space must be made
+        // before the program; otherwise GC runs after it, so the host
+        // write does not wait behind its own collection traffic (real
+        // FTLs run GC at lower priority than host I/O).
+        let frontier_ready = self.planes[plane.0 as usize]
+            .host_frontier
+            .and_then(|b| self.dev.block(b).ok())
+            .map(|blk| !blk.is_full())
+            .unwrap_or(false)
+            || !self.planes[plane.0 as usize].free.is_empty();
+        if !frontier_ready {
+            self.ensure_space(plane, now)?;
+        }
+        let frontier = self.host_frontier(plane)?;
+        self.stamp_counter += 1;
+        let stamp = self.stamp_counter;
+        let (page, done) = self.dev.program_next(frontier, stamp, now, OpOrigin::Host)?;
+        let ppa = Ppa::new(frontier, page);
+        if let Some(old) = self.map.bind(lba, ppa) {
+            self.dev.invalidate(old)?;
+        }
+        self.seal_if_full(plane, frontier, FrontierKind::Host);
+        if frontier_ready {
+            self.ensure_space(plane, now)?;
+        }
+        Ok(WriteOutcome { done, stamp })
+    }
+
+    /// Deallocates logical page `lba` (TRIM). Metadata-only.
+    pub fn trim(&mut self, lba: u64) -> Result<()> {
+        self.check_lba(lba)?;
+        if let Some(old) = self.map.unbind(lba) {
+            self.dev.invalidate(old)?;
+        }
+        Ok(())
+    }
+
+    /// Runs maintenance (background GC and static wear leveling) until
+    /// `deadline`, starting at `now`. Returns the number of blocks
+    /// reclaimed. Real conventional FTLs do this opportunistically and
+    /// opaquely; experiments call it to model idle-time cleaning.
+    pub fn maintenance(&mut self, now: Nanos, deadline: Nanos) -> Result<u32> {
+        let mut reclaimed = 0;
+        let mut t = now;
+        // Round-robin planes, reclaiming the cheapest victims first, while
+        // time remains and there is garbage to collect.
+        'outer: loop {
+            let mut progressed = false;
+            for plane in 0..self.planes.len() as u32 {
+                if t >= deadline {
+                    break 'outer;
+                }
+                if self.plane_garbage_pages(PlaneId(plane)) == 0 {
+                    continue;
+                }
+                // Only reclaim proactively while free space is below 3/4
+                // of the plane; beyond that, background GC wastes erases.
+                let free = self.planes[plane as usize].free.len() as u32;
+                if free * 4 >= 3 * self.dev.geometry().blocks_per_plane {
+                    continue;
+                }
+                let erases_before = self.stats.gc_erases;
+                let (progress, end) =
+                    self.incremental_gc(PlaneId(plane), t, self.dev.geometry().pages_per_block)?;
+                if progress > 0 {
+                    reclaimed += (self.stats.gc_erases - erases_before) as u32;
+                    progressed = true;
+                    t = end;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        self.maybe_wear_level(t)?;
+        Ok(reclaimed)
+    }
+
+    /// Total invalid (garbage) pages in sealed blocks of `plane`.
+    fn plane_garbage_pages(&self, plane: PlaneId) -> u64 {
+        self.planes[plane.0 as usize]
+            .sealed
+            .iter()
+            .map(|&b| self.dev.block(b).map(|blk| blk.invalid_pages() as u64).unwrap_or(0))
+            .sum()
+    }
+
+    /// Chooses the plane for the next host write: strict round-robin, so
+    /// every plane receives the same write flow and therefore holds the
+    /// same share of live data in expectation.
+    ///
+    /// Strict striping matters for write amplification: selecting planes
+    /// by available space looks tempting but is unstable — GC equalizes
+    /// the free-block count across planes regardless of their live-data
+    /// load, so a plane drifting toward fullness keeps receiving writes
+    /// and its GC victims approach 100% valid. Round-robin keeps planes
+    /// statistically identical. If the round-robin choice is truly
+    /// unwritable (worn-out blocks), fall back to any plane with space.
+    fn pick_plane(&mut self) -> PlaneId {
+        let n = self.planes.len() as u32;
+        let start = self.next_plane % n;
+        // Dither: occasionally (~1/7 of writes, at hashed positions)
+        // skip one extra plane. Pure round-robin resonates with
+        // workloads whose period divides the plane count (e.g. K tenants
+        // writing fixed-size objects), binding each tenant to a fixed
+        // plane subset and wedging planes whose tenant never deletes.
+        // Real devices decorrelate through queueing; the hashed dither is
+        // its deterministic stand-in. Hashing (rather than a fixed
+        // modulus) keeps the skipped position itself from resonating.
+        self.dither = self.dither.wrapping_add(1);
+        let skip = self.dither.wrapping_mul(2654435761) % 7 == 0;
+        let step = 1 + u32::from(skip);
+        self.next_plane = (self.next_plane + step) % n;
+        for off in 0..n {
+            let p = (start + off) % n;
+            let st = &self.planes[p as usize];
+            let frontier_open = st
+                .host_frontier
+                .and_then(|b| self.dev.block(b).ok())
+                .map(|blk| !blk.is_full())
+                .unwrap_or(false);
+            let has_garbage = st.sealed.iter().any(|&b| {
+                self.dev
+                    .block(b)
+                    .map(|blk| blk.invalid_pages() > 0)
+                    .unwrap_or(false)
+            });
+            if frontier_open || !st.free.is_empty() || has_garbage {
+                return PlaneId(p);
+            }
+        }
+        PlaneId(start)
+    }
+
+    /// Pops the least-worn free block of `plane`.
+    fn alloc_block(&mut self, plane: PlaneId) -> Option<BlockId> {
+        let free = &self.planes[plane.0 as usize].free;
+        if free.is_empty() {
+            return None;
+        }
+        // Dynamic wear leveling: hand out the least-worn block. The free
+        // list is small (≤ blocks_per_plane), so a scan is fine.
+        let dev = &self.dev;
+        let (idx, _) = free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &b)| dev.block(b).map(|blk| blk.wear()).unwrap_or(u32::MAX))?;
+        Some(self.planes[plane.0 as usize].free.swap_remove(idx))
+    }
+
+    fn host_frontier(&mut self, plane: PlaneId) -> Result<BlockId> {
+        if let Some(b) = self.planes[plane.0 as usize].host_frontier {
+            if !self.dev.block(b)?.is_full() {
+                return Ok(b);
+            }
+        }
+        let b = match self.alloc_block(plane) {
+            Some(b) => b,
+            None => {
+                self.read_only = true;
+                return Err(ConvError::ReadOnly);
+            }
+        };
+        self.planes[plane.0 as usize].host_frontier = Some(b);
+        Ok(b)
+    }
+
+    /// The plane's GC frontier, or `None` when the plane has neither an
+    /// open frontier nor a free block. Does not flag the device
+    /// read-only: GC falls back to other planes.
+    fn gc_frontier(&mut self, plane: PlaneId) -> Result<Option<BlockId>> {
+        if let Some(b) = self.planes[plane.0 as usize].gc_frontier {
+            if !self.dev.block(b)?.is_full() {
+                return Ok(Some(b));
+            }
+        }
+        let b = match self.alloc_block(plane) {
+            Some(b) => b,
+            None => return Ok(None),
+        };
+        self.planes[plane.0 as usize].gc_frontier = Some(b);
+        Ok(Some(b))
+    }
+
+    fn seal_if_full(&mut self, plane: PlaneId, block: BlockId, kind: FrontierKind) {
+        if self.dev.block(block).map(|b| b.is_full()).unwrap_or(false) {
+            let st = &mut self.planes[plane.0 as usize];
+            match kind {
+                FrontierKind::Host => st.host_frontier = None,
+                FrontierKind::Gc => st.gc_frontier = None,
+            }
+            st.sealed.push_back(block);
+        }
+    }
+
+    /// Runs foreground GC for `plane` as real FTLs do: *paced*. At or
+    /// below the soft watermark (2× the hard one) each write relocates a
+    /// small budget of pages, amortizing GC smoothly instead of stalling
+    /// one victim's worth of copies on a single write — un-paced GC
+    /// produces device-wide latency avalanches when symmetric traffic
+    /// drives every plane to its watermark simultaneously. At or below
+    /// the hard watermark the loop runs until space recovers (bounded).
+    ///
+    /// A plane legitimately sits at a low free count while its space is
+    /// simply full of valid data (e.g. during the initial fill); in that
+    /// case the write proceeds into the remaining free blocks and GC
+    /// waits for garbage. True exhaustion — no free block when a frontier
+    /// is needed — is detected at allocation time and turns the device
+    /// read-only.
+    fn ensure_space(&mut self, plane: PlaneId, now: Nanos) -> Result<()> {
+        let hard = self.cfg.gc_watermark as usize;
+        let soft = 2 * hard;
+        // Gentle pacing: a few pages per write keeps up with steady-state
+        // GC demand (a victim frees `invalid` pages for `valid` copies,
+        // so ~2-4 copies per host write suffice) while keeping the soft
+        // band narrow — free blocks parked above the watermark subtract
+        // from the spare space that keeps victims empty.
+        let pace = (self.dev.geometry().pages_per_block / 64).max(4);
+        if self.planes[plane.0 as usize].free.len() <= soft {
+            self.stats.gc_runs += 1;
+            let _ = self.incremental_gc(plane, now, pace)?;
+        }
+        // Emergency: restore the hard watermark before writing, still in
+        // bounded slices so one write never absorbs a whole victim's
+        // relocation storm.
+        for _ in 0..(4 * self.dev.geometry().blocks_per_plane) {
+            if self.planes[plane.0 as usize].free.len() > hard {
+                return Ok(());
+            }
+            self.stats.gc_runs += 1;
+            if self.incremental_gc(plane, now, 8 * pace)?.0 == 0 {
+                // No reclaimable garbage yet: let the write consume free
+                // blocks until some accumulates.
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances `plane`'s garbage collection by up to `budget` relocated
+    /// pages (continuing any in-progress victim), erasing the victim once
+    /// empty. Returns `(progress, done)`: the number of pages moved plus
+    /// blocks freed (zero means no progress was possible) and the
+    /// completion instant of the last operation issued (`now` if none).
+    fn incremental_gc(&mut self, plane: PlaneId, now: Nanos, budget: u32) -> Result<(u32, Nanos)> {
+        let mut done = now;
+        let mut progress = 0u32;
+        let mut moved = 0u32;
+        while moved < budget {
+            let victim = match self.planes[plane.0 as usize].gc_victim {
+                Some(v) => v,
+                None => match self.select_victim(plane, now) {
+                    Some(v) => {
+                        self.planes[plane.0 as usize].gc_victim = Some(v);
+                        v
+                    }
+                    None => return Ok((progress, done)),
+                },
+            };
+            // Relocate the victim's next valid page, if any.
+            let next = self.dev.block(victim)?.valid_entries().next();
+            match next {
+                Some((page, _stamp)) => {
+                    let src = Ppa::new(victim, page);
+                    let lba = self
+                        .map
+                        .reverse(src)
+                        .expect("valid page must have a reverse mapping");
+                    let (dst_plane, dst_block) = match self.pick_gc_destination()? {
+                        Some(d) => d,
+                        None => return Ok((progress, done)), // No room anywhere.
+                    };
+                    let (dst_page, _stamp, copy_done) = self.dev.copy_page(src, dst_block, now)?;
+                    done = done.max(copy_done);
+                    let dst = Ppa::new(dst_block, dst_page);
+                    self.map.relocate(lba, src, dst);
+                    self.dev.invalidate(src)?;
+                    self.seal_if_full(dst_plane, dst_block, FrontierKind::Gc);
+                    self.stats.gc_pages_copied += 1;
+                    moved += 1;
+                    progress += 1;
+                }
+                None => {
+                    // Victim fully relocated: erase and recycle it.
+                    let outcome = self.dev.erase(victim, now)?;
+                    done = done.max(outcome.done);
+                    if !outcome.retired {
+                        self.planes[plane.0 as usize].free.push(victim);
+                    }
+                    self.planes[plane.0 as usize].gc_victim = None;
+                    self.stats.gc_erases += 1;
+                    progress += 1;
+                }
+            }
+        }
+        Ok((progress, done))
+    }
+
+    /// The next GC relocation destination: rotates across planes so GC
+    /// programs parallelize. Returns `None` when no plane can take a
+    /// page.
+    fn pick_gc_destination(&mut self) -> Result<Option<(PlaneId, BlockId)>> {
+        let planes = self.planes.len() as u32;
+        for off in 0..planes {
+            let cand = PlaneId((self.gc_next_plane + off) % planes);
+            if let Some(b) = self.gc_frontier(cand)? {
+                self.gc_next_plane = (cand.0 + 1) % planes;
+                return Ok(Some((cand, b)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Picks and removes a GC victim from `plane`'s sealed list.
+    ///
+    /// Declines victims with no invalid pages — erasing those moves data
+    /// without reclaiming anything, so GC could not make progress.
+    fn select_victim(&mut self, plane: PlaneId, now: Nanos) -> Option<BlockId> {
+        let st = &self.planes[plane.0 as usize];
+        let candidates: Vec<BlockId> = st.sealed.iter().copied().collect();
+        let dev = &self.dev;
+        let idx = self.cfg.gc_policy.select(
+            &candidates,
+            |id| BlockSnapshot::of(dev.block(id).expect("sealed block exists")),
+            now,
+        )?;
+        let victim = candidates[idx];
+        if self.dev.block(victim).ok()?.invalid_pages() == 0 {
+            // The policy's best choice still reclaims nothing; for greedy
+            // this means *no* victim reclaims anything. For FIFO and
+            // cost-benefit, fall back to the greediest victim before
+            // giving up.
+            let (gi, _) = candidates
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &b)| self.dev.block(b).map(|blk| blk.invalid_pages()).unwrap_or(0))?;
+            let greedy_victim = candidates[gi];
+            if self.dev.block(greedy_victim).ok()?.invalid_pages() == 0 {
+                return None;
+            }
+            self.planes[plane.0 as usize].sealed.retain(|&b| b != greedy_victim);
+            return Some(greedy_victim);
+        }
+        self.planes[plane.0 as usize].sealed.retain(|&b| b != victim);
+        Some(victim)
+    }
+
+    /// Copies `victim`'s valid pages forward and erases it. Relocation
+    /// destinations rotate across planes (controllers move GC data over
+    /// any channel), so GC work parallelizes instead of stalling the
+    /// victim's plane. Returns the erase completion instant.
+    /// `count_as_gc` attributes the work to GC rather than wear leveling
+    /// in the stats.
+    fn relocate_and_erase(
+        &mut self,
+        plane: PlaneId,
+        victim: BlockId,
+        now: Nanos,
+        count_as_gc: bool,
+    ) -> Result<Nanos> {
+        let entries: Vec<(u32, Stamp)> = self.dev.block(victim)?.valid_entries().collect();
+        let planes = self.planes.len() as u32;
+        let mut moved = 0u64;
+        for (page, _stamp) in entries {
+            let src = Ppa::new(victim, page);
+            let lba = self
+                .map
+                .reverse(src)
+                .expect("valid page must have a reverse mapping");
+            // Pick the next destination plane with usable GC space.
+            let mut found = None;
+            for off in 0..planes {
+                let cand = PlaneId((self.gc_next_plane + off) % planes);
+                if let Some(b) = self.gc_frontier(cand)? {
+                    self.gc_next_plane = (cand.0 + 1) % planes;
+                    found = Some((cand, b));
+                    break;
+                }
+            }
+            let (dst_plane, dst_block) = match found {
+                Some(x) => x,
+                None => {
+                    self.read_only = true;
+                    return Err(ConvError::ReadOnly);
+                }
+            };
+            let (dst_page, _stamp, _done) = self.dev.copy_page(src, dst_block, now)?;
+            let dst = Ppa::new(dst_block, dst_page);
+            self.map.relocate(lba, src, dst);
+            self.dev.invalidate(src)?;
+            self.seal_if_full(dst_plane, dst_block, FrontierKind::Gc);
+            moved += 1;
+        }
+        let outcome = self.dev.erase(victim, now)?;
+        if outcome.retired {
+            // Block is gone; capacity shrinks. Losing too many blocks in a
+            // plane eventually surfaces as ReadOnly from ensure_space.
+        } else {
+            self.planes[plane.0 as usize].free.push(victim);
+        }
+        if count_as_gc {
+            self.stats.gc_pages_copied += moved;
+            self.stats.gc_erases += 1;
+        }
+        Ok(outcome.done)
+    }
+
+    /// Runs one static wear-leveling migration if the spread warrants it.
+    fn maybe_wear_level(&mut self, now: Nanos) -> Result<()> {
+        let Some(leveler) = self.leveler else {
+            return Ok(());
+        };
+        let (min, max, _) = self.dev.wear_spread();
+        if !leveler.should_level(min, max) {
+            return Ok(());
+        }
+        // Migrate the coldest sealed block (minimal wear): its data has
+        // sat still while other blocks cycled, so freeing it puts a
+        // low-wear block back into rotation.
+        let mut coldest: Option<(PlaneId, BlockId, u32)> = None;
+        for (p, st) in self.planes.iter().enumerate() {
+            for &b in &st.sealed {
+                let wear = self.dev.block(b)?.wear();
+                if coldest.map(|(_, _, w)| wear < w).unwrap_or(true) {
+                    coldest = Some((PlaneId(p as u32), b, wear));
+                }
+            }
+        }
+        if let Some((plane, block, _)) = coldest {
+            self.planes[plane.0 as usize].sealed.retain(|&b| b != block);
+            let pages = self.dev.block(block)?.valid_pages() as u64;
+            self.relocate_and_erase(plane, block, now, false)?;
+            self.stats.wl_migrations += 1;
+            if let Some(l) = self.leveler.as_mut() {
+                l.note_migration(pages);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FrontierKind {
+    Host,
+    Gc,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_flash::{CellKind, FlashConfig, Geometry};
+
+    fn ssd(op: f64) -> ConvSsd {
+        ConvSsd::new(ConvConfig::new(FlashConfig::tlc(Geometry::small_test()), op)).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_returns_stamp() {
+        let mut s = ssd(0.25);
+        let w = s.write(3, Nanos::ZERO).unwrap();
+        let (stamp, done) = s.read(3, w.done).unwrap();
+        assert_eq!(stamp, w.stamp);
+        assert!(done > w.done);
+    }
+
+    #[test]
+    fn overwrite_returns_latest_stamp() {
+        let mut s = ssd(0.25);
+        let w1 = s.write(3, Nanos::ZERO).unwrap();
+        let w2 = s.write(3, w1.done).unwrap();
+        assert_ne!(w1.stamp, w2.stamp);
+        let (stamp, _) = s.read(3, w2.done).unwrap();
+        assert_eq!(stamp, w2.stamp);
+    }
+
+    #[test]
+    fn read_of_unwritten_lba_fails() {
+        let mut s = ssd(0.25);
+        assert_eq!(s.read(0, Nanos::ZERO), Err(ConvError::Unmapped(0)));
+    }
+
+    #[test]
+    fn lba_bounds_are_enforced() {
+        let mut s = ssd(0.25);
+        let cap = s.capacity_pages();
+        assert!(matches!(
+            s.write(cap, Nanos::ZERO),
+            Err(ConvError::LbaOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.read(cap, Nanos::ZERO),
+            Err(ConvError::LbaOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let mut s = ssd(0.25);
+        s.write(3, Nanos::ZERO).unwrap();
+        s.trim(3).unwrap();
+        assert_eq!(s.read(3, Nanos::ZERO), Err(ConvError::Unmapped(3)));
+        // Trimming an unmapped LBA is fine.
+        s.trim(3).unwrap();
+    }
+
+    /// Fill the device completely, then overwrite at random: GC must kick
+    /// in and all data must survive relocation.
+    #[test]
+    fn steady_state_overwrites_preserve_data() {
+        let mut s = ssd(0.25);
+        let cap = s.capacity_pages();
+        let mut t = Nanos::ZERO;
+        let mut expect: Vec<Stamp> = vec![0; cap as usize];
+        for lba in 0..cap {
+            let w = s.write(lba, t).unwrap();
+            expect[lba as usize] = w.stamp;
+            t = w.done;
+        }
+        // Overwrite 4x capacity in a fixed pseudo-random pattern.
+        let mut x = 12345u64;
+        for _ in 0..4 * cap {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let lba = x % cap;
+            let w = s.write(lba, t).unwrap();
+            expect[lba as usize] = w.stamp;
+            t = w.done;
+        }
+        assert!(s.ftl_stats().gc_runs > 0, "GC never ran");
+        for lba in 0..cap {
+            let (stamp, done) = s.read(lba, t).unwrap();
+            assert_eq!(stamp, expect[lba as usize], "LBA {lba} corrupted");
+            t = done;
+        }
+        // Conservation: mapped pages equals capacity.
+        assert_eq!(s.map.mapped_pages(), cap);
+    }
+
+    #[test]
+    fn lower_op_means_higher_write_amplification() {
+        // A geometry large enough that the implicit reserve is a small
+        // fraction of capacity, so the OP sweep dominates the spare space.
+        let geo = Geometry {
+            channels: 2,
+            dies_per_channel: 1,
+            planes_per_die: 2,
+            blocks_per_plane: 40,
+            pages_per_block: 32,
+            page_bytes: 4096,
+        };
+        let mut results = Vec::new();
+        for op in [0.0, 0.28] {
+            let mut s = ConvSsd::new(ConvConfig::new(FlashConfig::tlc(geo), op)).unwrap();
+            let cap = s.capacity_pages();
+            let mut t = Nanos::ZERO;
+            for lba in 0..cap {
+                t = s.write(lba, t).unwrap().done;
+            }
+            let mut x = 7u64;
+            for _ in 0..6 * cap {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                t = s.write(x % cap, t).unwrap().done;
+            }
+            results.push(s.write_amplification());
+        }
+        assert!(
+            results[0] > results[1] * 1.5,
+            "WA at 0% OP ({}) should far exceed WA at 28% OP ({})",
+            results[0],
+            results[1]
+        );
+        assert!(results[1] >= 1.0);
+    }
+
+    #[test]
+    fn maintenance_reclaims_garbage_in_idle_time() {
+        let mut s = ssd(0.10);
+        let cap = s.capacity_pages();
+        let mut t = Nanos::ZERO;
+        for lba in 0..cap {
+            t = s.write(lba, t).unwrap().done;
+        }
+        // Trim half the space: the fill blocks are sealed, so this creates
+        // garbage squarely in GC's victim set.
+        for lba in 0..cap / 2 {
+            s.trim(lba).unwrap();
+        }
+        let reclaimed = s.maintenance(t, t + Nanos::from_secs(10)).unwrap();
+        assert!(reclaimed > 0, "idle maintenance reclaimed nothing");
+        // Untrimmed data still intact afterwards.
+        let (stamp, _) = s.read(cap - 1, t + Nanos::from_secs(10)).unwrap();
+        assert!(stamp > 0);
+    }
+
+    #[test]
+    fn wear_out_drives_device_read_only() {
+        let mut cfg = ConvConfig::new(
+            FlashConfig {
+                geometry: Geometry::small_test(),
+                cell: CellKind::Tlc,
+                endurance_override: Some(6),
+            },
+            0.10,
+        );
+        cfg.gc_policy = GcPolicy::Greedy;
+        let mut s = ConvSsd::new(cfg).unwrap();
+        let cap = s.capacity_pages();
+        let mut t = Nanos::ZERO;
+        let mut died = false;
+        'outer: for round in 0..200 {
+            for lba in 0..cap {
+                match s.write((lba * 7 + round) % cap, t) {
+                    Ok(w) => t = w.done,
+                    Err(ConvError::ReadOnly) => {
+                        died = true;
+                        break 'outer;
+                    }
+                    Err(e) => panic!("unexpected error {e}"),
+                }
+            }
+        }
+        assert!(died, "device with endurance 6 should wear out");
+        assert!(s.is_read_only());
+        assert!(s.device().bad_blocks() > 0);
+    }
+
+    #[test]
+    fn wear_leveling_bounds_spread() {
+        let mut cfg = ConvConfig::new(FlashConfig::tlc(Geometry::small_test()), 0.10);
+        cfg.wear_level_gap = Some(4);
+        let mut s = ConvSsd::new(cfg).unwrap();
+        let cap = s.capacity_pages();
+        let mut t = Nanos::ZERO;
+        for lba in 0..cap {
+            t = s.write(lba, t).unwrap().done;
+        }
+        // Hammer a small hot range: without static WL, cold blocks would
+        // never cycle.
+        for i in 0..20 * cap {
+            t = s.write(i % (cap / 8), t).unwrap().done;
+            if i % cap == 0 {
+                s.maintenance(t, t + Nanos::from_millis(50)).unwrap();
+            }
+        }
+        assert!(
+            s.ftl_stats().wl_migrations > 0,
+            "static wear leveling never triggered"
+        );
+    }
+
+    #[test]
+    fn gc_policies_all_survive_steady_state() {
+        for policy in [GcPolicy::Greedy, GcPolicy::CostBenefit, GcPolicy::Fifo] {
+            let mut cfg = ConvConfig::new(FlashConfig::tlc(Geometry::small_test()), 0.15);
+            cfg.gc_policy = policy;
+            let mut s = ConvSsd::new(cfg).unwrap();
+            let cap = s.capacity_pages();
+            let mut t = Nanos::ZERO;
+            for lba in 0..cap {
+                t = s.write(lba, t).unwrap().done;
+            }
+            let mut x = 99u64;
+            for _ in 0..4 * cap {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                t = s.write(x % cap, t).unwrap().done;
+            }
+            assert!(s.write_amplification() > 1.0, "{policy:?}");
+            // Spot-check integrity.
+            let (stamp, _) = s.read(0, t).unwrap();
+            assert!(stamp > 0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn foreground_gc_delays_the_triggering_write() {
+        let mut s = ssd(0.0);
+        let cap = s.capacity_pages();
+        let mut t = Nanos::ZERO;
+        let mut max_latency = Nanos::ZERO;
+        for lba in 0..cap {
+            let w = s.write(lba, t).unwrap();
+            max_latency = max_latency.max(w.done.saturating_sub(t));
+            t = w.done;
+        }
+        let baseline = max_latency;
+        let mut x = 3u64;
+        let mut max_overwrite_latency = Nanos::ZERO;
+        for _ in 0..2 * cap {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let w = s.write(x % cap, t).unwrap();
+            max_overwrite_latency = max_overwrite_latency.max(w.done.saturating_sub(t));
+            t = w.done;
+        }
+        assert!(
+            max_overwrite_latency > baseline,
+            "GC-laden writes ({max_overwrite_latency}) should exceed fill writes ({baseline})"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Wear-leveling decision logic.
+//!
+//! §2.1 lists wear leveling among the conventional FTL's duties: "ensuring
+//! erasure blocks wear as evenly as possible by balancing erasures across
+//! all blocks". `blockhead` implements the two standard mechanisms:
+//!
+//! - **Dynamic** wear leveling is built into the allocator: free blocks
+//!   are handed out least-worn first (see `ssd.rs`).
+//! - **Static** wear leveling, decided here, migrates *cold* data out of
+//!   rarely erased blocks once the wear spread exceeds a configured gap,
+//!   putting those blocks back into rotation.
+
+/// Tracks static wear-leveling configuration and activity.
+#[derive(Debug, Clone, Copy)]
+pub struct WearLeveler {
+    /// Trigger threshold: level when `max_wear - min_wear > gap`.
+    gap: u32,
+    /// Cold blocks migrated so far.
+    pub migrations: u64,
+    /// Pages copied by leveling so far.
+    pub pages_moved: u64,
+}
+
+impl WearLeveler {
+    /// Creates a leveler with the given trigger gap.
+    pub fn new(gap: u32) -> Self {
+        WearLeveler {
+            gap,
+            migrations: 0,
+            pages_moved: 0,
+        }
+    }
+
+    /// The configured trigger gap.
+    pub fn gap(&self) -> u32 {
+        self.gap
+    }
+
+    /// Returns true when the observed wear spread warrants migrating a
+    /// cold block.
+    pub fn should_level(&self, min_wear: u32, max_wear: u32) -> bool {
+        max_wear.saturating_sub(min_wear) > self.gap
+    }
+
+    /// Records one completed migration of `pages` valid pages.
+    pub fn note_migration(&mut self, pages: u64) {
+        self.migrations += 1;
+        self.pages_moved += pages;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triggers_strictly_above_gap() {
+        let w = WearLeveler::new(5);
+        assert!(!w.should_level(10, 15));
+        assert!(w.should_level(10, 16));
+        assert!(!w.should_level(7, 3)); // Saturating: nonsense input is calm.
+    }
+
+    #[test]
+    fn migration_accounting() {
+        let mut w = WearLeveler::new(1);
+        w.note_migration(12);
+        w.note_migration(4);
+        assert_eq!(w.migrations, 2);
+        assert_eq!(w.pages_moved, 16);
+    }
+}

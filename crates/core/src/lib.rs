@@ -1,0 +1,28 @@
+//! The blockhead comparison framework — the paper's argument, runnable.
+//!
+//! The paper's thesis is comparative: *the same workload, on the same
+//! flash, behaves better behind the zoned interface than behind the block
+//! interface*. This crate supplies the apparatus for making that
+//! comparison fairly and repeatably:
+//!
+//! - [`iface`]: one [`BlockInterface`] trait over both stacks — the
+//!   conventional SSD (`bh-conv`) and the host block-emulation over ZNS
+//!   (`bh-host`) — so experiments drive a single code path.
+//! - [`runner`]: open- and closed-loop load generation over a
+//!   [`BlockInterface`], collecting latency histograms and throughput on
+//!   the virtual clock, with hooks for host-scheduled maintenance.
+//! - [`claims`]: the paper's quantitative claims as checkable bands —
+//!   each experiment records "paper said X, we measured Y, the shape
+//!   holds/doesn't".
+//! - [`report`]: uniform experiment output: aligned tables, gnuplot-style
+//!   series, and JSON for archival.
+
+pub mod claims;
+pub mod iface;
+pub mod report;
+pub mod runner;
+
+pub use claims::{Claim, ClaimSet};
+pub use iface::BlockInterface;
+pub use report::{summary_cells, Report, SUMMARY_HEADER};
+pub use runner::{Pacing, RunConfig, RunResult, Runner};

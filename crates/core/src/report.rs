@@ -1,0 +1,169 @@
+//! Uniform experiment output.
+//!
+//! Every experiment binary emits one [`Report`]: a header, free-form
+//! result tables, figure-shaped series, and the claim checks. `render`
+//! produces the human-readable text that EXPERIMENTS.md quotes;
+//! `to_json` archives the raw numbers.
+
+use crate::claims::ClaimSet;
+use bh_metrics::{Series, Summary, Table};
+use serde::Serialize;
+
+/// One experiment's full output.
+#[derive(Debug, Default)]
+pub struct Report {
+    name: String,
+    description: String,
+    tables: Vec<(String, Table)>,
+    series: Vec<Series>,
+    claims: Option<ClaimSet>,
+}
+
+/// Serializable skeleton for JSON archival.
+#[derive(Debug, Serialize)]
+struct ReportJson<'r> {
+    name: &'r str,
+    description: &'r str,
+    tables: Vec<(String, String)>,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+    claims: Option<&'r ClaimSet>,
+}
+
+impl Report {
+    /// Creates a report for experiment `name`.
+    pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
+        Report {
+            name: name.into(),
+            description: description.into(),
+            ..Report::default()
+        }
+    }
+
+    /// Adds a titled table.
+    pub fn table(&mut self, title: impl Into<String>, table: Table) {
+        self.tables.push((title.into(), table));
+    }
+
+    /// Adds a figure-shaped series.
+    pub fn series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Attaches the claim checks.
+    pub fn claims(&mut self, claims: ClaimSet) {
+        self.claims = Some(claims);
+    }
+
+    /// True when all attached claims hold (true when none attached).
+    pub fn all_claims_hold(&self) -> bool {
+        self.claims.as_ref().map(ClaimSet::all_hold).unwrap_or(true)
+    }
+
+    /// Renders the full human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("==== {} ====\n{}\n", self.name, self.description));
+        for (title, table) in &self.tables {
+            out.push_str(&format!("\n-- {title} --\n"));
+            out.push_str(&table.render());
+        }
+        for s in &self.series {
+            out.push('\n');
+            out.push_str(&s.render());
+        }
+        if let Some(claims) = &self.claims {
+            out.push_str("\n-- claims --\n");
+            out.push_str(&claims.render().render());
+            out.push_str(&format!(
+                "claims held: {}/{}\n",
+                claims.held(),
+                claims.claims().len()
+            ));
+        }
+        out
+    }
+
+    /// Serializes the report to JSON.
+    pub fn to_json(&self) -> String {
+        let skel = ReportJson {
+            name: &self.name,
+            description: &self.description,
+            tables: self
+                .tables
+                .iter()
+                .map(|(t, tab)| (t.clone(), tab.to_csv()))
+                .collect(),
+            series: self
+                .series
+                .iter()
+                .map(|s| (s.name().to_string(), s.points().to_vec()))
+                .collect(),
+            claims: self.claims.as_ref(),
+        };
+        serde_json::to_string_pretty(&skel).expect("report is serializable")
+    }
+}
+
+/// Formats a latency [`Summary`] as a table row's cells.
+pub fn summary_cells(label: &str, s: &Summary) -> [String; 7] {
+    [
+        label.to_string(),
+        s.count.to_string(),
+        s.mean.to_string(),
+        s.p50.to_string(),
+        s.p99.to_string(),
+        s.p999.to_string(),
+        s.max.to_string(),
+    ]
+}
+
+/// The standard header matching [`summary_cells`].
+pub const SUMMARY_HEADER: [&str; 7] = ["config", "n", "mean", "p50", "p99", "p99.9", "max"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::claims::ClaimSet;
+
+    #[test]
+    fn render_contains_all_sections() {
+        let mut r = Report::new("E0", "a test experiment");
+        let mut t = Table::new(["k", "v"]);
+        t.row(["x", "1"]);
+        r.table("numbers", t);
+        let mut s = Series::new("curve");
+        s.push(0.0, 1.0);
+        r.series(s);
+        let mut c = ClaimSet::new();
+        c.check("c1", "paper says", 1.0, (0.0, 2.0));
+        r.claims(c);
+        let text = r.render();
+        assert!(text.contains("==== E0 ===="));
+        assert!(text.contains("numbers"));
+        assert!(text.contains("curve"));
+        assert!(text.contains("claims held: 1/1"));
+        assert!(r.all_claims_hold());
+    }
+
+    #[test]
+    fn json_is_valid() {
+        let mut r = Report::new("E0", "d");
+        let mut s = Series::new("x");
+        s.push(1.0, 2.0);
+        r.series(s);
+        let json = r.to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["name"], "E0");
+    }
+
+    #[test]
+    fn summary_cells_align_with_header() {
+        use bh_metrics::{Histogram, Nanos};
+        let mut h = Histogram::new();
+        h.record(Nanos::from_micros(10));
+        let cells = summary_cells("cfg", &h.summary());
+        assert_eq!(cells.len(), SUMMARY_HEADER.len());
+        assert_eq!(cells[0], "cfg");
+        assert_eq!(cells[1], "1");
+    }
+}

@@ -1,0 +1,56 @@
+//! Footnote 2: host DIMM pricing.
+//!
+//! "Using end-user prices as a proxy, we find that a 1GB DIMM costs more
+//! than twice as much per GB as 16-32GB DIMMs." The table below encodes
+//! representative end-user DDR4 prices of the paper's era; the shape —
+//! small modules are disproportionately expensive per GB — is what the
+//! argument needs, and is what the test pins.
+
+/// Representative (capacity GiB, price USD) points for end-user DIMMs.
+pub const DIMM_PRICES: &[(u32, f64)] = &[
+    (1, 14.0),
+    (2, 18.0),
+    (4, 22.0),
+    (8, 32.0),
+    (16, 55.0),
+    (32, 105.0),
+];
+
+/// Price per GiB for the smallest listed DIMM at or above `gib`.
+///
+/// Returns `None` when no listed module is large enough.
+pub fn dimm_price_per_gb(gib: u32) -> Option<f64> {
+    DIMM_PRICES
+        .iter()
+        .find(|&&(cap, _)| cap >= gib)
+        .map(|&(cap, usd)| usd / cap as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_dimms_cost_over_twice_as_much_per_gb() {
+        // The footnote's exact claim.
+        let one_gb = dimm_price_per_gb(1).unwrap();
+        let sixteen = dimm_price_per_gb(16).unwrap();
+        let thirty_two = dimm_price_per_gb(32).unwrap();
+        assert!(one_gb > 2.0 * sixteen, "{one_gb} vs {sixteen}");
+        assert!(one_gb > 2.0 * thirty_two, "{one_gb} vs {thirty_two}");
+    }
+
+    #[test]
+    fn per_gb_price_is_monotone_decreasing() {
+        let prices: Vec<f64> = DIMM_PRICES.iter().map(|&(c, p)| p / c as f64).collect();
+        for w in prices.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn oversized_requests_return_none() {
+        assert_eq!(dimm_price_per_gb(64), None);
+        assert!(dimm_price_per_gb(3).is_some()); // Rounds up to the 4 GiB module.
+    }
+}

@@ -1,0 +1,89 @@
+//! Mapping-table DRAM sizing (§2.2's estimate, E3).
+
+/// Gibibyte in bytes.
+pub const GIB: u64 = 1 << 30;
+/// Tebibyte in bytes.
+pub const TIB: u64 = 1 << 40;
+
+/// On-board DRAM for a conventional page-mapped FTL: 4 bytes per page.
+///
+/// §2.2: "An optimized mapping table in a conventional SSD requires about
+/// 4 bytes per page. This is around 1 GB of on-board DRAM per TB of flash
+/// on current devices."
+pub const fn conv_mapping_dram_bytes(capacity_bytes: u64, page_bytes: u64) -> u64 {
+    capacity_bytes / page_bytes * 4
+}
+
+/// On-board DRAM for a ZNS zone-mapped FTL: 4 bytes per erasure block.
+///
+/// §2.2: "Assuming a similar 4-byte overhead per block and 16 MB erasure
+/// blocks, it requires only ~256 KB of on-board DRAM."
+pub const fn zns_mapping_dram_bytes(capacity_bytes: u64, block_bytes: u64) -> u64 {
+    capacity_bytes / block_bytes * 4
+}
+
+/// Parameterized DRAM model for sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct DramModel {
+    /// Page size in bytes (typically 4096).
+    pub page_bytes: u64,
+    /// Erasure block size in bytes (16 MiB in the paper's estimate).
+    pub block_bytes: u64,
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        DramModel {
+            page_bytes: 4096,
+            block_bytes: 16 << 20,
+        }
+    }
+}
+
+impl DramModel {
+    /// Conventional-device DRAM for `capacity_bytes` of flash.
+    pub fn conventional(&self, capacity_bytes: u64) -> u64 {
+        conv_mapping_dram_bytes(capacity_bytes, self.page_bytes)
+    }
+
+    /// ZNS-device DRAM for `capacity_bytes` of flash.
+    pub fn zns(&self, capacity_bytes: u64) -> u64 {
+        zns_mapping_dram_bytes(capacity_bytes, self.block_bytes)
+    }
+
+    /// The ratio conventional/ZNS — equals `block_bytes / page_bytes`.
+    pub fn reduction_factor(&self) -> u64 {
+        self.block_bytes / self.page_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_tb_conventional_needs_about_one_gb() {
+        // The paper's exact arithmetic: 1 TB / 4 KB x 4 B = 1 GiB.
+        assert_eq!(conv_mapping_dram_bytes(TIB, 4096), GIB);
+    }
+
+    #[test]
+    fn one_tb_zns_needs_about_256_kb() {
+        // 1 TB / 16 MB x 4 B = 256 KiB.
+        assert_eq!(zns_mapping_dram_bytes(TIB, 16 << 20), 256 << 10);
+    }
+
+    #[test]
+    fn reduction_factor_is_block_over_page() {
+        let m = DramModel::default();
+        assert_eq!(m.reduction_factor(), 4096);
+        assert_eq!(m.conventional(TIB) / m.zns(TIB), 4096);
+    }
+
+    #[test]
+    fn scales_linearly_with_capacity() {
+        let m = DramModel::default();
+        assert_eq!(m.conventional(2 * TIB), 2 * m.conventional(TIB));
+        assert_eq!(m.zns(8 * TIB), 8 * m.zns(TIB));
+    }
+}

@@ -1,0 +1,21 @@
+//! The paper's §2.2/§2.3 hardware-cost arithmetic, as checkable code.
+//!
+//! Three models:
+//!
+//! - [`dram`]: on-board mapping-table DRAM — the conventional FTL's
+//!   4 bytes per 4 KiB page ("around 1 GB of on-board DRAM per TB")
+//!   versus the ZNS FTL's 4 bytes per erasure block ("only ~256 KB").
+//! - [`price`]: whole-device cost — flash (inflated by overprovisioning),
+//!   on-board DRAM, controller — and the resulting $/usable-GB gap
+//!   between the two device kinds.
+//! - [`dimm`]: footnote 2's host-side observation: small DIMMs cost more
+//!   than twice as much per GB as 16–32 GB DIMMs, which is why moving
+//!   translation state to host DRAM is a net win.
+
+pub mod dimm;
+pub mod dram;
+pub mod price;
+
+pub use dimm::{dimm_price_per_gb, DIMM_PRICES};
+pub use dram::{conv_mapping_dram_bytes, zns_mapping_dram_bytes, DramModel};
+pub use price::{DevicePrice, PriceModel};

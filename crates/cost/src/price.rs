@@ -1,0 +1,140 @@
+//! Device-price model: why ZNS "costs less per gigabyte" (§2.2, E11).
+//!
+//! §2.2: "Overprovisioning inflates SSD prices, as flash cells are the
+//! most costly part of a device" and on-board DRAM adds a second tax.
+//! The model here prices a device as flash + on-board DRAM + a fixed
+//! controller cost, and compares dollars per *usable* gigabyte.
+
+use crate::dram::DramModel;
+
+/// Component prices. Defaults are round, documented figures in the
+/// neighborhood of 2021 street prices; every experiment reports the
+/// ratio, which is insensitive to the absolute level.
+#[derive(Debug, Clone, Copy)]
+pub struct PriceModel {
+    /// Dollars per GiB of raw NAND.
+    pub flash_usd_per_gib: f64,
+    /// Dollars per GiB of on-device DRAM (small embedded chips — pricier
+    /// per GiB than host DIMMs; see footnote 2 / [`crate::dimm`]).
+    pub dram_usd_per_gib: f64,
+    /// Fixed controller/firmware cost per device.
+    pub controller_usd: f64,
+    /// DRAM sizing rules.
+    pub dram: DramModel,
+}
+
+impl Default for PriceModel {
+    fn default() -> Self {
+        PriceModel {
+            flash_usd_per_gib: 0.08,
+            dram_usd_per_gib: 6.0,
+            controller_usd: 10.0,
+            dram: DramModel::default(),
+        }
+    }
+}
+
+/// A priced device.
+#[derive(Debug, Clone, Copy)]
+pub struct DevicePrice {
+    /// Usable (host-visible) capacity in GiB.
+    pub usable_gib: f64,
+    /// Raw flash in GiB (usable + overprovisioned spare).
+    pub raw_flash_gib: f64,
+    /// On-board DRAM in GiB.
+    pub dram_gib: f64,
+    /// Total device cost in dollars.
+    pub total_usd: f64,
+}
+
+impl DevicePrice {
+    /// Dollars per usable GiB.
+    pub fn usd_per_usable_gib(&self) -> f64 {
+        self.total_usd / self.usable_gib
+    }
+}
+
+impl PriceModel {
+    /// Prices a conventional SSD exporting `usable_gib` with
+    /// overprovisioning ratio `op` (spare/usable, e.g. `0.07`–`0.28`).
+    pub fn conventional(&self, usable_gib: f64, op: f64) -> DevicePrice {
+        let raw = usable_gib * (1.0 + op);
+        let cap_bytes = (raw * (1u64 << 30) as f64) as u64;
+        let dram_gib = self.dram.conventional(cap_bytes) as f64 / (1u64 << 30) as f64;
+        DevicePrice {
+            usable_gib,
+            raw_flash_gib: raw,
+            dram_gib,
+            total_usd: raw * self.flash_usd_per_gib
+                + dram_gib * self.dram_usd_per_gib
+                + self.controller_usd,
+        }
+    }
+
+    /// Prices a ZNS SSD exporting `usable_gib`. A small fixed spare
+    /// fraction covers bad-block replacement (§2.2: "some is reserved to
+    /// replace bad flash blocks"); there is no GC overprovisioning.
+    pub fn zns(&self, usable_gib: f64) -> DevicePrice {
+        let raw = usable_gib * 1.02;
+        let cap_bytes = (raw * (1u64 << 30) as f64) as u64;
+        let dram_gib = self.dram.zns(cap_bytes) as f64 / (1u64 << 30) as f64;
+        DevicePrice {
+            usable_gib,
+            raw_flash_gib: raw,
+            dram_gib,
+            total_usd: raw * self.flash_usd_per_gib
+                + dram_gib * self.dram_usd_per_gib
+                + self.controller_usd,
+        }
+    }
+
+    /// The conventional/ZNS $-per-usable-GiB ratio at a given size and
+    /// overprovisioning level.
+    pub fn cost_ratio(&self, usable_gib: f64, op: f64) -> f64 {
+        self.conventional(usable_gib, op).usd_per_usable_gib()
+            / self.zns(usable_gib).usd_per_usable_gib()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_costs_more_per_usable_gib() {
+        let m = PriceModel::default();
+        for op in [0.07, 0.15, 0.28] {
+            let ratio = m.cost_ratio(4096.0, op);
+            assert!(ratio > 1.0, "op {op}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn cost_gap_grows_with_overprovisioning() {
+        let m = PriceModel::default();
+        let low = m.cost_ratio(4096.0, 0.07);
+        let high = m.cost_ratio(4096.0, 0.28);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn dram_is_a_visible_share_of_conventional_cost() {
+        let m = PriceModel::default();
+        let d = m.conventional(4096.0, 0.07);
+        let dram_usd = d.dram_gib * m.dram_usd_per_gib;
+        assert!(dram_usd > 0.05 * d.total_usd, "DRAM share too small");
+        // ZNS DRAM cost is negligible.
+        let z = m.zns(4096.0);
+        assert!(z.dram_gib * m.dram_usd_per_gib < 0.01 * z.total_usd);
+    }
+
+    #[test]
+    fn component_accounting_is_consistent() {
+        let m = PriceModel::default();
+        let d = m.conventional(1024.0, 0.25);
+        assert!((d.raw_flash_gib - 1280.0).abs() < 1e-9);
+        let parts =
+            d.raw_flash_gib * m.flash_usd_per_gib + d.dram_gib * m.dram_usd_per_gib + m.controller_usd;
+        assert!((d.total_usd - parts).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,344 @@
+//! Per-erasure-block state: page states, write cursor, wear.
+//!
+//! A [`Block`] enforces the two §2.1 invariants locally — erase before
+//! program, and strictly sequential programming — and tracks the
+//! valid/invalid page accounting that garbage collection policies consume.
+
+use crate::error::FlashError;
+use crate::geometry::{BlockId, Ppa};
+
+/// The state of one page within a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Erased and never programmed since.
+    Free,
+    /// Programmed and still logically live; carries the writer's stamp.
+    Valid(u64),
+    /// Programmed but since logically overwritten or deleted.
+    Invalid,
+}
+
+/// Lifecycle status of the whole block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockStatus {
+    /// Usable: erased or partially/fully programmed.
+    Good,
+    /// Retired after exceeding its endurance rating.
+    Bad,
+}
+
+/// One erasure block: page states plus a sequential write cursor.
+#[derive(Debug, Clone)]
+pub struct Block {
+    id: BlockId,
+    pages: Vec<PageState>,
+    /// Next page that may be programmed; equals `pages.len()` when full.
+    cursor: u32,
+    /// Completed program/erase cycles.
+    wear: u32,
+    /// Live (valid) page count, maintained incrementally.
+    valid: u32,
+    status: BlockStatus,
+    /// Virtual timestamp of the last erase, for age-based GC policies.
+    erased_at_ns: u64,
+}
+
+impl Block {
+    /// Creates an erased block with `pages_per_block` free pages.
+    pub fn new(id: BlockId, pages_per_block: u32) -> Self {
+        Block {
+            id,
+            pages: vec![PageState::Free; pages_per_block as usize],
+            cursor: 0,
+            wear: 0,
+            valid: 0,
+            status: BlockStatus::Good,
+            erased_at_ns: 0,
+        }
+    }
+
+    /// The block's identifier.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// Number of pages in the block.
+    pub fn num_pages(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    /// Next programmable page offset; equals [`Block::num_pages`] when the
+    /// block is full.
+    pub fn cursor(&self) -> u32 {
+        self.cursor
+    }
+
+    /// Free (erased, unprogrammed) pages remaining.
+    pub fn free_pages(&self) -> u32 {
+        self.num_pages() - self.cursor
+    }
+
+    /// Live page count.
+    pub fn valid_pages(&self) -> u32 {
+        self.valid
+    }
+
+    /// Programmed-but-dead page count.
+    pub fn invalid_pages(&self) -> u32 {
+        self.cursor - self.valid
+    }
+
+    /// Completed program/erase cycles.
+    pub fn wear(&self) -> u32 {
+        self.wear
+    }
+
+    /// Whether the block is usable or retired.
+    pub fn status(&self) -> BlockStatus {
+        self.status
+    }
+
+    /// Virtual timestamp (ns) of the last erase.
+    pub fn erased_at_ns(&self) -> u64 {
+        self.erased_at_ns
+    }
+
+    /// True when every page has been programmed.
+    pub fn is_full(&self) -> bool {
+        self.cursor == self.num_pages()
+    }
+
+    /// True when the block is erased and empty.
+    pub fn is_empty(&self) -> bool {
+        self.cursor == 0
+    }
+
+    /// Returns the state of page `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range; callers validate against the
+    /// geometry first.
+    pub fn page(&self, page: u32) -> PageState {
+        self.pages[page as usize]
+    }
+
+    /// Programs the next sequential page with `stamp`, returning its
+    /// offset.
+    ///
+    /// # Errors
+    ///
+    /// - [`FlashError::BadBlock`] if the block is retired.
+    /// - [`FlashError::BlockFull`] if no free pages remain.
+    pub fn program_next(&mut self, stamp: u64) -> Result<u32, FlashError> {
+        if self.status == BlockStatus::Bad {
+            return Err(FlashError::BadBlock(self.id));
+        }
+        if self.is_full() {
+            return Err(FlashError::BlockFull(self.id));
+        }
+        let page = self.cursor;
+        self.pages[page as usize] = PageState::Valid(stamp);
+        self.cursor += 1;
+        self.valid += 1;
+        Ok(page)
+    }
+
+    /// Programs a specific page, which must be the next sequential one.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`Block::program_next`]'s errors, returns
+    /// [`FlashError::NonSequentialProgram`] if `page != cursor`.
+    pub fn program_at(&mut self, page: u32, stamp: u64) -> Result<(), FlashError> {
+        if self.status == BlockStatus::Bad {
+            return Err(FlashError::BadBlock(self.id));
+        }
+        if self.is_full() {
+            return Err(FlashError::BlockFull(self.id));
+        }
+        if page != self.cursor {
+            return Err(FlashError::NonSequentialProgram {
+                ppa: Ppa::new(self.id, page),
+                expected: self.cursor,
+            });
+        }
+        self.program_next(stamp).map(|_| ())
+    }
+
+    /// Reads the stamp at `page`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::ReadUnwritten`] for free pages. Reading an
+    /// *invalid* page succeeds (the charge persists until erase) but
+    /// returns `None`, mirroring how real firmware can still sense
+    /// logically dead data.
+    pub fn read(&self, page: u32) -> Result<Option<u64>, FlashError> {
+        match self.pages[page as usize] {
+            PageState::Free => Err(FlashError::ReadUnwritten(Ppa::new(self.id, page))),
+            PageState::Valid(stamp) => Ok(Some(stamp)),
+            PageState::Invalid => Ok(None),
+        }
+    }
+
+    /// Marks a programmed page invalid (logically overwritten/deleted).
+    ///
+    /// Idempotent for already-invalid pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is still free — invalidating data that was never
+    /// written is always an FTL accounting bug worth failing loudly on.
+    pub fn invalidate(&mut self, page: u32) {
+        match self.pages[page as usize] {
+            PageState::Free => {
+                panic!("invalidate of free page {:?}", Ppa::new(self.id, page))
+            }
+            PageState::Valid(_) => {
+                self.pages[page as usize] = PageState::Invalid;
+                self.valid -= 1;
+            }
+            PageState::Invalid => {}
+        }
+    }
+
+    /// Erases the block, incrementing wear; retires it (returning
+    /// [`FlashError::BlockWornOut`]) once wear exceeds `endurance`.
+    ///
+    /// `now_ns` is recorded for age-based GC policies.
+    ///
+    /// # Errors
+    ///
+    /// - [`FlashError::BadBlock`] if already retired.
+    /// - [`FlashError::BlockWornOut`] when this erase exhausts endurance;
+    ///   the block is retired and its contents destroyed.
+    pub fn erase(&mut self, endurance: u32, now_ns: u64) -> Result<(), FlashError> {
+        if self.status == BlockStatus::Bad {
+            return Err(FlashError::BadBlock(self.id));
+        }
+        self.pages.fill(PageState::Free);
+        self.cursor = 0;
+        self.valid = 0;
+        self.wear += 1;
+        self.erased_at_ns = now_ns;
+        if self.wear >= endurance {
+            self.status = BlockStatus::Bad;
+            return Err(FlashError::BlockWornOut(self.id));
+        }
+        Ok(())
+    }
+
+    /// Iterates over `(page, stamp)` for all currently valid pages.
+    pub fn valid_entries(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.pages.iter().enumerate().filter_map(|(i, p)| match p {
+            PageState::Valid(s) => Some((i as u32, *s)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> Block {
+        Block::new(BlockId(0), 4)
+    }
+
+    #[test]
+    fn fresh_block_is_empty_and_good() {
+        let b = block();
+        assert!(b.is_empty());
+        assert!(!b.is_full());
+        assert_eq!(b.free_pages(), 4);
+        assert_eq!(b.valid_pages(), 0);
+        assert_eq!(b.status(), BlockStatus::Good);
+    }
+
+    #[test]
+    fn sequential_program_fills_block() {
+        let mut b = block();
+        for i in 0..4 {
+            assert_eq!(b.program_next(100 + i as u64).unwrap(), i);
+        }
+        assert!(b.is_full());
+        assert_eq!(b.program_next(0), Err(FlashError::BlockFull(BlockId(0))));
+    }
+
+    #[test]
+    fn out_of_order_program_is_rejected() {
+        let mut b = block();
+        let err = b.program_at(2, 7).unwrap_err();
+        assert!(matches!(
+            err,
+            FlashError::NonSequentialProgram { expected: 0, .. }
+        ));
+        b.program_at(0, 7).unwrap();
+        b.program_at(1, 8).unwrap();
+        assert!(b.program_at(3, 9).is_err());
+    }
+
+    #[test]
+    fn read_semantics() {
+        let mut b = block();
+        assert_eq!(b.read(0), Err(FlashError::ReadUnwritten(Ppa::new(BlockId(0), 0))));
+        b.program_next(42).unwrap();
+        assert_eq!(b.read(0), Ok(Some(42)));
+        b.invalidate(0);
+        assert_eq!(b.read(0), Ok(None));
+    }
+
+    #[test]
+    fn invalidate_updates_counts_and_is_idempotent() {
+        let mut b = block();
+        b.program_next(1).unwrap();
+        b.program_next(2).unwrap();
+        assert_eq!(b.valid_pages(), 2);
+        b.invalidate(0);
+        assert_eq!(b.valid_pages(), 1);
+        assert_eq!(b.invalid_pages(), 1);
+        b.invalidate(0);
+        assert_eq!(b.valid_pages(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalidate of free page")]
+    fn invalidate_free_page_panics() {
+        let mut b = block();
+        b.invalidate(0);
+    }
+
+    #[test]
+    fn erase_resets_and_wears() {
+        let mut b = block();
+        b.program_next(1).unwrap();
+        b.erase(1000, 99).unwrap();
+        assert!(b.is_empty());
+        assert_eq!(b.wear(), 1);
+        assert_eq!(b.erased_at_ns(), 99);
+        assert_eq!(b.read(0), Err(FlashError::ReadUnwritten(Ppa::new(BlockId(0), 0))));
+    }
+
+    #[test]
+    fn wear_out_retires_block() {
+        let mut b = block();
+        b.erase(2, 0).unwrap(); // Wear 1 of 2.
+        let err = b.erase(2, 0).unwrap_err(); // Wear 2 == endurance: retired.
+        assert_eq!(err, FlashError::BlockWornOut(BlockId(0)));
+        assert_eq!(b.status(), BlockStatus::Bad);
+        assert_eq!(b.program_next(0), Err(FlashError::BadBlock(BlockId(0))));
+        assert_eq!(b.erase(2, 0), Err(FlashError::BadBlock(BlockId(0))));
+    }
+
+    #[test]
+    fn valid_entries_lists_live_pages_only() {
+        let mut b = block();
+        b.program_next(10).unwrap();
+        b.program_next(11).unwrap();
+        b.program_next(12).unwrap();
+        b.invalidate(1);
+        let entries: Vec<_> = b.valid_entries().collect();
+        assert_eq!(entries, vec![(0, 10), (2, 12)]);
+    }
+}

@@ -1,0 +1,475 @@
+//! The flash device: geometry + blocks + timing, behind a read/program/
+//! erase/copy interface.
+//!
+//! [`FlashDevice`] is the single substrate both SSD models share. It owns
+//! all block state, enforces the physical constraints (§2.1), attributes
+//! operations to an [`OpOrigin`] for write-amplification accounting
+//! (§2.2), and computes completion instants through the
+//! [`crate::ResourceModel`] so plane/channel contention emerges naturally.
+
+use crate::block::{Block, BlockStatus};
+use crate::cell::{CellKind, TimingSpec};
+use crate::error::FlashError;
+use crate::geometry::{BlockId, Geometry, Ppa};
+use crate::sched::ResourceModel;
+use crate::stats::FlashStats;
+use crate::Result;
+use bh_metrics::Nanos;
+
+/// Opaque per-page payload identifier.
+///
+/// Stamps stand in for page contents: a writer records a stamp, a reader
+/// gets the same stamp back, and integrity tests verify the round trip.
+pub type Stamp = u64;
+
+/// Who initiated an operation, for write-amplification attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpOrigin {
+    /// The host (or the application running on it).
+    Host,
+    /// Device- or FTL-internal machinery: garbage collection, wear
+    /// leveling, data relocation.
+    Internal,
+}
+
+/// Construction parameters for a [`FlashDevice`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlashConfig {
+    /// Physical layout.
+    pub geometry: Geometry,
+    /// Cell technology, which fixes timing and endurance.
+    pub cell: CellKind,
+    /// Overrides the cell's rated endurance (program/erase cycles per
+    /// block); useful for wear-out experiments that should not need
+    /// thousands of cycles.
+    pub endurance_override: Option<u32>,
+}
+
+impl FlashConfig {
+    /// A TLC device with the given geometry and rated endurance.
+    pub fn tlc(geometry: Geometry) -> Self {
+        FlashConfig {
+            geometry,
+            cell: CellKind::Tlc,
+            endurance_override: None,
+        }
+    }
+}
+
+/// Outcome of an erase operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EraseOutcome {
+    /// Completion instant.
+    pub done: Nanos,
+    /// True when this erase exhausted the block's endurance and retired
+    /// it; the erase itself still completed.
+    pub retired: bool,
+}
+
+/// A simulated NAND flash device.
+///
+/// # Examples
+///
+/// ```
+/// use bh_flash::{FlashConfig, FlashDevice, Geometry, BlockId, OpOrigin};
+/// use bh_metrics::Nanos;
+///
+/// let mut dev = FlashDevice::new(FlashConfig::tlc(Geometry::small_test())).unwrap();
+/// let (page, _done) = dev
+///     .program_next(BlockId(0), 0xCAFE, Nanos::ZERO, OpOrigin::Host)
+///     .unwrap();
+/// let (stamp, _done) = dev
+///     .read(bh_flash::Ppa::new(BlockId(0), page), Nanos::ZERO, OpOrigin::Host)
+///     .unwrap();
+/// assert_eq!(stamp, Some(0xCAFE));
+/// ```
+pub struct FlashDevice {
+    geo: Geometry,
+    timing: TimingSpec,
+    endurance: u32,
+    blocks: Vec<Block>,
+    sched: ResourceModel,
+    stats: FlashStats,
+}
+
+impl FlashDevice {
+    /// Builds an erased device from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem if the geometry is degenerate
+    /// (any zero dimension).
+    pub fn new(config: FlashConfig) -> std::result::Result<Self, String> {
+        config.geometry.validate()?;
+        let geo = config.geometry;
+        let blocks = geo
+            .blocks()
+            .map(|id| Block::new(id, geo.pages_per_block))
+            .collect();
+        Ok(FlashDevice {
+            geo,
+            timing: config.cell.timing(),
+            endurance: config
+                .endurance_override
+                .unwrap_or_else(|| config.cell.endurance_cycles()),
+            blocks,
+            sched: ResourceModel::new(&geo),
+            stats: FlashStats::default(),
+        })
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// The active timing specification.
+    pub fn timing(&self) -> &TimingSpec {
+        &self.timing
+    }
+
+    /// The per-block endurance rating in effect.
+    pub fn endurance(&self) -> u32 {
+        self.endurance
+    }
+
+    /// Cumulative operation counters.
+    pub fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    /// Read-only access to a block's state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::BlockOutOfRange`] for unknown identifiers.
+    pub fn block(&self, id: BlockId) -> Result<&Block> {
+        self.blocks
+            .get(id.0 as usize)
+            .ok_or(FlashError::BlockOutOfRange(id))
+    }
+
+    fn block_mut(&mut self, id: BlockId) -> Result<&mut Block> {
+        self.blocks
+            .get_mut(id.0 as usize)
+            .ok_or(FlashError::BlockOutOfRange(id))
+    }
+
+    fn check_ppa(&self, ppa: Ppa) -> Result<()> {
+        if self.geo.contains(ppa) {
+            Ok(())
+        } else {
+            Err(FlashError::OutOfRange(ppa))
+        }
+    }
+
+    /// Reads the page at `ppa`, issued at `now`.
+    ///
+    /// Returns the page's stamp (`None` if the page is programmed but
+    /// invalid) and the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-level errors; see [`Block::read`].
+    pub fn read(&mut self, ppa: Ppa, now: Nanos, origin: OpOrigin) -> Result<(Option<Stamp>, Nanos)> {
+        self.check_ppa(ppa)?;
+        let stamp = self.blocks[ppa.block.0 as usize].read(ppa.page)?;
+        let plane = self.geo.plane_of(ppa.block);
+        let done = self.sched.read(plane, &self.timing, self.geo.page_bytes, now);
+        match origin {
+            OpOrigin::Host => self.stats.host_reads += 1,
+            OpOrigin::Internal => self.stats.internal_reads += 1,
+        }
+        self.stats.busy += self.timing.read + self.timing.transfer(self.geo.page_bytes as u64);
+        Ok((stamp, done))
+    }
+
+    /// Programs the next sequential page of `block` with `stamp`, issued
+    /// at `now`. Returns the page offset used and the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// See [`Block::program_next`].
+    pub fn program_next(
+        &mut self,
+        block: BlockId,
+        stamp: Stamp,
+        now: Nanos,
+        origin: OpOrigin,
+    ) -> Result<(u32, Nanos)> {
+        let page = self.block_mut(block)?.program_next(stamp)?;
+        let plane = self.geo.plane_of(block);
+        let done = self.sched.program(plane, &self.timing, self.geo.page_bytes, now);
+        match origin {
+            OpOrigin::Host => self.stats.host_programs += 1,
+            OpOrigin::Internal => self.stats.internal_programs += 1,
+        }
+        self.stats.busy += self.timing.program + self.timing.transfer(self.geo.page_bytes as u64);
+        Ok((page, done))
+    }
+
+    /// Programs a specific page, which must be the block's next sequential
+    /// page (the §2.1 rule), issued at `now`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Block::program_at`].
+    pub fn program_at(&mut self, ppa: Ppa, stamp: Stamp, now: Nanos, origin: OpOrigin) -> Result<Nanos> {
+        self.check_ppa(ppa)?;
+        self.block_mut(ppa.block)?.program_at(ppa.page, stamp)?;
+        let plane = self.geo.plane_of(ppa.block);
+        let done = self.sched.program(plane, &self.timing, self.geo.page_bytes, now);
+        match origin {
+            OpOrigin::Host => self.stats.host_programs += 1,
+            OpOrigin::Internal => self.stats.internal_programs += 1,
+        }
+        self.stats.busy += self.timing.program + self.timing.transfer(self.geo.page_bytes as u64);
+        Ok(done)
+    }
+
+    /// Marks the page at `ppa` invalid. Metadata-only: consumes no device
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::OutOfRange`] for bad addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is free; see [`Block::invalidate`].
+    pub fn invalidate(&mut self, ppa: Ppa) -> Result<()> {
+        self.check_ppa(ppa)?;
+        self.blocks[ppa.block.0 as usize].invalidate(ppa.page);
+        Ok(())
+    }
+
+    /// Erases `block`, issued at `now`.
+    ///
+    /// The erase always completes and consumes erase time; if it exhausts
+    /// the block's endurance, [`EraseOutcome::retired`] is set and the
+    /// block refuses all further operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::BadBlock`] if the block was already retired.
+    pub fn erase(&mut self, block: BlockId, now: Nanos) -> Result<EraseOutcome> {
+        let endurance = self.endurance;
+        let now_ns = now.as_nanos();
+        let retired = match self.block_mut(block)?.erase(endurance, now_ns) {
+            Ok(()) => false,
+            Err(FlashError::BlockWornOut(_)) => true,
+            Err(e) => return Err(e),
+        };
+        let plane = self.geo.plane_of(block);
+        let done = self.sched.erase(plane, &self.timing, now);
+        self.stats.erases += 1;
+        self.stats.busy += self.timing.erase;
+        Ok(EraseOutcome { done, retired })
+    }
+
+    /// Copies the valid page at `src` into the next sequential page of
+    /// `dst_block` without using channel/PCIe bandwidth — the NVMe
+    /// *simple copy* command of §2.3. Returns the destination page offset,
+    /// the copied stamp, and the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the source page is unwritten or invalid
+    /// ([`FlashError::ReadUnwritten`] — copying dead data forward is an
+    /// FTL bug), or if the destination cannot be programmed.
+    pub fn copy_page(&mut self, src: Ppa, dst_block: BlockId, now: Nanos) -> Result<(u32, Stamp, Nanos)> {
+        self.check_ppa(src)?;
+        let stamp = match self.blocks[src.block.0 as usize].read(src.page)? {
+            Some(s) => s,
+            None => return Err(FlashError::ReadUnwritten(src)),
+        };
+        let dst_page = self.block_mut(dst_block)?.program_next(stamp)?;
+        let src_plane = self.geo.plane_of(src.block);
+        let dst_plane = self.geo.plane_of(dst_block);
+        let done = self.sched.copy(src_plane, dst_plane, &self.timing, now);
+        self.stats.copies += 1;
+        self.stats.busy += self.timing.read + self.timing.program;
+        Ok((dst_page, stamp, done))
+    }
+
+    /// Returns `(min, max, mean)` wear across all non-retired blocks, for
+    /// wear-leveling verification.
+    pub fn wear_spread(&self) -> (u32, u32, f64) {
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for b in &self.blocks {
+            if b.status() == BlockStatus::Bad {
+                continue;
+            }
+            min = min.min(b.wear());
+            max = max.max(b.wear());
+            sum += b.wear() as u64;
+            n += 1;
+        }
+        if n == 0 {
+            (0, 0, 0.0)
+        } else {
+            (min, max, sum as f64 / n as f64)
+        }
+    }
+
+    /// Counts blocks that have been retired as bad.
+    pub fn bad_blocks(&self) -> u32 {
+        self.blocks
+            .iter()
+            .filter(|b| b.status() == BlockStatus::Bad)
+            .count() as u32
+    }
+
+    /// Direct access to the scheduler, for utilization reporting.
+    pub fn scheduler(&self) -> &ResourceModel {
+        &self.sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> FlashDevice {
+        FlashDevice::new(FlashConfig::tlc(Geometry::small_test())).unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_geometry() {
+        let mut geo = Geometry::small_test();
+        geo.channels = 0;
+        assert!(FlashDevice::new(FlashConfig::tlc(geo)).is_err());
+    }
+
+    #[test]
+    fn program_read_roundtrip() {
+        let mut d = dev();
+        let (page, _) = d
+            .program_next(BlockId(3), 77, Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        let (stamp, _) = d
+            .read(Ppa::new(BlockId(3), page), Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        assert_eq!(stamp, Some(77));
+        assert_eq!(d.stats().host_programs, 1);
+        assert_eq!(d.stats().host_reads, 1);
+    }
+
+    #[test]
+    fn out_of_range_is_caught() {
+        let mut d = dev();
+        let bad = Ppa::new(BlockId(999), 0);
+        assert_eq!(
+            d.read(bad, Nanos::ZERO, OpOrigin::Host),
+            Err(FlashError::OutOfRange(bad))
+        );
+        assert!(matches!(
+            d.program_next(BlockId(999), 0, Nanos::ZERO, OpOrigin::Host),
+            Err(FlashError::BlockOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn invalidate_then_read_returns_none() {
+        let mut d = dev();
+        let (page, _) = d
+            .program_next(BlockId(0), 5, Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        let ppa = Ppa::new(BlockId(0), page);
+        d.invalidate(ppa).unwrap();
+        let (stamp, _) = d.read(ppa, Nanos::ZERO, OpOrigin::Host).unwrap();
+        assert_eq!(stamp, None);
+    }
+
+    #[test]
+    fn erase_recycles_block() {
+        let mut d = dev();
+        for _ in 0..d.geometry().pages_per_block {
+            d.program_next(BlockId(0), 1, Nanos::ZERO, OpOrigin::Host)
+                .unwrap();
+        }
+        assert!(d.block(BlockId(0)).unwrap().is_full());
+        let out = d.erase(BlockId(0), Nanos::ZERO).unwrap();
+        assert!(!out.retired);
+        assert!(d.block(BlockId(0)).unwrap().is_empty());
+        assert_eq!(d.stats().erases, 1);
+    }
+
+    #[test]
+    fn wear_out_retires_and_is_reported() {
+        let geo = Geometry::small_test();
+        let mut d = FlashDevice::new(FlashConfig {
+            geometry: geo,
+            cell: CellKind::Tlc,
+            endurance_override: Some(2),
+        })
+        .unwrap();
+        assert!(!d.erase(BlockId(0), Nanos::ZERO).unwrap().retired);
+        assert!(d.erase(BlockId(0), Nanos::ZERO).unwrap().retired);
+        assert_eq!(d.bad_blocks(), 1);
+        assert_eq!(
+            d.erase(BlockId(0), Nanos::ZERO),
+            Err(FlashError::BadBlock(BlockId(0)))
+        );
+    }
+
+    #[test]
+    fn copy_moves_stamp_and_counts() {
+        let mut d = dev();
+        let (page, _) = d
+            .program_next(BlockId(0), 42, Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        let (dst_page, stamp, _) = d
+            .copy_page(Ppa::new(BlockId(0), page), BlockId(8), Nanos::ZERO)
+            .unwrap();
+        assert_eq!(stamp, 42);
+        let (read_back, _) = d
+            .read(Ppa::new(BlockId(8), dst_page), Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        assert_eq!(read_back, Some(42));
+        assert_eq!(d.stats().copies, 1);
+        // WA counts copies as physical programs.
+        assert!(d.stats().write_amplification() > 1.0);
+    }
+
+    #[test]
+    fn copy_of_invalid_page_is_rejected() {
+        let mut d = dev();
+        let (page, _) = d
+            .program_next(BlockId(0), 9, Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        let src = Ppa::new(BlockId(0), page);
+        d.invalidate(src).unwrap();
+        assert_eq!(
+            d.copy_page(src, BlockId(8), Nanos::ZERO),
+            Err(FlashError::ReadUnwritten(src))
+        );
+    }
+
+    #[test]
+    fn internal_ops_attributed_separately() {
+        let mut d = dev();
+        d.program_next(BlockId(0), 1, Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        d.program_next(BlockId(0), 2, Nanos::ZERO, OpOrigin::Internal)
+            .unwrap();
+        assert_eq!(d.stats().host_programs, 1);
+        assert_eq!(d.stats().internal_programs, 1);
+        assert!((d.stats().write_amplification() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wear_spread_tracks_erases() {
+        let mut d = dev();
+        d.erase(BlockId(0), Nanos::ZERO).unwrap();
+        d.erase(BlockId(0), Nanos::ZERO).unwrap();
+        d.erase(BlockId(1), Nanos::ZERO).unwrap();
+        let (min, max, mean) = d.wear_spread();
+        assert_eq!(min, 0);
+        assert_eq!(max, 2);
+        assert!(mean > 0.0 && mean < 1.0);
+    }
+}

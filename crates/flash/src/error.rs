@@ -1,0 +1,68 @@
+//! Error type for flash operations.
+
+use crate::geometry::{BlockId, Ppa};
+
+/// Errors returned by [`crate::FlashDevice`] operations.
+///
+/// Each variant corresponds to a physical constraint from §2.1 of the
+/// paper; producing one of these in an FTL is a bug in the FTL, which is
+/// exactly why they are hard errors rather than silent corrections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// The address does not exist in the device geometry.
+    OutOfRange(Ppa),
+    /// The block identifier does not exist in the device geometry.
+    BlockOutOfRange(BlockId),
+    /// Attempted to program a page that is not the block's next sequential
+    /// free page (violates the sequential-program rule).
+    NonSequentialProgram {
+        /// The offending address.
+        ppa: Ppa,
+        /// The page the block's internal write cursor expected next.
+        expected: u32,
+    },
+    /// Attempted to program into a block with no erased pages remaining.
+    BlockFull(BlockId),
+    /// Attempted to read a page that has never been programmed since the
+    /// last erase.
+    ReadUnwritten(Ppa),
+    /// The block has exceeded its endurance rating and is retired.
+    BlockWornOut(BlockId),
+    /// The block was previously retired (bad) and cannot be used.
+    BadBlock(BlockId),
+}
+
+impl std::fmt::Display for FlashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlashError::OutOfRange(ppa) => write!(f, "address {ppa:?} out of range"),
+            FlashError::BlockOutOfRange(b) => write!(f, "block {b:?} out of range"),
+            FlashError::NonSequentialProgram { ppa, expected } => write!(
+                f,
+                "non-sequential program at {ppa:?}; block expected page {expected}"
+            ),
+            FlashError::BlockFull(b) => write!(f, "block {b:?} has no free pages"),
+            FlashError::ReadUnwritten(ppa) => write!(f, "read of unwritten page {ppa:?}"),
+            FlashError::BlockWornOut(b) => write!(f, "block {b:?} exceeded endurance"),
+            FlashError::BadBlock(b) => write!(f, "block {b:?} is retired"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FlashError::NonSequentialProgram {
+            ppa: Ppa::new(BlockId(3), 7),
+            expected: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("B3.P7"));
+        assert!(s.contains("expected page 2"));
+    }
+}

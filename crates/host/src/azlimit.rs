@@ -1,0 +1,238 @@
+//! Active-zone budget management for multi-tenant hosts.
+//!
+//! §4.2: "A simple strategy is to assign a fixed number of zones to each
+//! application together with a fixed active zone budget. However, this
+//! approach does not scale for typical bursty workloads as it does not
+//! allow multiplexing of this scarce resource. Is there a good strategy
+//! for dynamically assigning zones on demand?"
+//!
+//! [`ActiveZoneManager`] arbitrates a device's MAR (maximum active zones)
+//! among tenants under three strategies — the static baseline the paper
+//! critiques, fully dynamic demand sharing, and a guaranteed-base lending
+//! scheme. Experiment E10 drives all three with bursty tenants and
+//! measures admission waits.
+
+/// How the MAR budget is split among tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AzStrategy {
+    /// Each tenant owns `MAR / tenants` slots; unused slots idle.
+    StaticPartition,
+    /// First-come-first-served sharing of the whole budget.
+    DynamicDemand,
+    /// Each tenant is guaranteed `MAR / tenants` slots; idle slots may be
+    /// borrowed, but a guaranteed request revokes a borrower's slot.
+    Lending,
+}
+
+/// Outcome of an acquisition request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AzGrant {
+    /// A slot is available now.
+    Granted,
+    /// No slot now; the request must wait for a release.
+    Blocked,
+    /// (Lending only) a slot was granted by revoking one lent to the
+    /// returned tenant; the borrower must release a zone when convenient.
+    GrantedByRevoke {
+        /// The tenant holding more than its guarantee.
+        borrower: u32,
+    },
+}
+
+/// Arbitrates active-zone slots among `tenants` under a strategy.
+///
+/// The manager tracks slot *counts* only; binding slots to concrete zone
+/// ids is the caller's job. All methods are O(tenants).
+#[derive(Debug, Clone)]
+pub struct ActiveZoneManager {
+    strategy: AzStrategy,
+    limit: u32,
+    held: Vec<u32>,
+    /// Outstanding revocations per tenant (lending): slots the tenant
+    /// must give back.
+    owed: Vec<u32>,
+}
+
+impl ActiveZoneManager {
+    /// Creates a manager for `tenants` tenants over `limit` total slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is zero or `limit < tenants` (every tenant
+    /// needs at least one guaranteed slot for the static strategies to be
+    /// meaningful).
+    pub fn new(strategy: AzStrategy, limit: u32, tenants: u32) -> Self {
+        assert!(tenants > 0, "need at least one tenant");
+        assert!(limit >= tenants, "limit {limit} below one slot per tenant");
+        ActiveZoneManager {
+            strategy,
+            limit,
+            held: vec![0; tenants as usize],
+            owed: vec![0; tenants as usize],
+        }
+    }
+
+    /// The per-tenant guaranteed share.
+    pub fn base_share(&self) -> u32 {
+        self.limit / self.held.len() as u32
+    }
+
+    /// Slots currently held by `tenant`.
+    pub fn held(&self, tenant: u32) -> u32 {
+        self.held[tenant as usize]
+    }
+
+    /// Total slots currently held.
+    pub fn total_held(&self) -> u32 {
+        self.held.iter().sum()
+    }
+
+    /// Revocations outstanding against `tenant`.
+    pub fn owed(&self, tenant: u32) -> u32 {
+        self.owed[tenant as usize]
+    }
+
+    /// Requests one slot for `tenant`.
+    pub fn acquire(&mut self, tenant: u32) -> AzGrant {
+        let ti = tenant as usize;
+        match self.strategy {
+            AzStrategy::StaticPartition => {
+                if self.held[ti] < self.base_share() {
+                    self.held[ti] += 1;
+                    AzGrant::Granted
+                } else {
+                    AzGrant::Blocked
+                }
+            }
+            AzStrategy::DynamicDemand => {
+                if self.total_held() < self.limit {
+                    self.held[ti] += 1;
+                    AzGrant::Granted
+                } else {
+                    AzGrant::Blocked
+                }
+            }
+            AzStrategy::Lending => {
+                if self.total_held() < self.limit {
+                    self.held[ti] += 1;
+                    return AzGrant::Granted;
+                }
+                // Full. A request within the guarantee can revoke from the
+                // tenant borrowing the most.
+                if self.held[ti] >= self.base_share() {
+                    return AzGrant::Blocked;
+                }
+                let base = self.base_share();
+                let borrower = self
+                    .held
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &h)| h > base + self.owed[i])
+                    .max_by_key(|&(i, &h)| h - self.owed[i])
+                    .map(|(i, _)| i as u32);
+                match borrower {
+                    Some(b) => {
+                        self.owed[b as usize] += 1;
+                        self.held[ti] += 1;
+                        // The budget is transiently over-committed until
+                        // the borrower honours the revocation; callers
+                        // model that delay.
+                        AzGrant::GrantedByRevoke { borrower: b }
+                    }
+                    None => AzGrant::Blocked,
+                }
+            }
+        }
+    }
+
+    /// Releases one slot held by `tenant`, honouring an outstanding
+    /// revocation first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant holds no slots — a caller accounting bug.
+    pub fn release(&mut self, tenant: u32) {
+        let ti = tenant as usize;
+        assert!(self.held[ti] > 0, "tenant {tenant} released unheld slot");
+        self.held[ti] -= 1;
+        if self.owed[ti] > 0 {
+            self.owed[ti] -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_partition_caps_each_tenant() {
+        let mut m = ActiveZoneManager::new(AzStrategy::StaticPartition, 14, 2);
+        assert_eq!(m.base_share(), 7);
+        for _ in 0..7 {
+            assert_eq!(m.acquire(0), AzGrant::Granted);
+        }
+        // Tenant 0 is capped even though half the device is idle.
+        assert_eq!(m.acquire(0), AzGrant::Blocked);
+        assert_eq!(m.acquire(1), AzGrant::Granted);
+    }
+
+    #[test]
+    fn dynamic_shares_whole_budget() {
+        let mut m = ActiveZoneManager::new(AzStrategy::DynamicDemand, 14, 2);
+        for _ in 0..14 {
+            assert_eq!(m.acquire(0), AzGrant::Granted);
+        }
+        assert_eq!(m.acquire(0), AzGrant::Blocked);
+        // ...but a quiet tenant now finds nothing left.
+        assert_eq!(m.acquire(1), AzGrant::Blocked);
+        m.release(0);
+        assert_eq!(m.acquire(1), AzGrant::Granted);
+    }
+
+    #[test]
+    fn lending_borrows_idle_and_revokes_for_guarantees() {
+        let mut m = ActiveZoneManager::new(AzStrategy::Lending, 14, 2);
+        // Tenant 0 borrows the whole device.
+        for _ in 0..14 {
+            assert_eq!(m.acquire(0), AzGrant::Granted);
+        }
+        // Tenant 1's guaranteed request revokes from tenant 0.
+        match m.acquire(1) {
+            AzGrant::GrantedByRevoke { borrower } => assert_eq!(borrower, 0),
+            g => panic!("expected revoke, got {g:?}"),
+        }
+        assert_eq!(m.owed(0), 1);
+        // Tenant 0's next release pays the debt.
+        m.release(0);
+        assert_eq!(m.owed(0), 0);
+        // Tenant 0 beyond its share with the device full: blocked.
+        assert_eq!(m.acquire(0), AzGrant::Blocked);
+    }
+
+    #[test]
+    fn lending_does_not_revoke_beyond_guarantee() {
+        let mut m = ActiveZoneManager::new(AzStrategy::Lending, 4, 2);
+        // Each tenant takes its guarantee of 2.
+        for t in 0..2 {
+            m.acquire(t);
+            m.acquire(t);
+        }
+        // No one is borrowing; further requests block.
+        assert_eq!(m.acquire(0), AzGrant::Blocked);
+        assert_eq!(m.acquire(1), AzGrant::Blocked);
+    }
+
+    #[test]
+    #[should_panic(expected = "released unheld slot")]
+    fn release_of_unheld_slot_panics() {
+        let mut m = ActiveZoneManager::new(AzStrategy::DynamicDemand, 4, 2);
+        m.release(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below one slot per tenant")]
+    fn rejects_limit_below_tenants() {
+        ActiveZoneManager::new(AzStrategy::StaticPartition, 2, 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the host stack.
+
+use bh_zns::ZnsError;
+
+/// Errors returned by host-stack components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// No empty zone is available to allocate.
+    NoFreeZone,
+    /// Logical address beyond the emulated device's capacity.
+    LbaOutOfRange {
+        /// The offending logical address.
+        lba: u64,
+        /// Exported capacity in pages.
+        capacity: u64,
+    },
+    /// Read of a logical address that has never been written.
+    Unmapped(u64),
+    /// A zonefs file operation was illegal (e.g. write to a full file).
+    FileFull(u32),
+    /// The referenced file/zone does not exist.
+    NoSuchFile(u32),
+    /// An object with this identifier already exists in the store.
+    DuplicateObject(u64),
+    /// The referenced object does not exist.
+    NoSuchObject(u64),
+    /// An underlying ZNS command failed.
+    Zns(ZnsError),
+}
+
+impl From<ZnsError> for HostError {
+    fn from(e: ZnsError) -> Self {
+        HostError::Zns(e)
+    }
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::NoFreeZone => write!(f, "no empty zone available"),
+            HostError::LbaOutOfRange { lba, capacity } => {
+                write!(f, "LBA {lba} out of range (capacity {capacity} pages)")
+            }
+            HostError::Unmapped(lba) => write!(f, "read of unmapped LBA {lba}"),
+            HostError::FileFull(z) => write!(f, "zone file {z} is full"),
+            HostError::NoSuchFile(z) => write!(f, "no zone file {z}"),
+            HostError::DuplicateObject(id) => write!(f, "object {id} already exists"),
+            HostError::NoSuchObject(id) => write!(f, "no object {id}"),
+            HostError::Zns(e) => write!(f, "zns error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HostError::Zns(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: HostError = ZnsError::ZoneFull(bh_zns::ZoneId(3)).into();
+        assert!(e.to_string().contains("zns error"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(HostError::NoFreeZone.to_string().contains("empty zone"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Reclaim scheduling: *when* the host runs zone maintenance.
+//!
+//! §4.1: "the host is in full control and can precisely schedule zone
+//! erasures and maintenance operations … these policies can differ across
+//! sets of zones." On a conventional SSD the FTL decides opaquely; on ZNS
+//! the host picks a [`ReclaimPolicy`], which is the knob experiment E12
+//! sweeps.
+
+use bh_metrics::Nanos;
+
+/// When host-side reclaim (relocation + zone resets) is allowed to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReclaimPolicy {
+    /// Run reclaim whenever space runs low, even in the middle of
+    /// foreground I/O — the closest analogue of an FTL's foreground GC.
+    Immediate,
+    /// Run reclaim only when the device has been idle for at least this
+    /// long, plus under low-space emergency. Trades reclaim debt for
+    /// read-tail latency.
+    IdleOnly {
+        /// Minimum observed idle gap before reclaim may start.
+        min_idle: Nanos,
+    },
+    /// Run reclaim when free-space drops below a low watermark, stopping
+    /// at a high watermark — bounded bursts, amortized interference.
+    Watermark {
+        /// Start reclaiming at or below this many free zones.
+        low_zones: u32,
+        /// Stop reclaiming at this many free zones.
+        high_zones: u32,
+    },
+}
+
+impl ReclaimPolicy {
+    /// Decides whether reclaim should run, given the current free-zone
+    /// count, the device's last-I/O instant, and the current instant.
+    pub fn should_reclaim(&self, free_zones: u32, last_io: Nanos, now: Nanos, emergency_zones: u32) -> bool {
+        if free_zones <= emergency_zones {
+            // Every policy yields to an out-of-space emergency.
+            return true;
+        }
+        match *self {
+            ReclaimPolicy::Immediate => true,
+            ReclaimPolicy::IdleOnly { min_idle } => now.saturating_sub(last_io) >= min_idle,
+            ReclaimPolicy::Watermark { low_zones, .. } => free_zones <= low_zones,
+        }
+    }
+
+    /// Decides whether an in-progress reclaim burst should continue.
+    pub fn should_continue(&self, free_zones: u32) -> bool {
+        match *self {
+            ReclaimPolicy::Immediate | ReclaimPolicy::IdleOnly { .. } => true,
+            ReclaimPolicy::Watermark { high_zones, .. } => free_zones < high_zones,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_always_runs() {
+        let p = ReclaimPolicy::Immediate;
+        assert!(p.should_reclaim(100, Nanos::ZERO, Nanos::ZERO, 1));
+    }
+
+    #[test]
+    fn idle_only_waits_for_quiet() {
+        let p = ReclaimPolicy::IdleOnly {
+            min_idle: Nanos::from_millis(1),
+        };
+        let last_io = Nanos::from_millis(10);
+        assert!(!p.should_reclaim(50, last_io, Nanos::from_millis(10), 1));
+        assert!(p.should_reclaim(50, last_io, Nanos::from_millis(12), 1));
+    }
+
+    #[test]
+    fn emergency_overrides_everything() {
+        let p = ReclaimPolicy::IdleOnly {
+            min_idle: Nanos::from_secs(100),
+        };
+        assert!(p.should_reclaim(1, Nanos::ZERO, Nanos::ZERO, 1));
+    }
+
+    #[test]
+    fn watermark_hysteresis() {
+        let p = ReclaimPolicy::Watermark {
+            low_zones: 4,
+            high_zones: 8,
+        };
+        assert!(p.should_reclaim(4, Nanos::ZERO, Nanos::ZERO, 1));
+        assert!(!p.should_reclaim(5, Nanos::ZERO, Nanos::ZERO, 1));
+        assert!(p.should_continue(7));
+        assert!(!p.should_continue(8));
+    }
+}

@@ -1,0 +1,819 @@
+//! Storage backends: the same file API over either SSD interface.
+//!
+//! The store writes immutable files (SSTs) and an append-only log (WAL)
+//! through [`StorageBackend`]. The two implementations differ exactly
+//! where the paper says the interfaces differ:
+//!
+//! - [`ConvBackend`] places file pages at logical block addresses of a
+//!   conventional SSD. The LBA allocator recycles freed addresses
+//!   (LIFO), so flash blocks underneath accumulate a mixture of WAL
+//!   pages, hot L0 files, and cold bottom-level files — lifetimes the
+//!   device FTL cannot separate (§2.4: "information about applications is
+//!   the key bottleneck"). Device GC then copies the long-lived pages
+//!   around, producing the ~5× device WA the paper cites for RocksDB.
+//! - [`ZnsBackend`] appends file pages into zones selected by a lifetime
+//!   class derived from the file's role (WAL, SST level) — the ZenFS
+//!   design. Compaction deletes whole files, whole zones die together,
+//!   and resets reclaim them without copying: device WA ≈ 1.2×.
+//!
+//! Both backends buffer the partial tail page in memory (as real engines
+//! do) and expose `sync` for durability points; on the conventional
+//! device a tail sync rewrites the same LBA, on ZNS it must burn a fresh
+//! zone slot — an honest asymmetry of the interfaces.
+
+use crate::error::KvError;
+use crate::Result;
+use bh_conv::ConvSsd;
+use bh_host::{HostError, LifetimeClass, ZoneAllocator, ZonedLocation};
+use bh_metrics::Nanos;
+use bh_zns::{ZnsDevice, ZoneId, ZoneState};
+use std::collections::HashMap;
+
+/// Identifier for a backend file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// What role a file plays — the lifetime knowledge ZNS placement uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileHint {
+    /// Write-ahead log: hottest, dies at the next flush.
+    Wal,
+    /// Sorted-run file at an LSM level; higher levels live longer.
+    Sst {
+        /// The LSM level the file belongs to.
+        level: u32,
+    },
+}
+
+impl FileHint {
+    /// The lifetime class used for zone placement.
+    fn class(self) -> LifetimeClass {
+        match self {
+            FileHint::Wal => LifetimeClass(0),
+            FileHint::Sst { level } => LifetimeClass(1 + level),
+        }
+    }
+}
+
+/// Byte-oriented file storage over a simulated SSD.
+///
+/// Files are append-only; reads may come from the in-memory tail buffer
+/// (no device I/O) or from flushed pages (device reads). All methods
+/// return virtual completion instants.
+pub trait StorageBackend {
+    /// Creates an empty file with a lifetime hint.
+    fn create(&mut self, hint: FileHint) -> FileId;
+
+    /// Appends bytes; complete pages are written to the device.
+    fn append(&mut self, f: FileId, data: &[u8], now: Nanos) -> Result<Nanos>;
+
+    /// Forces the partial tail page (if any) to the device — a
+    /// durability point.
+    fn sync(&mut self, f: FileId, now: Nanos) -> Result<Nanos>;
+
+    /// Reads `len` bytes at `offset`.
+    fn read(&mut self, f: FileId, offset: u64, len: u64, now: Nanos) -> Result<(Vec<u8>, Nanos)>;
+
+    /// Current file length in bytes.
+    fn len(&self, f: FileId) -> Result<u64>;
+
+    /// Deletes the file, releasing its device space.
+    fn delete(&mut self, f: FileId, now: Nanos) -> Result<Nanos>;
+
+    /// Opportunity for background space maintenance (zone reclaim).
+    /// Returns the completion instant (`now` if nothing ran).
+    fn maintenance(&mut self, now: Nanos) -> Result<Nanos>;
+
+    /// Bytes of the file guaranteed to survive a crash: flushed complete
+    /// pages plus any synced tail prefix.
+    fn durable_len(&self, f: FileId) -> Result<u64>;
+
+    /// Device page size in bytes.
+    fn page_bytes(&self) -> u32;
+
+    /// Device-level write amplification observed so far.
+    fn device_write_amplification(&self) -> f64;
+
+    /// Total pages the host asked the device to write (for app-level WA).
+    fn host_pages_written(&self) -> u64;
+}
+
+/// In-memory file body plus flush bookkeeping shared by both backends.
+#[derive(Debug)]
+struct FileBuf<Loc> {
+    hint: FileHint,
+    content: Vec<u8>,
+    /// Device locations of flushed complete pages, in page order.
+    pages: Vec<Loc>,
+    /// Bytes of the tail that were force-synced (devalued on growth).
+    synced_tail: Option<Loc>,
+    /// Bytes guaranteed on the device: complete flushed pages plus any
+    /// synced tail prefix. Data past this point dies in a crash.
+    durable: u64,
+}
+
+impl<Loc> FileBuf<Loc> {
+    fn new(hint: FileHint) -> Self {
+        FileBuf {
+            hint,
+            content: Vec::new(),
+            pages: Vec::new(),
+            synced_tail: None,
+            durable: 0,
+        }
+    }
+}
+
+fn check_read(content_len: u64, f: FileId, offset: u64, len: u64) -> Result<()> {
+    if offset + len > content_len {
+        return Err(KvError::ShortRead {
+            file: f.0,
+            offset,
+            len,
+            file_len: content_len,
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Conventional backend
+// ---------------------------------------------------------------------------
+
+/// File storage over a conventional block-interface SSD.
+pub struct ConvBackend {
+    ssd: ConvSsd,
+    files: HashMap<FileId, FileBuf<u64>>,
+    next_id: u64,
+    /// Freed LBAs, reused LIFO — the address churn that defeats any
+    /// lifetime inference by the device.
+    free_lbas: Vec<u64>,
+    next_lba: u64,
+    host_pages: u64,
+    /// Counter driving hashed free-LBA reuse in no-discard mode.
+    reuse_counter: u64,
+    /// Issue TRIM for deleted files' pages. Defaults to true (the
+    /// device's best case). Many production filesystems run without
+    /// online discard (mount-option defaults, performance regressions,
+    /// passthrough layers that drop it), leaving dead data mapped until
+    /// the LBA is rewritten — the regime behind the paper's cited 5x
+    /// RocksDB device WA. `without_trim()` models that.
+    trim_on_delete: bool,
+}
+
+impl ConvBackend {
+    /// Creates a backend over `ssd`.
+    pub fn new(ssd: ConvSsd) -> Self {
+        ConvBackend {
+            ssd,
+            files: HashMap::new(),
+            next_id: 0,
+            free_lbas: Vec::new(),
+            next_lba: 0,
+            host_pages: 0,
+            reuse_counter: 0,
+            trim_on_delete: true,
+        }
+    }
+
+    /// Disables TRIM on file delete (no-online-discard deployments); see
+    /// the field documentation for why this is a realistic configuration.
+    pub fn without_trim(mut self) -> Self {
+        self.trim_on_delete = false;
+        self
+    }
+
+    /// The underlying SSD, for statistics.
+    pub fn ssd(&self) -> &ConvSsd {
+        &self.ssd
+    }
+
+    fn alloc_lba(&mut self) -> Result<u64> {
+        if !self.free_lbas.is_empty() {
+            if self.trim_on_delete {
+                return Ok(self.free_lbas.pop().expect("non-empty"));
+            }
+            // Without discard the allocator has aged free space of mixed
+            // provenance; model the resulting decorrelated reuse by
+            // picking a hashed position instead of strict LIFO.
+            self.reuse_counter = self.reuse_counter.wrapping_add(1);
+            let idx =
+                (self.reuse_counter.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as usize % self.free_lbas.len();
+            return Ok(self.free_lbas.swap_remove(idx));
+        }
+        if self.next_lba < self.ssd.capacity_pages() {
+            let l = self.next_lba;
+            self.next_lba += 1;
+            return Ok(l);
+        }
+        Err(KvError::Device("conventional SSD out of logical space".into()))
+    }
+
+    fn write_page(&mut self, lba: u64, now: Nanos) -> Result<Nanos> {
+        let out = self
+            .ssd
+            .write(lba, now)
+            .map_err(|e| KvError::Device(e.to_string()))?;
+        self.host_pages += 1;
+        Ok(out.done)
+    }
+
+    fn flush_complete_pages(&mut self, f: FileId, now: Nanos) -> Result<Nanos> {
+        let page = self.page_bytes() as u64;
+        let mut t = now;
+        loop {
+            let (need_flush, rewrite_tail) = {
+                let fb = self.files.get(&f).ok_or(KvError::NoSuchFile(f.0))?;
+                let complete = fb.content.len() as u64 / page;
+                (
+                    (fb.pages.len() as u64) < complete,
+                    fb.synced_tail.is_some() && (fb.pages.len() as u64) < complete,
+                )
+            };
+            if !need_flush {
+                return Ok(t);
+            }
+            // A previously synced tail page is now complete: rewrite it in
+            // place (the conventional interface allows that).
+            let lba = if rewrite_tail {
+                let fb = self.files.get_mut(&f).unwrap();
+                fb.synced_tail.take().expect("checked above")
+            } else {
+                self.alloc_lba()?
+            };
+            t = self.write_page(lba, t)?;
+            let fb = self.files.get_mut(&f).unwrap();
+            fb.pages.push(lba);
+            fb.durable = fb.durable.max(fb.pages.len() as u64 * page);
+        }
+    }
+}
+
+impl StorageBackend for ConvBackend {
+    fn create(&mut self, hint: FileHint) -> FileId {
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        self.files.insert(id, FileBuf::new(hint));
+        id
+    }
+
+    fn append(&mut self, f: FileId, data: &[u8], now: Nanos) -> Result<Nanos> {
+        self.files
+            .get_mut(&f)
+            .ok_or(KvError::NoSuchFile(f.0))?
+            .content
+            .extend_from_slice(data);
+        self.flush_complete_pages(f, now)
+    }
+
+    fn sync(&mut self, f: FileId, now: Nanos) -> Result<Nanos> {
+        let page = self.page_bytes() as u64;
+        let (has_tail, existing) = {
+            let fb = self.files.get(&f).ok_or(KvError::NoSuchFile(f.0))?;
+            (
+                fb.content.len() as u64 % page != 0,
+                fb.synced_tail,
+            )
+        };
+        if !has_tail {
+            return Ok(now);
+        }
+        // Rewrite the tail at its existing LBA, or allocate one.
+        let lba = match existing {
+            Some(l) => l,
+            None => {
+                let l = self.alloc_lba()?;
+                self.files.get_mut(&f).unwrap().synced_tail = Some(l);
+                l
+            }
+        };
+        let done = self.write_page(lba, now)?;
+        let fb = self.files.get_mut(&f).unwrap();
+        fb.durable = fb.content.len() as u64;
+        Ok(done)
+    }
+
+    fn read(&mut self, f: FileId, offset: u64, len: u64, now: Nanos) -> Result<(Vec<u8>, Nanos)> {
+        let page = self.page_bytes() as u64;
+        let (data, lbas) = {
+            let fb = self.files.get(&f).ok_or(KvError::NoSuchFile(f.0))?;
+            check_read(fb.content.len() as u64, f, offset, len)?;
+            let data = fb.content[offset as usize..(offset + len) as usize].to_vec();
+            let first = offset / page;
+            let last = (offset + len.max(1) - 1) / page;
+            let lbas: Vec<u64> = (first..=last)
+                .filter_map(|p| fb.pages.get(p as usize).copied())
+                .collect();
+            (data, lbas)
+        };
+        let mut t = now;
+        for lba in lbas {
+            let (_, done) = self
+                .ssd
+                .read(lba, now)
+                .map_err(|e| KvError::Device(e.to_string()))?;
+            t = t.max(done);
+        }
+        Ok((data, t))
+    }
+
+    fn len(&self, f: FileId) -> Result<u64> {
+        Ok(self
+            .files
+            .get(&f)
+            .ok_or(KvError::NoSuchFile(f.0))?
+            .content
+            .len() as u64)
+    }
+
+    fn delete(&mut self, f: FileId, now: Nanos) -> Result<Nanos> {
+        let fb = self.files.remove(&f).ok_or(KvError::NoSuchFile(f.0))?;
+        for lba in fb.pages.into_iter().chain(fb.synced_tail) {
+            if self.trim_on_delete {
+                self.ssd
+                    .trim(lba)
+                    .map_err(|e| KvError::Device(e.to_string()))?;
+            }
+            self.free_lbas.push(lba);
+        }
+        Ok(now)
+    }
+
+    fn maintenance(&mut self, _now: Nanos) -> Result<Nanos> {
+        // The conventional device garbage-collects internally, on its own
+        // opaque schedule; there is nothing for the host to do — which is
+        // the paper's point.
+        Ok(_now)
+    }
+
+    fn durable_len(&self, f: FileId) -> Result<u64> {
+        Ok(self.files.get(&f).ok_or(KvError::NoSuchFile(f.0))?.durable)
+    }
+
+    fn page_bytes(&self) -> u32 {
+        self.ssd.page_bytes()
+    }
+
+    fn device_write_amplification(&self) -> f64 {
+        self.ssd.write_amplification()
+    }
+
+    fn host_pages_written(&self) -> u64 {
+        self.host_pages
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ZNS backend (ZenFS-like)
+// ---------------------------------------------------------------------------
+
+/// File storage over a ZNS SSD with lifetime-class zone placement.
+pub struct ZnsBackend {
+    dev: ZnsDevice,
+    alloc: ZoneAllocator,
+    files: HashMap<FileId, FileBuf<ZonedLocation>>,
+    next_id: u64,
+    /// Live page count per zone.
+    live: Vec<u64>,
+    /// Per zone: (file, page index, offset) of pages written there.
+    registry: Vec<Vec<(FileId, u64, u64)>>,
+    host_pages: u64,
+    relocated: u64,
+    stamp: u64,
+}
+
+impl ZnsBackend {
+    /// Creates a backend over `dev`.
+    pub fn new(dev: ZnsDevice) -> Self {
+        let zones = dev.num_zones() as usize;
+        ZnsBackend {
+            dev,
+            alloc: ZoneAllocator::new(),
+            files: HashMap::new(),
+            next_id: 0,
+            live: vec![0; zones],
+            registry: vec![Vec::new(); zones],
+            host_pages: 0,
+            relocated: 0,
+            stamp: 0,
+        }
+    }
+
+    /// The underlying ZNS device, for statistics.
+    pub fn device(&self) -> &ZnsDevice {
+        &self.dev
+    }
+
+    /// Pages relocated by host reclaim so far.
+    pub fn relocated_pages(&self) -> u64 {
+        self.relocated
+    }
+
+    fn append_page(&mut self, class: LifetimeClass, now: Nanos) -> Result<(ZonedLocation, Nanos)> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        match self.alloc.append(&mut self.dev, class, stamp, now) {
+            Ok(ok) => Ok(ok),
+            Err(HostError::NoFreeZone) => {
+                let t = self.reclaim(now)?;
+                self.alloc
+                    .append(&mut self.dev, class, stamp, t)
+                    .map_err(|e| KvError::Device(e.to_string()))
+            }
+            Err(e) => Err(KvError::Device(e.to_string())),
+        }
+    }
+
+    fn flush_complete_pages(&mut self, f: FileId, now: Nanos) -> Result<Nanos> {
+        let page = self.page_bytes() as u64;
+        let mut t = now;
+        loop {
+            let (need_flush, class, old_tail) = {
+                let fb = self.files.get(&f).ok_or(KvError::NoSuchFile(f.0))?;
+                let complete = fb.content.len() as u64 / page;
+                (
+                    (fb.pages.len() as u64) < complete,
+                    fb.hint.class(),
+                    fb.synced_tail,
+                )
+            };
+            if !need_flush {
+                return Ok(t);
+            }
+            // A synced partial tail cannot be extended in place on ZNS:
+            // the completed page goes to a fresh slot and the synced copy
+            // becomes garbage.
+            if let Some(old) = old_tail {
+                self.live[old.zone.0 as usize] -= 1;
+                self.files.get_mut(&f).unwrap().synced_tail = None;
+            }
+            let (loc, done) = self.append_page(class, t)?;
+            t = done;
+            self.host_pages += 1;
+            let page_idx = {
+                let fb = self.files.get_mut(&f).unwrap();
+                fb.pages.push(loc);
+                fb.durable = fb.durable.max(fb.pages.len() as u64 * page);
+                (fb.pages.len() - 1) as u64
+            };
+            self.live[loc.zone.0 as usize] += 1;
+            self.registry[loc.zone.0 as usize].push((f, page_idx, loc.offset));
+        }
+    }
+
+    /// Reclaims space: resets fully dead zones; if none, relocates the
+    /// most-garbage zone's survivors. Returns the completion instant.
+    fn reclaim(&mut self, now: Nanos) -> Result<Nanos> {
+        let mut t = now;
+        // First pass: free resets (the common ZenFS case — whole-file
+        // deletes killed whole zones).
+        let dead: Vec<ZoneId> = self
+            .dev
+            .zones()
+            .filter(|z| {
+                z.state() == ZoneState::Full && self.live[z.id().0 as usize] == 0
+            })
+            .map(|z| z.id())
+            .collect();
+        for z in &dead {
+            t = self
+                .dev
+                .reset(*z, t)
+                .map_err(|e| KvError::Device(e.to_string()))?;
+            self.registry[z.0 as usize].clear();
+            self.alloc.release(*z);
+        }
+        if !dead.is_empty() {
+            return Ok(t);
+        }
+        // Second pass: relocate the fullest-garbage zone.
+        let victim = self
+            .dev
+            .zones()
+            .filter(|z| z.state() == ZoneState::Full)
+            .map(|z| (z.id(), z.write_pointer() - self.live[z.id().0 as usize]))
+            .filter(|&(_, g)| g > 0)
+            .max_by_key(|&(_, g)| g)
+            .map(|(id, _)| id)
+            .ok_or_else(|| KvError::Device("ZNS device out of space".into()))?;
+        let entries = std::mem::take(&mut self.registry[victim.0 as usize]);
+        for (file, page_idx, offset) in entries {
+            let live = self
+                .files
+                .get(&file)
+                .and_then(|fb| fb.pages.get(page_idx as usize))
+                .map(|loc| loc.zone == victim && loc.offset == offset)
+                .unwrap_or(false);
+            if !live {
+                continue;
+            }
+            let class = self.files[&file].hint.class();
+            self.stamp += 1;
+            let (new_loc, done) = self
+                .alloc
+                .append(&mut self.dev, class, self.stamp, t)
+                .map_err(|e| KvError::Device(e.to_string()))?;
+            t = done;
+            self.files.get_mut(&file).unwrap().pages[page_idx as usize] = new_loc;
+            self.live[victim.0 as usize] -= 1;
+            self.live[new_loc.zone.0 as usize] += 1;
+            self.registry[new_loc.zone.0 as usize].push((file, page_idx, new_loc.offset));
+            self.relocated += 1;
+            self.host_pages += 1; // Relocation is host-issued I/O here.
+        }
+        t = self
+            .dev
+            .reset(victim, t)
+            .map_err(|e| KvError::Device(e.to_string()))?;
+        self.alloc.release(victim);
+        Ok(t)
+    }
+}
+
+impl StorageBackend for ZnsBackend {
+    fn create(&mut self, hint: FileHint) -> FileId {
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        self.files.insert(id, FileBuf::new(hint));
+        id
+    }
+
+    fn append(&mut self, f: FileId, data: &[u8], now: Nanos) -> Result<Nanos> {
+        self.files
+            .get_mut(&f)
+            .ok_or(KvError::NoSuchFile(f.0))?
+            .content
+            .extend_from_slice(data);
+        self.flush_complete_pages(f, now)
+    }
+
+    fn sync(&mut self, f: FileId, now: Nanos) -> Result<Nanos> {
+        let page = self.page_bytes() as u64;
+        let (has_tail, class, old_tail) = {
+            let fb = self.files.get(&f).ok_or(KvError::NoSuchFile(f.0))?;
+            (
+                fb.content.len() as u64 % page != 0,
+                fb.hint.class(),
+                fb.synced_tail,
+            )
+        };
+        if !has_tail {
+            return Ok(now);
+        }
+        // Each tail sync burns a fresh slot; the previous synced copy (if
+        // any) becomes garbage. This is the ZNS WAL-sync cost.
+        if let Some(old) = old_tail {
+            self.live[old.zone.0 as usize] -= 1;
+        }
+        let (loc, done) = self.append_page(class, now)?;
+        self.host_pages += 1;
+        self.live[loc.zone.0 as usize] += 1;
+        let fb = self.files.get_mut(&f).unwrap();
+        fb.synced_tail = Some(loc);
+        fb.durable = fb.content.len() as u64;
+        Ok(done)
+    }
+
+    fn read(&mut self, f: FileId, offset: u64, len: u64, now: Nanos) -> Result<(Vec<u8>, Nanos)> {
+        let page = self.page_bytes() as u64;
+        let (data, locs) = {
+            let fb = self.files.get(&f).ok_or(KvError::NoSuchFile(f.0))?;
+            check_read(fb.content.len() as u64, f, offset, len)?;
+            let data = fb.content[offset as usize..(offset + len) as usize].to_vec();
+            let first = offset / page;
+            let last = (offset + len.max(1) - 1) / page;
+            let locs: Vec<ZonedLocation> = (first..=last)
+                .filter_map(|p| fb.pages.get(p as usize).copied())
+                .collect();
+            (data, locs)
+        };
+        let mut t = now;
+        for loc in locs {
+            let (_, done) = self
+                .dev
+                .read(loc.zone, loc.offset, now)
+                .map_err(|e| KvError::Device(e.to_string()))?;
+            t = t.max(done);
+        }
+        Ok((data, t))
+    }
+
+    fn len(&self, f: FileId) -> Result<u64> {
+        Ok(self
+            .files
+            .get(&f)
+            .ok_or(KvError::NoSuchFile(f.0))?
+            .content
+            .len() as u64)
+    }
+
+    fn delete(&mut self, f: FileId, now: Nanos) -> Result<Nanos> {
+        let fb = self.files.remove(&f).ok_or(KvError::NoSuchFile(f.0))?;
+        for loc in fb.pages.into_iter().chain(fb.synced_tail) {
+            self.live[loc.zone.0 as usize] -= 1;
+        }
+        Ok(now)
+    }
+
+    fn maintenance(&mut self, now: Nanos) -> Result<Nanos> {
+        // Reset any fully dead zones; cheap and host-scheduled.
+        let dead: Vec<ZoneId> = self
+            .dev
+            .zones()
+            .filter(|z| z.state() == ZoneState::Full && self.live[z.id().0 as usize] == 0)
+            .map(|z| z.id())
+            .collect();
+        let mut t = now;
+        for z in dead {
+            t = self
+                .dev
+                .reset(z, t)
+                .map_err(|e| KvError::Device(e.to_string()))?;
+            self.registry[z.0 as usize].clear();
+            self.alloc.release(z);
+        }
+        Ok(t)
+    }
+
+    fn durable_len(&self, f: FileId) -> Result<u64> {
+        Ok(self.files.get(&f).ok_or(KvError::NoSuchFile(f.0))?.durable)
+    }
+
+    fn page_bytes(&self) -> u32 {
+        self.dev.config().flash.geometry.page_bytes
+    }
+
+    fn device_write_amplification(&self) -> f64 {
+        self.dev.flash_stats().write_amplification()
+    }
+
+    fn host_pages_written(&self) -> u64 {
+        self.host_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_conv::ConvConfig;
+    use bh_flash::{FlashConfig, Geometry};
+    use bh_zns::ZnsConfig;
+
+    fn conv() -> ConvBackend {
+        let geo = Geometry {
+            channels: 2,
+            dies_per_channel: 1,
+            planes_per_die: 2,
+            blocks_per_plane: 16,
+            pages_per_block: 16,
+            page_bytes: 4096,
+        };
+        ConvBackend::new(ConvSsd::new(ConvConfig::new(FlashConfig::tlc(geo), 0.15)).unwrap())
+    }
+
+    fn zns() -> ZnsBackend {
+        let geo = Geometry {
+            channels: 2,
+            dies_per_channel: 1,
+            planes_per_die: 2,
+            blocks_per_plane: 16,
+            pages_per_block: 16,
+            page_bytes: 4096,
+        };
+        let mut cfg = ZnsConfig::new(FlashConfig::tlc(geo), 4);
+        cfg.max_active_zones = 12;
+        cfg.max_open_zones = 12;
+        ZnsBackend::new(ZnsDevice::new(cfg).unwrap())
+    }
+
+    fn roundtrip(backend: &mut dyn StorageBackend) {
+        let f = backend.create(FileHint::Sst { level: 0 });
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let t = backend.append(f, &payload, Nanos::ZERO).unwrap();
+        assert_eq!(backend.len(f).unwrap(), 10_000);
+        let (back, done) = backend.read(f, 100, 5_000, t).unwrap();
+        assert_eq!(&back[..], &payload[100..5_100]);
+        assert!(done >= t);
+    }
+
+    #[test]
+    fn conv_roundtrip() {
+        roundtrip(&mut conv());
+    }
+
+    #[test]
+    fn zns_roundtrip() {
+        roundtrip(&mut zns());
+    }
+
+    fn sync_then_grow(backend: &mut dyn StorageBackend) -> u64 {
+        let f = backend.create(FileHint::Wal);
+        let mut t = Nanos::ZERO;
+        // 100 bytes, sync, 100 bytes, sync, then grow past a page.
+        t = backend.append(f, &[1u8; 100], t).unwrap();
+        t = backend.sync(f, t).unwrap();
+        t = backend.append(f, &[2u8; 100], t).unwrap();
+        t = backend.sync(f, t).unwrap();
+        t = backend.append(f, &vec![3u8; 8192], t).unwrap();
+        let (data, _) = backend.read(f, 0, 200, t).unwrap();
+        assert_eq!(data[0], 1);
+        assert_eq!(data[150], 2);
+        backend.host_pages_written()
+    }
+
+    #[test]
+    fn conv_sync_rewrites_in_place() {
+        let mut b = conv();
+        let pages = sync_then_grow(&mut b);
+        // 2 tail syncs + rewrite-on-completion + 2 complete pages: the
+        // LBA count stays small because rewrites reuse the address.
+        assert!(pages >= 4, "pages {pages}");
+    }
+
+    #[test]
+    fn zns_sync_burns_fresh_slots() {
+        let mut b = zns();
+        let pages = sync_then_grow(&mut b);
+        assert!(pages >= 4, "pages {pages}");
+        // The superseded synced tails are garbage now, visible as
+        // live < written in the WAL zone.
+        let total_live: u64 = b.live.iter().sum();
+        assert!(total_live < pages);
+    }
+
+    fn delete_frees_space(backend: &mut dyn StorageBackend) {
+        let mut t = Nanos::ZERO;
+        // Churn files until well past the device's raw capacity; deletes
+        // must keep space available.
+        for round in 0..40 {
+            let f = backend.create(FileHint::Sst { level: 0 });
+            t = backend.append(f, &vec![round as u8; 16 * 4096], t).unwrap();
+            t = backend.delete(f, t).unwrap();
+            t = backend.maintenance(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn conv_delete_frees_space() {
+        delete_frees_space(&mut conv());
+    }
+
+    #[test]
+    fn zns_delete_frees_space() {
+        delete_frees_space(&mut zns());
+    }
+
+    #[test]
+    fn zns_levels_get_distinct_zones() {
+        let mut b = zns();
+        let f0 = b.create(FileHint::Sst { level: 0 });
+        let f1 = b.create(FileHint::Sst { level: 3 });
+        b.append(f0, &[0u8; 4096], Nanos::ZERO).unwrap();
+        b.append(f1, &[1u8; 4096], Nanos::ZERO).unwrap();
+        let z0 = b.files[&f0].pages[0].zone;
+        let z1 = b.files[&f1].pages[0].zone;
+        assert_ne!(z0, z1, "levels must not share zones");
+    }
+
+    #[test]
+    fn short_read_is_detected() {
+        let mut b = conv();
+        let f = b.create(FileHint::Wal);
+        b.append(f, &[0u8; 10], Nanos::ZERO).unwrap();
+        assert!(matches!(
+            b.read(f, 5, 10, Nanos::ZERO),
+            Err(KvError::ShortRead { .. })
+        ));
+        assert!(matches!(
+            b.read(FileId(99), 0, 1, Nanos::ZERO),
+            Err(KvError::NoSuchFile(99))
+        ));
+    }
+
+    #[test]
+    fn zns_reclaim_relocates_survivors_when_needed() {
+        let mut b = zns();
+        let mut t = Nanos::ZERO;
+        // One long-lived file interleaved with short-lived churn in the
+        // SAME class so zones end up partially live.
+        let keeper = b.create(FileHint::Sst { level: 0 });
+        let mut dead_files = Vec::new();
+        for i in 0..30 {
+            t = b.append(keeper, &vec![9u8; 4096], t).unwrap();
+            let f = b.create(FileHint::Sst { level: 0 });
+            t = b.append(f, &vec![i as u8; 2 * 4096], t).unwrap();
+            dead_files.push(f);
+        }
+        for f in dead_files {
+            t = b.delete(f, t).unwrap();
+        }
+        // Keep writing: reclaim must relocate the keeper's pages.
+        for _ in 0..40 {
+            let f = b.create(FileHint::Sst { level: 0 });
+            t = b.append(f, &vec![7u8; 2 * 4096], t).unwrap();
+            t = b.delete(f, t).unwrap();
+        }
+        let (data, _) = b.read(keeper, 0, 30 * 4096, t).unwrap();
+        assert!(data.iter().all(|&x| x == 9));
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the KV store.
+
+/// Errors returned by KV-store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The referenced backend file does not exist.
+    NoSuchFile(u64),
+    /// A read past the end of a backend file.
+    ShortRead {
+        /// File identifier.
+        file: u64,
+        /// Requested range start.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Actual file length.
+        file_len: u64,
+    },
+    /// The backend device failed (out of space, worn out, ...).
+    Device(String),
+    /// An on-media structure failed to decode — corruption or a format
+    /// bug.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::NoSuchFile(id) => write!(f, "no such file {id}"),
+            KvError::ShortRead {
+                file,
+                offset,
+                len,
+                file_len,
+            } => write!(
+                f,
+                "short read: file {file} [{offset}, +{len}) beyond length {file_len}"
+            ),
+            KvError::Device(msg) => write!(f, "device error: {msg}"),
+            KvError::Corrupt(what) => write!(f, "corrupt {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = KvError::ShortRead {
+            file: 1,
+            offset: 10,
+            len: 20,
+            file_len: 15,
+        };
+        assert!(e.to_string().contains("short read"));
+    }
+}

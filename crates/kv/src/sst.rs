@@ -1,0 +1,530 @@
+//! Sorted-string-table files: the LSM tree's immutable on-device runs.
+//!
+//! Layout within a backend file:
+//!
+//! ```text
+//! [data block 0][data block 1]...[index block][bloom block][footer]
+//! ```
+//!
+//! Data blocks hold length-prefixed entries in key order; the index block
+//! records each block's first key and byte range; the bloom block holds a
+//! filter over all keys; the fixed-size footer points at both. Readers
+//! load index + bloom at open (charged device reads) and afterwards serve
+//! a point lookup with at most one data-block read.
+
+use crate::backend::{FileHint, FileId, StorageBackend};
+use crate::bloom::BloomFilter;
+use crate::error::KvError;
+use crate::memtable::Mutation;
+use crate::Result;
+use bh_metrics::Nanos;
+
+/// Tombstones are encoded with this value-length marker.
+const TOMBSTONE: u32 = u32::MAX;
+/// Footer: index_off, index_len, bloom_off, bloom_len (4 × u64).
+const FOOTER_BYTES: u64 = 32;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(data: &[u8], at: &mut usize) -> Result<u32> {
+    let end = *at + 4;
+    let bytes = data.get(*at..end).ok_or(KvError::Corrupt("u32"))?;
+    *at = end;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+fn get_u64(data: &[u8], at: &mut usize) -> Result<u64> {
+    let end = *at + 8;
+    let bytes = data.get(*at..end).ok_or(KvError::Corrupt("u64"))?;
+    *at = end;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+fn get_bytes<'d>(data: &'d [u8], at: &mut usize, len: usize) -> Result<&'d [u8]> {
+    let end = *at + len;
+    let bytes = data.get(*at..end).ok_or(KvError::Corrupt("bytes"))?;
+    *at = end;
+    Ok(bytes)
+}
+
+/// Encodes one entry: `[klen][vlen|TOMBSTONE][seq][key][value]`.
+pub(crate) fn encode_entry(out: &mut Vec<u8>, key: &[u8], seq: u64, mutation: &Mutation) {
+    put_u32(out, key.len() as u32);
+    match mutation {
+        Some(v) => put_u32(out, v.len() as u32),
+        None => put_u32(out, TOMBSTONE),
+    }
+    put_u64(out, seq);
+    out.extend_from_slice(key);
+    if let Some(v) = mutation {
+        out.extend_from_slice(v);
+    }
+}
+
+/// Decodes one entry at `*at`, advancing it. Returns
+/// `(key, seq, mutation)`.
+pub(crate) fn decode_entry(data: &[u8], at: &mut usize) -> Result<(Vec<u8>, u64, Mutation)> {
+    let klen = get_u32(data, at)? as usize;
+    let vlen = get_u32(data, at)?;
+    let seq = get_u64(data, at)?;
+    let key = get_bytes(data, at, klen)?.to_vec();
+    let mutation = if vlen == TOMBSTONE {
+        None
+    } else {
+        Some(get_bytes(data, at, vlen as usize)?.to_vec())
+    };
+    Ok((key, seq, mutation))
+}
+
+/// One data block's index entry.
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    first_key: Vec<u8>,
+    offset: u64,
+    len: u64,
+}
+
+/// An open SST: file handle plus in-memory index and bloom filter.
+#[derive(Debug)]
+pub struct Sst {
+    /// Backing file.
+    pub file: FileId,
+    /// LSM level the file belongs to.
+    pub level: u32,
+    /// Smallest key in the table.
+    pub smallest: Vec<u8>,
+    /// Largest key in the table.
+    pub largest: Vec<u8>,
+    /// Number of entries.
+    pub entries: u64,
+    /// Total bytes of data blocks (for level sizing).
+    pub data_bytes: u64,
+    index: Vec<IndexEntry>,
+    bloom: BloomFilter,
+}
+
+impl Sst {
+    /// True if `key` could be in this table's key range.
+    pub fn covers(&self, key: &[u8]) -> bool {
+        key >= self.smallest.as_slice() && key <= self.largest.as_slice()
+    }
+
+    /// True if the key ranges of `self` and `other` overlap.
+    pub fn overlaps(&self, smallest: &[u8], largest: &[u8]) -> bool {
+        !(largest < self.smallest.as_slice() || smallest > self.largest.as_slice())
+    }
+
+    /// Point lookup. Returns the newest `(seq, mutation)` for `key` in
+    /// this table, plus the completion instant of any device reads.
+    pub fn get(
+        &self,
+        backend: &mut dyn StorageBackend,
+        key: &[u8],
+        now: Nanos,
+    ) -> Result<(Option<(u64, Mutation)>, Nanos)> {
+        if !self.covers(key) || !self.bloom.contains(key) {
+            return Ok((None, now));
+        }
+        // Last block whose first key <= key.
+        let idx = match self.index.partition_point(|e| e.first_key.as_slice() <= key) {
+            0 => return Ok((None, now)),
+            n => n - 1,
+        };
+        let entry = &self.index[idx];
+        let (block, done) = backend.read(self.file, entry.offset, entry.len, now)?;
+        let mut at = 0usize;
+        while at < block.len() {
+            let (k, seq, mutation) = decode_entry(&block, &mut at)?;
+            if k.as_slice() == key {
+                return Ok((Some((seq, mutation)), done));
+            }
+            if k.as_slice() > key {
+                break;
+            }
+        }
+        Ok((None, done))
+    }
+
+    /// Reads every entry in key order (used by compaction). Returns the
+    /// entries and the completion instant.
+    pub fn scan(
+        &self,
+        backend: &mut dyn StorageBackend,
+        now: Nanos,
+    ) -> Result<(Vec<(Vec<u8>, u64, Mutation)>, Nanos)> {
+        let mut out = Vec::with_capacity(self.entries as usize);
+        let mut t = now;
+        for entry in &self.index {
+            let (block, done) = backend.read(self.file, entry.offset, entry.len, t)?;
+            t = done;
+            let mut at = 0usize;
+            while at < block.len() {
+                out.push(decode_entry(&block, &mut at)?);
+            }
+        }
+        Ok((out, t))
+    }
+
+    /// Opens an SST by reading its footer, index, and bloom filter from
+    /// the backend.
+    pub fn open(
+        backend: &mut dyn StorageBackend,
+        file: FileId,
+        level: u32,
+        now: Nanos,
+    ) -> Result<(Sst, Nanos)> {
+        let len = backend.len(file)?;
+        if len < FOOTER_BYTES {
+            return Err(KvError::Corrupt("sst footer"));
+        }
+        let (footer, t1) = backend.read(file, len - FOOTER_BYTES, FOOTER_BYTES, now)?;
+        let mut at = 0usize;
+        let index_off = get_u64(&footer, &mut at)?;
+        let index_len = get_u64(&footer, &mut at)?;
+        let bloom_off = get_u64(&footer, &mut at)?;
+        let bloom_len = get_u64(&footer, &mut at)?;
+        let (index_raw, t2) = backend.read(file, index_off, index_len, t1)?;
+        let (bloom_raw, t3) = backend.read(file, bloom_off, bloom_len, t2)?;
+
+        // Index: [n][klen key off len]*
+        let mut at = 0usize;
+        let n = get_u32(&index_raw, &mut at)? as usize;
+        let mut index = Vec::with_capacity(n);
+        for _ in 0..n {
+            let klen = get_u32(&index_raw, &mut at)? as usize;
+            let first_key = get_bytes(&index_raw, &mut at, klen)?.to_vec();
+            let offset = get_u64(&index_raw, &mut at)?;
+            let len = get_u64(&index_raw, &mut at)?;
+            index.push(IndexEntry {
+                first_key,
+                offset,
+                len,
+            });
+        }
+        // Bloom: [num_bits][hashes][nwords][words]*
+        let mut at = 0usize;
+        let num_bits = get_u64(&bloom_raw, &mut at)?;
+        let hashes = get_u32(&bloom_raw, &mut at)?;
+        let nwords = get_u32(&bloom_raw, &mut at)? as usize;
+        let mut words = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            words.push(get_u64(&bloom_raw, &mut at)?);
+        }
+        // Trailer of the bloom block: entry count, smallest, largest.
+        let entries = get_u64(&bloom_raw, &mut at)?;
+        let klen = get_u32(&bloom_raw, &mut at)? as usize;
+        let smallest = get_bytes(&bloom_raw, &mut at, klen)?.to_vec();
+        let klen = get_u32(&bloom_raw, &mut at)? as usize;
+        let largest = get_bytes(&bloom_raw, &mut at, klen)?.to_vec();
+
+        Ok((
+            Sst {
+                file,
+                level,
+                smallest,
+                largest,
+                entries,
+                data_bytes: index_off,
+                index,
+                bloom: BloomFilter::from_words(words, num_bits, hashes),
+            },
+            t3,
+        ))
+    }
+}
+
+/// Streams sorted entries into a new SST file.
+pub struct SstBuilder {
+    file: FileId,
+    level: u32,
+    block_bytes: usize,
+    block: Vec<u8>,
+    block_first_key: Option<Vec<u8>>,
+    index: Vec<IndexEntry>,
+    bloom_keys: Vec<Vec<u8>>,
+    written: u64,
+    entries: u64,
+    smallest: Option<Vec<u8>>,
+    largest: Option<Vec<u8>>,
+}
+
+impl SstBuilder {
+    /// Starts a new table at `level`, cutting data blocks at
+    /// `block_bytes`.
+    pub fn new(backend: &mut dyn StorageBackend, level: u32, block_bytes: usize) -> Self {
+        let file = backend.create(FileHint::Sst { level });
+        SstBuilder {
+            file,
+            level,
+            block_bytes,
+            block: Vec::new(),
+            block_first_key: None,
+            index: Vec::new(),
+            bloom_keys: Vec::new(),
+            written: 0,
+            entries: 0,
+            smallest: None,
+            largest: None,
+        }
+    }
+
+    /// Current data bytes emitted (for file-size cutting by the caller).
+    pub fn data_bytes(&self) -> u64 {
+        self.written + self.block.len() as u64
+    }
+
+    /// Number of entries added so far.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Adds an entry; keys must arrive in strictly increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when keys are out of order — the caller
+    /// (memtable iteration or merge) is sorted by construction.
+    pub fn add(
+        &mut self,
+        backend: &mut dyn StorageBackend,
+        key: &[u8],
+        seq: u64,
+        mutation: &Mutation,
+        now: Nanos,
+    ) -> Result<Nanos> {
+        debug_assert!(
+            self.largest.as_deref().map(|l| key > l).unwrap_or(true),
+            "keys must be added in order"
+        );
+        if self.block_first_key.is_none() {
+            self.block_first_key = Some(key.to_vec());
+        }
+        encode_entry(&mut self.block, key, seq, mutation);
+        self.bloom_keys.push(key.to_vec());
+        self.entries += 1;
+        if self.smallest.is_none() {
+            self.smallest = Some(key.to_vec());
+        }
+        self.largest = Some(key.to_vec());
+        if self.block.len() >= self.block_bytes {
+            return self.flush_block(backend, now);
+        }
+        Ok(now)
+    }
+
+    fn flush_block(&mut self, backend: &mut dyn StorageBackend, now: Nanos) -> Result<Nanos> {
+        if self.block.is_empty() {
+            return Ok(now);
+        }
+        let first_key = self.block_first_key.take().expect("non-empty block");
+        let len = self.block.len() as u64;
+        let done = backend.append(self.file, &self.block, now)?;
+        self.index.push(IndexEntry {
+            first_key,
+            offset: self.written,
+            len,
+        });
+        self.written += len;
+        self.block.clear();
+        Ok(done)
+    }
+
+    /// Finishes the table: writes index, bloom, and footer, syncs the
+    /// file, and returns the open [`Sst`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::Corrupt`] if no entries were added — empty
+    /// tables are a logic error upstream.
+    pub fn finish(mut self, backend: &mut dyn StorageBackend, now: Nanos) -> Result<(Sst, Nanos)> {
+        if self.entries == 0 {
+            return Err(KvError::Corrupt("empty sst"));
+        }
+        let mut t = self.flush_block(backend, now)?;
+
+        let index_off = self.written;
+        let mut index_raw = Vec::new();
+        put_u32(&mut index_raw, self.index.len() as u32);
+        for e in &self.index {
+            put_u32(&mut index_raw, e.first_key.len() as u32);
+            index_raw.extend_from_slice(&e.first_key);
+            put_u64(&mut index_raw, e.offset);
+            put_u64(&mut index_raw, e.len);
+        }
+        t = backend.append(self.file, &index_raw, t)?;
+
+        let mut bloom = BloomFilter::with_capacity(self.bloom_keys.len(), 10);
+        for k in &self.bloom_keys {
+            bloom.insert(k);
+        }
+        let (words, num_bits, hashes) = bloom.to_words();
+        let bloom_off = index_off + index_raw.len() as u64;
+        let mut bloom_raw = Vec::new();
+        put_u64(&mut bloom_raw, num_bits);
+        put_u32(&mut bloom_raw, hashes);
+        put_u32(&mut bloom_raw, words.len() as u32);
+        for w in words {
+            put_u64(&mut bloom_raw, *w);
+        }
+        put_u64(&mut bloom_raw, self.entries);
+        let smallest = self.smallest.clone().expect("entries > 0");
+        let largest = self.largest.clone().expect("entries > 0");
+        put_u32(&mut bloom_raw, smallest.len() as u32);
+        bloom_raw.extend_from_slice(&smallest);
+        put_u32(&mut bloom_raw, largest.len() as u32);
+        bloom_raw.extend_from_slice(&largest);
+        t = backend.append(self.file, &bloom_raw, t)?;
+
+        let mut footer = Vec::new();
+        put_u64(&mut footer, index_off);
+        put_u64(&mut footer, index_raw.len() as u64);
+        put_u64(&mut footer, bloom_off);
+        put_u64(&mut footer, bloom_raw.len() as u64);
+        t = backend.append(self.file, &footer, t)?;
+        t = backend.sync(self.file, t)?;
+
+        Ok((
+            Sst {
+                file: self.file,
+                level: self.level,
+                smallest,
+                largest,
+                entries: self.entries,
+                data_bytes: index_off,
+                index: self.index,
+                bloom,
+            },
+            t,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ConvBackend;
+    use bh_conv::{ConvConfig, ConvSsd};
+    use bh_flash::{FlashConfig, Geometry};
+
+    fn backend() -> ConvBackend {
+        let geo = Geometry {
+            channels: 2,
+            dies_per_channel: 1,
+            planes_per_die: 2,
+            blocks_per_plane: 32,
+            pages_per_block: 16,
+            page_bytes: 4096,
+        };
+        ConvBackend::new(ConvSsd::new(ConvConfig::new(FlashConfig::tlc(geo), 0.15)).unwrap())
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("key{i:08}").into_bytes()
+    }
+
+    fn build(backend: &mut ConvBackend, n: u32) -> Sst {
+        let mut b = SstBuilder::new(backend, 1, 4096);
+        let mut t = Nanos::ZERO;
+        for i in 0..n {
+            let mutation = if i % 10 == 9 {
+                None
+            } else {
+                Some(format!("value-{i}").into_bytes())
+            };
+            t = b.add(backend, &key(i), i as u64, &mutation, t).unwrap();
+        }
+        b.finish(backend, t).unwrap().0
+    }
+
+    #[test]
+    fn entry_encoding_roundtrip() {
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, b"k1", 7, &Some(b"v1".to_vec()));
+        encode_entry(&mut buf, b"k2", 8, &None);
+        let mut at = 0;
+        assert_eq!(
+            decode_entry(&buf, &mut at).unwrap(),
+            (b"k1".to_vec(), 7, Some(b"v1".to_vec()))
+        );
+        assert_eq!(decode_entry(&buf, &mut at).unwrap(), (b"k2".to_vec(), 8, None));
+        assert_eq!(at, buf.len());
+    }
+
+    #[test]
+    fn decode_of_truncated_entry_fails() {
+        let mut buf = Vec::new();
+        encode_entry(&mut buf, b"key", 1, &Some(b"value".to_vec()));
+        buf.truncate(buf.len() - 2);
+        let mut at = 0;
+        assert!(decode_entry(&buf, &mut at).is_err());
+    }
+
+    #[test]
+    fn build_and_get() {
+        let mut be = backend();
+        let sst = build(&mut be, 500);
+        assert_eq!(sst.entries, 500);
+        // Values present.
+        let (hit, _) = sst.get(&mut be, &key(42), Nanos::ZERO).unwrap();
+        assert_eq!(hit, Some((42, Some(b"value-42".to_vec()))));
+        // Tombstones preserved.
+        let (hit, _) = sst.get(&mut be, &key(9), Nanos::ZERO).unwrap();
+        assert_eq!(hit, Some((9, None)));
+        // Misses (in and out of range).
+        let (miss, _) = sst.get(&mut be, b"key99999999", Nanos::ZERO).unwrap();
+        assert_eq!(miss, None);
+        let (miss, _) = sst.get(&mut be, b"aaa", Nanos::ZERO).unwrap();
+        assert_eq!(miss, None);
+    }
+
+    #[test]
+    fn open_roundtrips_metadata() {
+        let mut be = backend();
+        let sst = build(&mut be, 300);
+        let file = sst.file;
+        let (reopened, _) = Sst::open(&mut be, file, 1, Nanos::ZERO).unwrap();
+        assert_eq!(reopened.entries, 300);
+        assert_eq!(reopened.smallest, key(0));
+        assert_eq!(reopened.largest, key(299));
+        let (hit, _) = reopened.get(&mut be, &key(123), Nanos::ZERO).unwrap();
+        assert_eq!(hit, Some((123, Some(b"value-123".to_vec()))));
+    }
+
+    #[test]
+    fn scan_returns_all_in_order() {
+        let mut be = backend();
+        let sst = build(&mut be, 200);
+        let (entries, _) = sst.scan(&mut be, Nanos::ZERO).unwrap();
+        assert_eq!(entries.len(), 200);
+        for w in entries.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn overlap_and_cover_checks() {
+        let mut be = backend();
+        let sst = build(&mut be, 100);
+        assert!(sst.covers(&key(50)));
+        assert!(!sst.covers(&key(100)));
+        assert!(sst.overlaps(&key(90), &key(200)));
+        assert!(!sst.overlaps(&key(100), &key(200)));
+        assert!(sst.overlaps(b"a".as_slice(), b"z".as_slice()));
+    }
+
+    #[test]
+    fn empty_table_is_rejected() {
+        let mut be = backend();
+        let b = SstBuilder::new(&mut be, 0, 4096);
+        assert!(matches!(
+            b.finish(&mut be, Nanos::ZERO),
+            Err(KvError::Corrupt("empty sst"))
+        ));
+    }
+}

@@ -1,0 +1,192 @@
+//! Named (x, y) series — the "figure" half of experiment output.
+//!
+//! The paper's quantitative claims are mostly *curves* (write amplification
+//! vs. overprovisioning, latency vs. load) or *factors* between two curves.
+//! A [`Series`] captures one labelled curve and offers the comparisons the
+//! harness asserts on: monotonicity and point lookup/interpolation.
+
+/// A named sequence of (x, y) points, kept in insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use bh_metrics::Series;
+/// let mut s = Series::new("waf-vs-op");
+/// s.push(0.0, 15.2);
+/// s.push(0.25, 2.4);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.is_monotone_decreasing());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Returns the series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Returns the number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns true when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the points in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Returns the y value at the first point whose x equals `x` (within
+    /// `1e-9`), if any.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+
+    /// Linearly interpolates y at `x`; clamps to the end values outside the
+    /// x range. Returns `None` for an empty series. Assumes points were
+    /// pushed in increasing x order.
+    pub fn interpolate(&self, x: f64) -> Option<f64> {
+        let first = self.points.first()?;
+        let last = self.points.last()?;
+        if x <= first.0 {
+            return Some(first.1);
+        }
+        if x >= last.0 {
+            return Some(last.1);
+        }
+        for w in self.points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if x >= x0 && x <= x1 {
+                if (x1 - x0).abs() < 1e-12 {
+                    return Some(y0);
+                }
+                let t = (x - x0) / (x1 - x0);
+                return Some(y0 + t * (y1 - y0));
+            }
+        }
+        Some(last.1)
+    }
+
+    /// Returns true when y never increases as x advances in insertion
+    /// order. Vacuously true for series with fewer than two points.
+    pub fn is_monotone_decreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-12)
+    }
+
+    /// Returns true when y never decreases as x advances in insertion
+    /// order. Vacuously true for series with fewer than two points.
+    pub fn is_monotone_increasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 + 1e-12 >= w[0].1)
+    }
+
+    /// Returns the maximum y value, or `None` when empty.
+    pub fn max_y(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, y)| y).fold(None, |acc, y| {
+            Some(match acc {
+                None => y,
+                Some(m) => m.max(y),
+            })
+        })
+    }
+
+    /// Returns the minimum y value, or `None` when empty.
+    pub fn min_y(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, y)| y).fold(None, |acc, y| {
+            Some(match acc {
+                None => y,
+                Some(m) => m.min(y),
+            })
+        })
+    }
+
+    /// Renders the series as simple aligned `x y` lines, one per point,
+    /// prefixed by a `# name` header — gnuplot-compatible.
+    pub fn render(&self) -> String {
+        let mut out = format!("# {}\n", self.name);
+        for (x, y) in &self.points {
+            out.push_str(&format!("{x:>12.4} {y:>14.4}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Series {
+        let mut s = Series::new("t");
+        s.push(0.0, 10.0);
+        s.push(1.0, 5.0);
+        s.push(2.0, 2.5);
+        s
+    }
+
+    #[test]
+    fn y_at_finds_exact_points() {
+        let s = sample();
+        assert_eq!(s.y_at(1.0), Some(5.0));
+        assert_eq!(s.y_at(1.5), None);
+    }
+
+    #[test]
+    fn interpolation_midpoint_and_clamping() {
+        let s = sample();
+        assert_eq!(s.interpolate(0.5), Some(7.5));
+        assert_eq!(s.interpolate(-1.0), Some(10.0));
+        assert_eq!(s.interpolate(5.0), Some(2.5));
+        assert_eq!(Series::new("e").interpolate(0.0), None);
+    }
+
+    #[test]
+    fn monotonicity_checks() {
+        let s = sample();
+        assert!(s.is_monotone_decreasing());
+        assert!(!s.is_monotone_increasing());
+        let mut flat = Series::new("flat");
+        flat.push(0.0, 1.0);
+        flat.push(1.0, 1.0);
+        assert!(flat.is_monotone_decreasing());
+        assert!(flat.is_monotone_increasing());
+    }
+
+    #[test]
+    fn extrema() {
+        let s = sample();
+        assert_eq!(s.max_y(), Some(10.0));
+        assert_eq!(s.min_y(), Some(2.5));
+        assert_eq!(Series::new("e").max_y(), None);
+    }
+
+    #[test]
+    fn render_has_header_and_rows() {
+        let r = sample().render();
+        assert!(r.starts_with("# t\n"));
+        assert_eq!(r.lines().count(), 4);
+    }
+}

@@ -1,0 +1,146 @@
+//! Streaming mean and variance via Welford's online algorithm.
+
+/// Streaming mean/variance accumulator.
+///
+/// Numerically stable for long runs (Welford's method), used for scalar
+/// series such as per-round write amplification where a full histogram is
+/// overkill.
+///
+/// # Examples
+///
+/// ```
+/// use bh_metrics::Welford;
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Returns the number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns the sample mean, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Returns the population variance (dividing by `n`), or `0.0` when
+    /// fewer than one sample has been pushed.
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Returns the sample variance (dividing by `n - 1`), or `0.0` when
+    /// fewer than two samples have been pushed.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Returns the population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Returns the smallest sample, or `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Returns the largest sample, or `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.population_variance(), 0.0);
+        assert_eq!(w.min(), 0.0);
+        assert_eq!(w.max(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut w = Welford::new();
+        w.push(3.5);
+        assert_eq!(w.mean(), 3.5);
+        assert_eq!(w.population_variance(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.min(), 3.5);
+        assert_eq!(w.max(), 3.5);
+    }
+
+    #[test]
+    fn matches_naive_computation() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-9);
+        assert!((w.population_variance() - var).abs() < 1e-9);
+    }
+}

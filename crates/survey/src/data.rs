@@ -1,0 +1,283 @@
+//! The survey records backing Table 1.
+//!
+//! Identified records carry the titles of papers the survey's own text
+//! and citations classify (e.g. LinnOS and Tiny-tail flash are named as
+//! "mitigating the negative performance effects of garbage collection";
+//! FEMU as "building the FTL for a flash simulator"). Placeholder records
+//! fill each cell to the published count and are marked
+//! `identified: false`.
+//!
+//! One curiosity faithfully preserved: the paper's Orthogonal exemplar,
+//! *Stash in a Flash* (OSDI '18, its citation [61]), is not reflected in
+//! Table 1's OSDI row, which reports zero Orthogonal papers. We reproduce
+//! the table as published rather than "fixing" it.
+
+use crate::taxonomy::{Impact, PaperRecord, Venue};
+
+/// Total publications per venue over the survey window (Table 1's
+/// `#Pubs.` column).
+pub fn venue_publications(venue: Venue) -> u32 {
+    match venue {
+        Venue::Fast => 126,
+        Venue::Osdi => 164,
+        Venue::Sosp => 77,
+        Venue::Msst => 98,
+    }
+}
+
+/// Papers identifiable from the survey's citations, with their
+/// classifications.
+const IDENTIFIED: &[PaperRecord] = &[
+    // FAST, Simplified/Solved.
+    PaperRecord {
+        title: "Tiny-tail flash: near-perfect elimination of garbage collection tail latencies in NAND SSDs",
+        year: 2017,
+        venue: Venue::Fast,
+        impact: Impact::Simplified,
+        identified: true,
+    },
+    PaperRecord {
+        title: "The CASE of FEMU: Cheap, Accurate, Scalable and Extensible Flash Emulator",
+        year: 2018,
+        venue: Venue::Fast,
+        impact: Impact::Simplified,
+        identified: true,
+    },
+    PaperRecord {
+        title: "PEN: Design and Evaluation of Partial-Erase for 3D NAND-Based High Density SSDs",
+        year: 2018,
+        venue: Venue::Fast,
+        impact: Impact::Simplified,
+        identified: true,
+    },
+    PaperRecord {
+        title: "OrderMergeDedup: Efficient, Failure-Consistent Deduplication on Flash",
+        year: 2016,
+        venue: Venue::Fast,
+        impact: Impact::Simplified,
+        identified: true,
+    },
+    PaperRecord {
+        title: "Scalable Parallel Flash Firmware for Many-core Architectures",
+        year: 2020,
+        venue: Venue::Fast,
+        impact: Impact::Simplified,
+        identified: true,
+    },
+    // FAST, Approach.
+    PaperRecord {
+        title: "DIDACache: A Deep Integration of Device and Application for Flash Based Key-Value Caching",
+        year: 2017,
+        venue: Venue::Fast,
+        impact: Impact::Approach,
+        identified: true,
+    },
+    PaperRecord {
+        title: "WiscKey: Separating Keys from Values in SSD-Conscious Storage",
+        year: 2016,
+        venue: Venue::Fast,
+        impact: Impact::Approach,
+        identified: true,
+    },
+    // FAST, Results.
+    PaperRecord {
+        title: "Fail-Slow at Scale: Evidence of Hardware Performance Faults in Large Production Systems",
+        year: 2018,
+        venue: Venue::Fast,
+        impact: Impact::Results,
+        identified: true,
+    },
+    PaperRecord {
+        title: "A Study of SSD Reliability in Large Scale Enterprise Storage Deployments",
+        year: 2020,
+        venue: Venue::Fast,
+        impact: Impact::Results,
+        identified: true,
+    },
+    PaperRecord {
+        title: "Flash Reliability in Production: The Expected and the Unexpected",
+        year: 2016,
+        venue: Venue::Fast,
+        impact: Impact::Results,
+        identified: true,
+    },
+    // OSDI, Simplified/Solved.
+    PaperRecord {
+        title: "LinnOS: Predictability on Unpredictable Flash Storage with a Light Neural Network",
+        year: 2020,
+        venue: Venue::Osdi,
+        impact: Impact::Simplified,
+        identified: true,
+    },
+    // OSDI, Results.
+    PaperRecord {
+        title: "The CacheLib Caching Engine: Design and Experiences at Scale",
+        year: 2020,
+        venue: Venue::Osdi,
+        impact: Impact::Results,
+        identified: true,
+    },
+    // MSST, Simplified/Solved.
+    PaperRecord {
+        title: "LX-SSD: Enhancing the Lifespan of NAND Flash-based Memory via Recycling Invalid Pages",
+        year: 2017,
+        venue: Venue::Msst,
+        impact: Impact::Simplified,
+        identified: true,
+    },
+    PaperRecord {
+        title: "Reducing Write Amplification of Flash Storage through Cooperative Data Management with NVM",
+        year: 2016,
+        venue: Venue::Msst,
+        impact: Impact::Simplified,
+        identified: true,
+    },
+    PaperRecord {
+        title: "Maximizing Bandwidth Management FTL Based on Read and Write Asymmetry of Flash Memory",
+        year: 2020,
+        venue: Venue::Msst,
+        impact: Impact::Simplified,
+        identified: true,
+    },
+    PaperRecord {
+        title: "Near-Optimal Offline Cleaning for Flash-Based SSDs",
+        year: 2017,
+        venue: Venue::Msst,
+        impact: Impact::Simplified,
+        identified: true,
+    },
+    // MSST, Approach.
+    PaperRecord {
+        title: "Exploiting latency variation for access conflict reduction of NAND flash memory",
+        year: 2016,
+        venue: Venue::Msst,
+        impact: Impact::Approach,
+        identified: true,
+    },
+    // MSST, Results.
+    PaperRecord {
+        title: "LightKV: A Cross Media Key Value Store with Persistent Memory to Cut Long Tail Latency",
+        year: 2020,
+        venue: Venue::Msst,
+        impact: Impact::Results,
+        identified: true,
+    },
+];
+
+/// Table 1's cell counts: (venue, impact, classified papers).
+const CELLS: &[(Venue, Impact, u32)] = &[
+    (Venue::Fast, Impact::Simplified, 9),
+    (Venue::Fast, Impact::Approach, 8),
+    (Venue::Fast, Impact::Results, 23),
+    (Venue::Fast, Impact::Orthogonal, 8),
+    (Venue::Osdi, Impact::Simplified, 3),
+    (Venue::Osdi, Impact::Approach, 0),
+    (Venue::Osdi, Impact::Results, 4),
+    (Venue::Osdi, Impact::Orthogonal, 0),
+    (Venue::Sosp, Impact::Simplified, 2),
+    (Venue::Sosp, Impact::Approach, 2),
+    (Venue::Sosp, Impact::Results, 2),
+    (Venue::Sosp, Impact::Orthogonal, 0),
+    (Venue::Msst, Impact::Simplified, 10),
+    (Venue::Msst, Impact::Approach, 7),
+    (Venue::Msst, Impact::Results, 16),
+    (Venue::Msst, Impact::Orthogonal, 10),
+];
+
+/// Placeholder titles per cell, generated lazily. Leaked once per
+/// process; the survey is tiny.
+fn placeholder_title(venue: Venue, impact: Impact, n: u32) -> &'static str {
+    let s = format!(
+        "[unidentified {} {} survey entry #{n}]",
+        venue.name(),
+        impact.header()
+    );
+    Box::leak(s.into_boxed_str())
+}
+
+/// The full classified-paper list: identified records first, placeholders
+/// filling every cell up to the published count.
+pub fn papers() -> Vec<PaperRecord> {
+    let mut all: Vec<PaperRecord> = IDENTIFIED.to_vec();
+    for &(venue, impact, count) in CELLS {
+        let have = IDENTIFIED
+            .iter()
+            .filter(|r| r.venue == venue && r.impact == impact)
+            .count() as u32;
+        assert!(
+            have <= count,
+            "identified records exceed the published count for {venue:?}/{impact:?}"
+        );
+        for n in 1..=(count - have) {
+            all.push(PaperRecord {
+                title: placeholder_title(venue, impact, n),
+                year: 2018,
+                venue,
+                impact,
+                identified: false,
+            });
+        }
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::Taxonomy;
+
+    #[test]
+    fn aggregation_matches_table_1_exactly() {
+        let t = Taxonomy::tabulate(&papers());
+        // Per-venue rows.
+        assert_eq!(t.count(Venue::Fast, Impact::Simplified), 9);
+        assert_eq!(t.count(Venue::Fast, Impact::Approach), 8);
+        assert_eq!(t.count(Venue::Fast, Impact::Results), 23);
+        assert_eq!(t.count(Venue::Fast, Impact::Orthogonal), 8);
+        assert_eq!(t.count(Venue::Osdi, Impact::Simplified), 3);
+        assert_eq!(t.count(Venue::Osdi, Impact::Approach), 0);
+        assert_eq!(t.count(Venue::Osdi, Impact::Results), 4);
+        assert_eq!(t.count(Venue::Osdi, Impact::Orthogonal), 0);
+        assert_eq!(t.count(Venue::Sosp, Impact::Simplified), 2);
+        assert_eq!(t.count(Venue::Sosp, Impact::Approach), 2);
+        assert_eq!(t.count(Venue::Sosp, Impact::Results), 2);
+        assert_eq!(t.count(Venue::Sosp, Impact::Orthogonal), 0);
+        assert_eq!(t.count(Venue::Msst, Impact::Simplified), 10);
+        assert_eq!(t.count(Venue::Msst, Impact::Approach), 7);
+        assert_eq!(t.count(Venue::Msst, Impact::Results), 16);
+        assert_eq!(t.count(Venue::Msst, Impact::Orthogonal), 10);
+        // Column totals.
+        assert_eq!(t.impact_total(Impact::Simplified), 24);
+        assert_eq!(t.impact_total(Impact::Approach), 17);
+        assert_eq!(t.impact_total(Impact::Results), 45);
+        assert_eq!(t.impact_total(Impact::Orthogonal), 18);
+        assert_eq!(t.total(), 104);
+    }
+
+    #[test]
+    fn headline_percentages_match_the_abstract() {
+        let t = Taxonomy::tabulate(&papers());
+        let (simplified, affected, orthogonal) = t.headline_percentages();
+        // Abstract: 23% simplified/solved, 59% affected, 18% unaffected.
+        // The paper's three figures sum to 100 only under mixed rounding
+        // (59.6% reported as 59, 17.3% as 18), so allow ±1 around ours.
+        assert_eq!(simplified, 23);
+        assert!((59..=60).contains(&affected), "affected {affected}");
+        assert!((17..=18).contains(&orthogonal), "orthogonal {orthogonal}");
+    }
+
+    #[test]
+    fn publication_totals_match() {
+        let total: u32 = Venue::ALL.iter().map(|&v| venue_publications(v)).sum();
+        assert_eq!(total, 465);
+    }
+
+    #[test]
+    fn identified_records_have_real_titles() {
+        for r in papers().iter().filter(|r| r.identified) {
+            assert!(!r.title.starts_with('['), "{}", r.title);
+        }
+        let identified = papers().iter().filter(|r| r.identified).count();
+        assert!(identified >= 15, "too few identified records");
+    }
+}

@@ -1,0 +1,24 @@
+//! Workload generators for the blockhead experiments.
+//!
+//! The paper's claims are about workload *shapes* — uniform random
+//! overwrites (§2.2's lab experiment), skewed key popularity (the
+//! RocksDB benchmarks), multi-writer append streams (§4.2's write-pointer
+//! contention), bursty tenants (§4.2's active-zone question), and
+//! expiry-correlated object streams (§4.1's placement question). This
+//! crate generates all of them deterministically from a seed, plus a
+//! record/replay trace format so a measured sequence can be re-run
+//! bit-for-bit.
+
+pub mod objects;
+pub mod queues;
+pub mod synthetic;
+pub mod tenants;
+pub mod trace;
+pub mod zipf;
+
+pub use objects::{ObjectEvent, ObjectStream, ObjectStreamConfig};
+pub use queues::{AppendEvent, MultiWriterQueues};
+pub use synthetic::{AddressDist, Op, OpMix, OpStream};
+pub use tenants::{BurstyTenants, TenantEvent};
+pub use trace::Trace;
+pub use zipf::Zipf;

@@ -1,0 +1,203 @@
+//! Expiry-tagged object streams: §4.1's placement workload.
+//!
+//! "Files created at similar times are also more likely to expire
+//! together … sets of files created by the same application, container,
+//! or virtual machine are more likely to expire at the same time."
+//! [`ObjectStream`] encodes exactly that structure: objects belong to
+//! owners; each owner has a characteristic lifetime; object deaths
+//! cluster around `created + owner_lifetime` with some noise. Placement
+//! policies that exploit the structure (by owner, by predicted expiry)
+//! should beat structure-blind ones — experiment E9 measures by how
+//! much.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A put or an expiry in the object stream, in time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjectEvent {
+    /// An object arrives.
+    Put {
+        /// Event instant in nanoseconds.
+        at_ns: u64,
+        /// Object identifier.
+        id: u64,
+        /// Size in pages.
+        pages: u32,
+        /// Owning application/container/VM.
+        owner: u32,
+        /// The *estimate* of the expiry instant available at write time
+        /// (the true death may differ by the configured noise).
+        expiry_estimate_ns: u64,
+    },
+    /// An object dies.
+    Delete {
+        /// Event instant in nanoseconds.
+        at_ns: u64,
+        /// Object identifier.
+        id: u64,
+    },
+}
+
+impl ObjectEvent {
+    /// The event's instant.
+    pub fn at_ns(&self) -> u64 {
+        match *self {
+            ObjectEvent::Put { at_ns, .. } | ObjectEvent::Delete { at_ns, .. } => at_ns,
+        }
+    }
+}
+
+/// Parameters for an object stream.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectStreamConfig {
+    /// Number of owners (applications/VMs).
+    pub owners: u32,
+    /// Mean gap between object arrivals.
+    pub arrival_gap_ns: u64,
+    /// Base lifetime of owner 0; owner `k` lives `(k+1) ×` this.
+    pub base_lifetime_ns: u64,
+    /// Relative noise on true death times (0.1 = ±10%).
+    pub lifetime_noise: f64,
+    /// Object size range in pages (inclusive).
+    pub pages: (u32, u32),
+}
+
+impl Default for ObjectStreamConfig {
+    fn default() -> Self {
+        ObjectStreamConfig {
+            owners: 4,
+            arrival_gap_ns: 100_000,
+            base_lifetime_ns: 50_000_000,
+            lifetime_noise: 0.1,
+            pages: (1, 4),
+        }
+    }
+}
+
+/// Generates a time-ordered put/delete event stream.
+#[derive(Debug)]
+pub struct ObjectStream {
+    cfg: ObjectStreamConfig,
+    rng: SmallRng,
+}
+
+impl ObjectStream {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configs (zero owners, empty size range).
+    pub fn new(cfg: ObjectStreamConfig, seed: u64) -> Self {
+        assert!(cfg.owners > 0, "need at least one owner");
+        assert!(cfg.pages.0 >= 1 && cfg.pages.0 <= cfg.pages.1, "bad size range");
+        ObjectStream {
+            cfg,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates `count` objects' puts and deletes, merged in time order.
+    pub fn events(&mut self, count: u64) -> Vec<ObjectEvent> {
+        let mut events = Vec::with_capacity(2 * count as usize);
+        let mut t = 0u64;
+        for id in 0..count {
+            let u: f64 = self.rng.gen_range(1e-9..1.0);
+            t += (-u.ln() * self.cfg.arrival_gap_ns as f64) as u64;
+            let owner = self.rng.gen_range(0..self.cfg.owners);
+            let lifetime = self.cfg.base_lifetime_ns * (owner as u64 + 1);
+            let noise = 1.0 + self.rng.gen_range(-self.cfg.lifetime_noise..=self.cfg.lifetime_noise);
+            let death = t + (lifetime as f64 * noise) as u64;
+            let pages = self.rng.gen_range(self.cfg.pages.0..=self.cfg.pages.1);
+            events.push(ObjectEvent::Put {
+                at_ns: t,
+                id,
+                pages,
+                owner,
+                // The estimate is the nominal lifetime: noise-free, as an
+                // application predicting from its own class would guess.
+                expiry_estimate_ns: t + lifetime,
+            });
+            events.push(ObjectEvent::Delete { at_ns: death, id });
+        }
+        events.sort_by_key(|e| (e.at_ns(), matches!(e, ObjectEvent::Put { .. }) as u8));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_put_has_a_later_delete() {
+        let mut s = ObjectStream::new(ObjectStreamConfig::default(), 1);
+        let events = s.events(200);
+        assert_eq!(events.len(), 400);
+        let mut put_at = std::collections::HashMap::new();
+        for e in &events {
+            match e {
+                ObjectEvent::Put { at_ns, id, .. } => {
+                    put_at.insert(*id, *at_ns);
+                }
+                ObjectEvent::Delete { at_ns, id } => {
+                    let put = put_at.get(id).expect("delete after put in time order");
+                    assert!(at_ns > put);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owners_have_distinct_lifetimes() {
+        let mut s = ObjectStream::new(
+            ObjectStreamConfig {
+                owners: 3,
+                lifetime_noise: 0.01,
+                ..ObjectStreamConfig::default()
+            },
+            2,
+        );
+        let events = s.events(300);
+        let mut lifetime_sum = vec![0u64; 3];
+        let mut counts = vec![0u64; 3];
+        let mut puts = std::collections::HashMap::new();
+        for e in &events {
+            match e {
+                ObjectEvent::Put { at_ns, id, owner, .. } => {
+                    puts.insert(*id, (*at_ns, *owner));
+                }
+                ObjectEvent::Delete { at_ns, id } => {
+                    let (start, owner) = puts[id];
+                    lifetime_sum[owner as usize] += at_ns - start;
+                    counts[owner as usize] += 1;
+                }
+            }
+        }
+        let means: Vec<f64> = lifetime_sum
+            .iter()
+            .zip(&counts)
+            .map(|(s, c)| *s as f64 / *c as f64)
+            .collect();
+        assert!(means[1] > means[0] * 1.5);
+        assert!(means[2] > means[1] * 1.2);
+    }
+
+    #[test]
+    fn events_sorted_and_sizes_in_range() {
+        let cfg = ObjectStreamConfig {
+            pages: (2, 5),
+            ..ObjectStreamConfig::default()
+        };
+        let mut s = ObjectStream::new(cfg, 3);
+        let events = s.events(100);
+        for w in events.windows(2) {
+            assert!(w[0].at_ns() <= w[1].at_ns());
+        }
+        for e in &events {
+            if let ObjectEvent::Put { pages, .. } = e {
+                assert!((2..=5).contains(pages));
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Block-level operation streams: the E2/E4 workloads.
+
+use crate::zipf::Zipf;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One block-level operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Read the page at this LBA.
+    Read(u64),
+    /// Write the page at this LBA.
+    Write(u64),
+    /// Deallocate the page at this LBA.
+    Trim(u64),
+}
+
+impl Op {
+    /// The LBA the operation touches.
+    pub fn lba(&self) -> u64 {
+        match *self {
+            Op::Read(l) | Op::Write(l) | Op::Trim(l) => l,
+        }
+    }
+}
+
+/// How addresses are chosen.
+#[derive(Debug, Clone, Copy)]
+pub enum AddressDist {
+    /// Uniformly random over the capacity (the §2.2 lab workload).
+    Uniform,
+    /// Zipf-skewed with this exponent; hot pages cluster at low ranks,
+    /// scattered over the LBA space by a fixed permutation multiplier.
+    Zipfian(f64),
+    /// Sequential with wraparound.
+    Sequential,
+    /// All accesses within the first `1/denominator` of the space.
+    Hotspot(u64),
+}
+
+/// Mix of reads and writes, in percent.
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    /// Percent of operations that are reads (0–100).
+    pub read_pct: u32,
+}
+
+impl OpMix {
+    /// A write-only mix.
+    pub fn write_only() -> Self {
+        OpMix { read_pct: 0 }
+    }
+
+    /// The paper-style 70/30 read/write mix.
+    pub fn read_heavy() -> Self {
+        OpMix { read_pct: 70 }
+    }
+}
+
+/// A deterministic stream of block operations.
+///
+/// # Examples
+///
+/// ```
+/// use bh_workloads::{Op, OpMix, OpStream};
+/// let mut s = OpStream::uniform(1024, OpMix::write_only(), 42);
+/// let op = s.next_op();
+/// assert!(matches!(op, Op::Write(lba) if lba < 1024));
+/// ```
+#[derive(Debug)]
+pub struct OpStream {
+    capacity: u64,
+    dist: AddressDist,
+    mix: OpMix,
+    rng: SmallRng,
+    zipf: Option<Zipf>,
+    sequential_next: u64,
+}
+
+impl OpStream {
+    /// Creates a stream over `capacity` pages.
+    pub fn new(capacity: u64, dist: AddressDist, mix: OpMix, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        let zipf = match dist {
+            AddressDist::Zipfian(theta) => Some(Zipf::new(capacity, theta)),
+            _ => None,
+        };
+        OpStream {
+            capacity,
+            dist,
+            mix,
+            rng: SmallRng::seed_from_u64(seed),
+            zipf,
+            sequential_next: 0,
+        }
+    }
+
+    /// Uniform-random stream (the §2.2 workload shape).
+    pub fn uniform(capacity: u64, mix: OpMix, seed: u64) -> Self {
+        Self::new(capacity, AddressDist::Uniform, mix, seed)
+    }
+
+    /// Zipfian stream at YCSB-like skew.
+    pub fn zipfian(capacity: u64, mix: OpMix, seed: u64) -> Self {
+        Self::new(capacity, AddressDist::Zipfian(0.99), mix, seed)
+    }
+
+    /// The stream's capacity in pages.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn next_lba(&mut self) -> u64 {
+        match self.dist {
+            AddressDist::Uniform => self.rng.gen_range(0..self.capacity),
+            AddressDist::Zipfian(_) => {
+                let rank = self.zipf.as_ref().expect("built in new").sample(&mut self.rng);
+                // Spread ranks over the space so hot pages are not
+                // physically adjacent.
+                rank.wrapping_mul(0x9E3779B97F4A7C15) % self.capacity
+            }
+            AddressDist::Sequential => {
+                let l = self.sequential_next;
+                self.sequential_next = (self.sequential_next + 1) % self.capacity;
+                l
+            }
+            AddressDist::Hotspot(denom) => {
+                let span = (self.capacity / denom).max(1);
+                self.rng.gen_range(0..span)
+            }
+        }
+    }
+
+    /// Produces the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let lba = self.next_lba();
+        if self.rng.gen_range(0..100) < self.mix.read_pct {
+            Op::Read(lba)
+        } else {
+            Op::Write(lba)
+        }
+    }
+
+    /// Produces a batch of `n` operations.
+    pub fn take_ops(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_only_never_reads() {
+        let mut s = OpStream::uniform(100, OpMix::write_only(), 1);
+        assert!(s.take_ops(1000).iter().all(|op| matches!(op, Op::Write(_))));
+    }
+
+    #[test]
+    fn read_heavy_mix_is_roughly_70_30() {
+        let mut s = OpStream::uniform(100, OpMix::read_heavy(), 1);
+        let reads = s
+            .take_ops(10_000)
+            .iter()
+            .filter(|op| matches!(op, Op::Read(_)))
+            .count();
+        assert!((6_500..7_500).contains(&reads), "reads {reads}");
+    }
+
+    #[test]
+    fn addresses_stay_in_range() {
+        for dist in [
+            AddressDist::Uniform,
+            AddressDist::Zipfian(0.99),
+            AddressDist::Sequential,
+            AddressDist::Hotspot(10),
+        ] {
+            let mut s = OpStream::new(777, dist, OpMix::write_only(), 3);
+            for op in s.take_ops(5000) {
+                assert!(op.lba() < 777, "{dist:?} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut s = OpStream::new(4, AddressDist::Sequential, OpMix::write_only(), 0);
+        let lbas: Vec<u64> = s.take_ops(6).iter().map(Op::lba).collect();
+        assert_eq!(lbas, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn hotspot_confines_accesses() {
+        let mut s = OpStream::new(1000, AddressDist::Hotspot(10), OpMix::write_only(), 5);
+        assert!(s.take_ops(1000).iter().all(|op| op.lba() < 100));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = OpStream::zipfian(1000, OpMix::read_heavy(), 9);
+        let mut b = OpStream::zipfian(1000, OpMix::read_heavy(), 9);
+        assert_eq!(a.take_ops(100), b.take_ops(100));
+    }
+}

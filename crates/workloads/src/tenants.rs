@@ -1,0 +1,148 @@
+//! Bursty multi-tenant demand: §4.2's active-zone management workload.
+//!
+//! "this approach does not scale for typical bursty workloads as it does
+//! not allow multiplexing of this scarce resource." [`BurstyTenants`]
+//! models tenants that alternate between *idle* and *burst* phases; in a
+//! burst, a tenant wants several active zones at once (parallel streams),
+//! then releases them. Experiment E10 feeds the event sequence to the
+//! three budget strategies and measures how long zone requests wait.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A demand-side event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantEvent {
+    /// The tenant wants one more active zone.
+    Acquire {
+        /// Event instant in nanoseconds.
+        at_ns: u64,
+        /// The requesting tenant.
+        tenant: u32,
+    },
+    /// The tenant finished writing one of its zones.
+    Release {
+        /// Event instant in nanoseconds.
+        at_ns: u64,
+        /// The releasing tenant.
+        tenant: u32,
+    },
+}
+
+impl TenantEvent {
+    /// The event's instant.
+    pub fn at_ns(&self) -> u64 {
+        match *self {
+            TenantEvent::Acquire { at_ns, .. } | TenantEvent::Release { at_ns, .. } => at_ns,
+        }
+    }
+
+    /// The tenant involved.
+    pub fn tenant(&self) -> u32 {
+        match *self {
+            TenantEvent::Acquire { tenant, .. } | TenantEvent::Release { tenant, .. } => tenant,
+        }
+    }
+}
+
+/// Generates bursty per-tenant acquire/release schedules.
+#[derive(Debug)]
+pub struct BurstyTenants {
+    tenants: u32,
+    /// Zones wanted at the peak of a burst.
+    burst_zones: u32,
+    /// Mean idle time between bursts.
+    idle_ns: u64,
+    /// How long a zone is held once granted.
+    hold_ns: u64,
+    rng: SmallRng,
+}
+
+impl BurstyTenants {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(tenants: u32, burst_zones: u32, idle_ns: u64, hold_ns: u64, seed: u64) -> Self {
+        assert!(tenants > 0 && burst_zones > 0 && idle_ns > 0 && hold_ns > 0);
+        BurstyTenants {
+            tenants,
+            burst_zones,
+            idle_ns,
+            hold_ns,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> u32 {
+        self.tenants
+    }
+
+    /// Generates `bursts` bursts per tenant, merged in time order.
+    /// Each burst acquires `burst_zones` zones back to back and releases
+    /// each after the hold time.
+    pub fn schedule(&mut self, bursts: u32) -> Vec<TenantEvent> {
+        let mut events = Vec::new();
+        for tenant in 0..self.tenants {
+            let mut t = self.rng.gen_range(0..self.idle_ns);
+            for _ in 0..bursts {
+                for z in 0..self.burst_zones {
+                    let at = t + z as u64 * 1_000; // Back-to-back requests.
+                    events.push(TenantEvent::Acquire { at_ns: at, tenant });
+                    events.push(TenantEvent::Release {
+                        at_ns: at + self.hold_ns,
+                        tenant,
+                    });
+                }
+                let u: f64 = self.rng.gen_range(1e-9..1.0);
+                t += self.hold_ns + (-u.ln() * self.idle_ns as f64) as u64;
+            }
+        }
+        events.sort_by_key(|e| (e.at_ns(), e.tenant()));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_balances_acquires_and_releases() {
+        let mut g = BurstyTenants::new(3, 4, 1_000_000, 500_000, 1);
+        let events = g.schedule(5);
+        let acquires = events
+            .iter()
+            .filter(|e| matches!(e, TenantEvent::Acquire { .. }))
+            .count();
+        let releases = events.len() - acquires;
+        assert_eq!(acquires, releases);
+        assert_eq!(acquires, 3 * 4 * 5);
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let mut g = BurstyTenants::new(2, 3, 100_000, 50_000, 2);
+        let events = g.schedule(10);
+        for w in events.windows(2) {
+            assert!(w[0].at_ns() <= w[1].at_ns());
+        }
+    }
+
+    #[test]
+    fn releases_follow_their_acquires() {
+        let mut g = BurstyTenants::new(1, 2, 10_000, 5_000, 3);
+        let events = g.schedule(2);
+        let mut outstanding = 0i64;
+        for e in &events {
+            match e {
+                TenantEvent::Acquire { .. } => outstanding += 1,
+                TenantEvent::Release { .. } => outstanding -= 1,
+            }
+            assert!(outstanding >= 0, "release before acquire");
+        }
+        assert_eq!(outstanding, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Record/replay traces.
+//!
+//! Experiments that compare devices must run the *identical* operation
+//! sequence against each; a [`Trace`] captures a generated sequence once
+//! and replays it bit-for-bit, and serializes to JSON so interesting
+//! sequences can be archived with the experiment results.
+
+use crate::synthetic::Op;
+use serde::{Deserialize, Serialize};
+
+/// Serializable form of an [`Op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "op", content = "lba")]
+enum TraceOp {
+    /// A page read.
+    Read(u64),
+    /// A page write.
+    Write(u64),
+    /// A page trim.
+    Trim(u64),
+}
+
+impl From<Op> for TraceOp {
+    fn from(op: Op) -> Self {
+        match op {
+            Op::Read(l) => TraceOp::Read(l),
+            Op::Write(l) => TraceOp::Write(l),
+            Op::Trim(l) => TraceOp::Trim(l),
+        }
+    }
+}
+
+impl From<TraceOp> for Op {
+    fn from(op: TraceOp) -> Self {
+        match op {
+            TraceOp::Read(l) => Op::Read(l),
+            TraceOp::Write(l) => Op::Write(l),
+            TraceOp::Trim(l) => Op::Trim(l),
+        }
+    }
+}
+
+/// A recorded sequence of block operations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Records a trace from an operation sequence.
+    pub fn record(name: impl Into<String>, ops: impl IntoIterator<Item = Op>) -> Self {
+        Trace {
+            name: name.into(),
+            ops: ops.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The trace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends one operation.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op.into());
+    }
+
+    /// Replays the operations in recorded order.
+    pub fn replay(&self) -> impl Iterator<Item = Op> + '_ {
+        self.ops.iter().map(|&op| op.into())
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the structure contains only serializable primitives.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace is always serializable")
+    }
+
+    /// Parses a trace back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error message for malformed input.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{OpMix, OpStream};
+
+    #[test]
+    fn record_and_replay_are_identical() {
+        let mut s = OpStream::uniform(128, OpMix::read_heavy(), 11);
+        let ops = s.take_ops(500);
+        let trace = Trace::record("t", ops.clone());
+        let replayed: Vec<Op> = trace.replay().collect();
+        assert_eq!(ops, replayed);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let trace = Trace::record("rw", [Op::Write(1), Op::Read(2), Op::Trim(3)]);
+        let json = trace.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+        assert_eq!(back.name(), "rw");
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(Trace::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut t = Trace::new("x");
+        assert!(t.is_empty());
+        t.push(Op::Write(7));
+        assert_eq!(t.replay().next(), Some(Op::Write(7)));
+    }
+}

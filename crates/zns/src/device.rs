@@ -1,0 +1,804 @@
+//! The ZNS device: zone management commands over the flash substrate.
+
+use crate::config::ZnsConfig;
+use crate::error::ZnsError;
+use crate::zone::{Zone, ZoneId, ZoneState};
+use crate::Result;
+use bh_flash::{FlashDevice, FlashStats, OpOrigin, PlaneId, Ppa, Stamp};
+use bh_metrics::Nanos;
+
+/// Operation counters specific to the zoned interface.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZnsStats {
+    /// Write commands completed (at the write pointer).
+    pub writes: u64,
+    /// Zone-append commands completed.
+    pub appends: u64,
+    /// Read commands completed.
+    pub reads: u64,
+    /// Zone resets completed.
+    pub resets: u64,
+    /// Pages moved by simple-copy.
+    pub simple_copy_pages: u64,
+    /// Implicitly opened zones the controller closed to admit another
+    /// open.
+    pub implicit_closes: u64,
+}
+
+/// A Zoned Namespaces SSD.
+///
+/// # Examples
+///
+/// ```
+/// use bh_zns::{ZnsConfig, ZnsDevice, ZoneId};
+/// use bh_flash::{FlashConfig, Geometry};
+/// use bh_metrics::Nanos;
+///
+/// let cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
+/// let mut dev = ZnsDevice::new(cfg).unwrap();
+/// let done = dev.write(ZoneId(0), 0, 0xBEEF, Nanos::ZERO).unwrap();
+/// let (stamp, _)= dev.read(ZoneId(0), 0, done).unwrap();
+/// assert_eq!(stamp, 0xBEEF);
+/// ```
+pub struct ZnsDevice {
+    dev: FlashDevice,
+    cfg: ZnsConfig,
+    zones: Vec<Zone>,
+    active: u32,
+    open: u32,
+    stats: ZnsStats,
+}
+
+impl ZnsDevice {
+    /// Builds a ZNS device from `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the configuration or geometry is invalid.
+    pub fn new(cfg: ZnsConfig) -> std::result::Result<Self, String> {
+        cfg.validate()?;
+        let dev = FlashDevice::new(cfg.flash)?;
+        let geo = dev.geometry();
+        let planes = geo.total_planes();
+        let bpz = cfg.blocks_per_zone;
+        let zones = (0..cfg.num_zones())
+            .map(|z| {
+                // Zone z takes global block slots [z*bpz, (z+1)*bpz);
+                // slot g lives on plane g % P at in-plane index g / P, so
+                // consecutive slots stripe across planes.
+                let blocks = (0..bpz)
+                    .map(|i| {
+                        let g = z * bpz + i;
+                        geo.block_in_plane(PlaneId(g % planes), g / planes)
+                    })
+                    .collect();
+                Zone::new(
+                    ZoneId(z),
+                    blocks,
+                    geo.pages_per_block as u64,
+                    cfg.zone_capacity(),
+                )
+            })
+            .collect();
+        Ok(ZnsDevice {
+            dev,
+            cfg,
+            zones,
+            active: 0,
+            open: 0,
+            stats: ZnsStats::default(),
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &ZnsConfig {
+        &self.cfg
+    }
+
+    /// Number of zones in the namespace.
+    pub fn num_zones(&self) -> u32 {
+        self.zones.len() as u32
+    }
+
+    /// Zones currently counting against the active limit.
+    pub fn active_zones(&self) -> u32 {
+        self.active
+    }
+
+    /// Zones currently counting against the open limit.
+    pub fn open_zones(&self) -> u32 {
+        self.open
+    }
+
+    /// Zoned-interface operation counters.
+    pub fn stats(&self) -> &ZnsStats {
+        &self.stats
+    }
+
+    /// Underlying flash statistics (programs, erases, copies, WA).
+    pub fn flash_stats(&self) -> &FlashStats {
+        self.dev.stats()
+    }
+
+    /// Direct access to the flash device, for inspection.
+    pub fn device(&self) -> &FlashDevice {
+        &self.dev
+    }
+
+    /// A zone descriptor (the Zone Management Receive / report view).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZnsError::ZoneOutOfRange`] for unknown identifiers.
+    pub fn zone(&self, id: ZoneId) -> Result<&Zone> {
+        self.zones
+            .get(id.0 as usize)
+            .ok_or(ZnsError::ZoneOutOfRange(id))
+    }
+
+    /// Iterates over all zone descriptors, in id order.
+    pub fn zones(&self) -> impl Iterator<Item = &Zone> {
+        self.zones.iter()
+    }
+
+    /// On-board DRAM a real device would need for the zone→block map:
+    /// 4 bytes per erasure block (§2.2's "coarser-grained address
+    /// translation"; ~256 KB for a 1 TB drive with 16 MB blocks).
+    pub fn device_dram_bytes(&self) -> u64 {
+        self.dev.geometry().total_blocks() as u64 * 4
+    }
+
+    fn zone_mut(&mut self, id: ZoneId) -> Result<&mut Zone> {
+        self.zones
+            .get_mut(id.0 as usize)
+            .ok_or(ZnsError::ZoneOutOfRange(id))
+    }
+
+    /// Transitions `id` into an opened state, enforcing MAR/MOR. With
+    /// `explicit` false this is the implicit open a write performs.
+    fn open_internal(&mut self, id: ZoneId, explicit: bool) -> Result<()> {
+        let state = self.zone(id)?.state();
+        let target = if explicit {
+            ZoneState::ExplicitlyOpened
+        } else {
+            ZoneState::ImplicitlyOpened
+        };
+        match state {
+            ZoneState::Empty | ZoneState::Closed => {}
+            ZoneState::ImplicitlyOpened if explicit => {
+                // Promote implicit -> explicit; open count unchanged.
+                self.zone_mut(id)?.set_state(ZoneState::ExplicitlyOpened);
+                return Ok(());
+            }
+            ZoneState::ImplicitlyOpened | ZoneState::ExplicitlyOpened => return Ok(()),
+            ZoneState::Full => return Err(ZnsError::ZoneFull(id)),
+            ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly(id)),
+            ZoneState::Offline => return Err(ZnsError::ZoneOffline(id)),
+        }
+        let becomes_active = !state.is_active();
+        if becomes_active && self.active >= self.cfg.max_active_zones {
+            return Err(ZnsError::TooManyActiveZones {
+                limit: self.cfg.max_active_zones,
+            });
+        }
+        if self.open >= self.cfg.max_open_zones {
+            // The controller may close an implicitly opened zone to make
+            // room (the spec's implicit-open replacement behaviour).
+            let victim = self
+                .zones
+                .iter()
+                .find(|z| z.state() == ZoneState::ImplicitlyOpened && z.id() != id)
+                .map(Zone::id);
+            match victim {
+                Some(v) => {
+                    self.close_to_state(v)?;
+                    self.stats.implicit_closes += 1;
+                }
+                None => {
+                    return Err(ZnsError::TooManyOpenZones {
+                        limit: self.cfg.max_open_zones,
+                    })
+                }
+            }
+        }
+        if becomes_active {
+            self.active += 1;
+        }
+        self.open += 1;
+        self.zone_mut(id)?.set_state(target);
+        Ok(())
+    }
+
+    /// Moves an opened zone to Closed (wp > 0) or back to Empty (wp == 0),
+    /// adjusting the open/active accounting.
+    fn close_to_state(&mut self, id: ZoneId) -> Result<()> {
+        let zone = self.zone(id)?;
+        let wp = zone.write_pointer();
+        debug_assert!(zone.state().is_open());
+        self.open -= 1;
+        if wp == 0 {
+            self.active -= 1;
+            self.zone_mut(id)?.set_state(ZoneState::Empty);
+        } else {
+            self.zone_mut(id)?.set_state(ZoneState::Closed);
+        }
+        Ok(())
+    }
+
+    /// Explicitly opens a zone (Zone Management Send: Open).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the zone cannot open in its current state or when the
+    /// active/open limits are exhausted and no implicitly opened zone can
+    /// be closed to make room.
+    pub fn open(&mut self, id: ZoneId) -> Result<()> {
+        self.open_internal(id, true)
+    }
+
+    /// Closes an opened zone (Zone Management Send: Close).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZnsError::WrongState`] unless the zone is opened.
+    pub fn close(&mut self, id: ZoneId) -> Result<()> {
+        let state = self.zone(id)?.state();
+        if !state.is_open() {
+            return Err(ZnsError::WrongState {
+                zone: id,
+                state,
+                op: "close",
+            });
+        }
+        self.close_to_state(id)
+    }
+
+    /// Finishes a zone (Zone Management Send: Finish): moves it to Full,
+    /// releasing its active/open resources. Further writes are rejected
+    /// until reset; reads remain limited to data below the write pointer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZnsError::WrongState`] for read-only/offline zones;
+    /// finishing a Full zone is a no-op.
+    pub fn finish(&mut self, id: ZoneId) -> Result<()> {
+        let state = self.zone(id)?.state();
+        match state {
+            ZoneState::Full => Ok(()),
+            ZoneState::Empty => {
+                self.zone_mut(id)?.set_state(ZoneState::Full);
+                Ok(())
+            }
+            ZoneState::ImplicitlyOpened | ZoneState::ExplicitlyOpened => {
+                self.open -= 1;
+                self.active -= 1;
+                self.zone_mut(id)?.set_state(ZoneState::Full);
+                Ok(())
+            }
+            ZoneState::Closed => {
+                self.active -= 1;
+                self.zone_mut(id)?.set_state(ZoneState::Full);
+                Ok(())
+            }
+            ZoneState::ReadOnly | ZoneState::Offline => Err(ZnsError::WrongState {
+                zone: id,
+                state,
+                op: "finish",
+            }),
+        }
+    }
+
+    /// Resets a zone (Zone Management Send: Reset): erases its blocks and
+    /// rewinds the write pointer. Returns the completion instant — the
+    /// erases run in parallel across the zone's planes, so it is close to
+    /// a single block-erase time.
+    ///
+    /// Blocks that exhaust their endurance during the reset are retired,
+    /// shrinking the zone (§2.1); a zone with no usable blocks left goes
+    /// offline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZnsError::ZoneReadOnly`] / [`ZnsError::ZoneOffline`] for
+    /// unresettable zones.
+    pub fn reset(&mut self, id: ZoneId, now: Nanos) -> Result<Nanos> {
+        let state = self.zone(id)?.state();
+        match state {
+            ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly(id)),
+            ZoneState::Offline => return Err(ZnsError::ZoneOffline(id)),
+            _ => {}
+        }
+        if state.is_open() {
+            self.open -= 1;
+        }
+        if state.is_active() {
+            self.active -= 1;
+        }
+        let blocks: Vec<_> = self.zone(id)?.blocks().to_vec();
+        let mut done = now;
+        let mut retired = Vec::new();
+        for b in blocks {
+            let outcome = self.dev.erase(b, now)?;
+            done = done.max(outcome.done);
+            if outcome.retired {
+                retired.push(b);
+            }
+        }
+        let pages_per_block = self.dev.geometry().pages_per_block as u64;
+        {
+            let zone = self.zone_mut(id)?;
+            zone.note_reset();
+            for b in retired {
+                zone.retire_block(b, pages_per_block);
+            }
+            if zone.blocks().is_empty() {
+                zone.set_state(ZoneState::Offline);
+            }
+        }
+        self.stats.resets += 1;
+        Ok(done)
+    }
+
+    /// Ensures `id` is writable at `offset`, implicitly opening it if
+    /// needed. Returns the write pointer.
+    fn prepare_write(&mut self, id: ZoneId, offset: Option<u64>) -> Result<u64> {
+        let zone = self.zone(id)?;
+        match zone.state() {
+            ZoneState::Full => return Err(ZnsError::ZoneFull(id)),
+            ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly(id)),
+            ZoneState::Offline => return Err(ZnsError::ZoneOffline(id)),
+            _ => {}
+        }
+        let wp = zone.write_pointer();
+        if let Some(got) = offset {
+            if got != wp {
+                return Err(ZnsError::NotAtWritePointer { zone: id, wp, got });
+            }
+        }
+        if !zone.state().is_open() {
+            self.open_internal(id, false)?;
+        }
+        Ok(wp)
+    }
+
+    /// Completes a write at the write pointer: advances it and moves the
+    /// zone to Full at capacity.
+    fn commit_write(&mut self, id: ZoneId) -> Result<()> {
+        let full = {
+            let zone = self.zone_mut(id)?;
+            zone.advance_wp();
+            zone.write_pointer() == zone.capacity()
+        };
+        if full {
+            let state = self.zone(id)?.state();
+            if state.is_open() {
+                self.open -= 1;
+            }
+            if state.is_active() {
+                self.active -= 1;
+            }
+            self.zone_mut(id)?.set_state(ZoneState::Full);
+        }
+        Ok(())
+    }
+
+    /// Writes one page at `offset`, which must equal the zone's write
+    /// pointer (the spec's Zone Invalid Write check — the §4.2 contention
+    /// hazard). Returns the completion instant.
+    pub fn write(&mut self, id: ZoneId, offset: u64, stamp: Stamp, now: Nanos) -> Result<Nanos> {
+        let wp = self.prepare_write(id, Some(offset))?;
+        let (block, page) = self.zone(id)?.locate(wp);
+        let done = self
+            .dev
+            .program_at(Ppa::new(block, page), stamp, now, OpOrigin::Host)?;
+        self.commit_write(id)?;
+        self.stats.writes += 1;
+        Ok(done)
+    }
+
+    /// Appends one page to the zone, letting the device pick the offset
+    /// (NVMe Zone Append, §4.2). Returns the assigned offset and the
+    /// completion instant.
+    pub fn append(&mut self, id: ZoneId, stamp: Stamp, now: Nanos) -> Result<(u64, Nanos)> {
+        let wp = self.prepare_write(id, None)?;
+        let (block, page) = self.zone(id)?.locate(wp);
+        let done = self
+            .dev
+            .program_at(Ppa::new(block, page), stamp, now, OpOrigin::Host)?;
+        self.commit_write(id)?;
+        self.stats.appends += 1;
+        Ok((wp, done))
+    }
+
+    /// Reads one page at `offset`, which must be below the write pointer.
+    /// Returns the stored stamp and the completion instant.
+    pub fn read(&mut self, id: ZoneId, offset: u64, now: Nanos) -> Result<(Stamp, Nanos)> {
+        let zone = self.zone(id)?;
+        if zone.state() == ZoneState::Offline {
+            return Err(ZnsError::ZoneOffline(id));
+        }
+        let wp = zone.write_pointer();
+        if offset >= wp {
+            return Err(ZnsError::ReadBeyondWritePointer { zone: id, wp, got: offset });
+        }
+        let (block, page) = zone.locate(offset);
+        let (stamp, done) = self.dev.read(Ppa::new(block, page), now, OpOrigin::Host)?;
+        // Zones never hold invalidated pages (no in-place overwrite), so
+        // the stamp is always present below the write pointer.
+        let stamp = stamp.expect("page below write pointer must be valid");
+        self.stats.reads += 1;
+        Ok((stamp, done))
+    }
+
+    /// Copies pages from source locations into `dst` at its write pointer
+    /// using controller-managed movement (NVMe Simple Copy, §2.3): the
+    /// data never crosses the host bus. Returns the first destination
+    /// offset and the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any source is beyond its zone's write pointer, or if `dst`
+    /// cannot accept `sources.len()` more pages.
+    pub fn simple_copy(
+        &mut self,
+        sources: &[(ZoneId, u64)],
+        dst: ZoneId,
+        now: Nanos,
+    ) -> Result<(u64, Nanos)> {
+        // Validate sources up front so the copy is all-or-nothing.
+        for &(src_zone, offset) in sources {
+            let z = self.zone(src_zone)?;
+            if z.state() == ZoneState::Offline {
+                return Err(ZnsError::ZoneOffline(src_zone));
+            }
+            if offset >= z.write_pointer() {
+                return Err(ZnsError::ReadBeyondWritePointer {
+                    zone: src_zone,
+                    wp: z.write_pointer(),
+                    got: offset,
+                });
+            }
+        }
+        if self.zone(dst)?.remaining() < sources.len() as u64 {
+            return Err(ZnsError::ZoneFull(dst));
+        }
+        let first = self.zone(dst)?.write_pointer();
+        let mut done = now;
+        for &(src_zone, offset) in sources {
+            let wp = self.prepare_write(dst, None)?;
+            let src_ppa = {
+                let z = self.zone(src_zone)?;
+                let (b, p) = z.locate(offset);
+                Ppa::new(b, p)
+            };
+            let (dst_block, _dst_page) = self.zone(dst)?.locate(wp);
+            let (_page, _stamp, d) = self.dev.copy_page(src_ppa, dst_block, now)?;
+            done = done.max(d);
+            self.commit_write(dst)?;
+            self.stats.simple_copy_pages += 1;
+        }
+        Ok((first, done))
+    }
+
+    /// Failure injection for tests: forces a zone into the ReadOnly state,
+    /// as a real device does when it can still serve reads but no longer
+    /// trusts the zone for writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZnsError::ZoneOutOfRange`] for unknown identifiers.
+    pub fn inject_read_only(&mut self, id: ZoneId) -> Result<()> {
+        let state = self.zone(id)?.state();
+        if state.is_open() {
+            self.open -= 1;
+        }
+        if state.is_active() {
+            self.active -= 1;
+        }
+        self.zone_mut(id)?.set_state(ZoneState::ReadOnly);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_flash::{CellKind, FlashConfig, Geometry};
+
+    fn dev() -> ZnsDevice {
+        // small_test: 32 blocks, 4 per zone -> 8 zones of 64 pages.
+        ZnsDevice::new(ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4)).unwrap()
+    }
+
+    fn dev_with_limits(max_active: u32, max_open: u32) -> ZnsDevice {
+        let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
+        cfg.max_active_zones = max_active;
+        cfg.max_open_zones = max_open;
+        ZnsDevice::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn geometry_derives_zones() {
+        let d = dev();
+        assert_eq!(d.num_zones(), 8);
+        assert_eq!(d.zone(ZoneId(0)).unwrap().capacity(), 64);
+        // Zone blocks land on distinct planes (4 blocks, 4 planes).
+        let z = d.zone(ZoneId(0)).unwrap();
+        let geo = d.device().geometry();
+        let planes: std::collections::HashSet<_> =
+            z.blocks().iter().map(|&b| geo.plane_of(b)).collect();
+        assert_eq!(planes.len(), 4);
+    }
+
+    #[test]
+    fn sequential_write_and_read_roundtrip() {
+        let mut d = dev();
+        let mut t = Nanos::ZERO;
+        for i in 0..64u64 {
+            t = d.write(ZoneId(0), i, 1000 + i, t).unwrap();
+        }
+        assert_eq!(d.zone(ZoneId(0)).unwrap().state(), ZoneState::Full);
+        for i in 0..64u64 {
+            let (stamp, _) = d.read(ZoneId(0), i, t).unwrap();
+            assert_eq!(stamp, 1000 + i);
+        }
+    }
+
+    #[test]
+    fn write_off_pointer_is_rejected() {
+        let mut d = dev();
+        d.write(ZoneId(0), 0, 1, Nanos::ZERO).unwrap();
+        let err = d.write(ZoneId(0), 2, 2, Nanos::ZERO).unwrap_err();
+        assert_eq!(
+            err,
+            ZnsError::NotAtWritePointer {
+                zone: ZoneId(0),
+                wp: 1,
+                got: 2
+            }
+        );
+        // Rewriting offset 0 (already written) is equally invalid.
+        assert!(matches!(
+            d.write(ZoneId(0), 0, 3, Nanos::ZERO),
+            Err(ZnsError::NotAtWritePointer { .. })
+        ));
+    }
+
+    #[test]
+    fn append_assigns_sequential_offsets() {
+        let mut d = dev();
+        let mut t = Nanos::ZERO;
+        for expected in 0..10u64 {
+            let (off, done) = d.append(ZoneId(3), 50 + expected, t).unwrap();
+            assert_eq!(off, expected);
+            t = done;
+        }
+        assert_eq!(d.stats().appends, 10);
+    }
+
+    #[test]
+    fn read_beyond_wp_is_rejected() {
+        let mut d = dev();
+        d.write(ZoneId(0), 0, 1, Nanos::ZERO).unwrap();
+        assert!(matches!(
+            d.read(ZoneId(0), 1, Nanos::ZERO),
+            Err(ZnsError::ReadBeyondWritePointer { .. })
+        ));
+    }
+
+    #[test]
+    fn full_zone_rejects_writes_until_reset() {
+        let mut d = dev();
+        let mut t = Nanos::ZERO;
+        for i in 0..64u64 {
+            t = d.write(ZoneId(0), i, i, t).unwrap();
+        }
+        assert_eq!(
+            d.write(ZoneId(0), 64, 0, t),
+            Err(ZnsError::ZoneFull(ZoneId(0)))
+        );
+        let done = d.reset(ZoneId(0), t).unwrap();
+        assert_eq!(d.zone(ZoneId(0)).unwrap().state(), ZoneState::Empty);
+        assert_eq!(d.zone(ZoneId(0)).unwrap().write_pointer(), 0);
+        d.write(ZoneId(0), 0, 9, done).unwrap();
+    }
+
+    #[test]
+    fn reset_erases_in_parallel_across_planes() {
+        let mut d = dev();
+        let mut t = Nanos::ZERO;
+        for i in 0..64u64 {
+            t = d.write(ZoneId(0), i, i, t).unwrap();
+        }
+        let start = t;
+        let done = d.reset(ZoneId(0), start).unwrap();
+        let erase = d.device().timing().erase;
+        // 4 blocks on 4 planes: the whole reset costs ~one erase, not 4.
+        assert!(done.saturating_sub(start) < erase * 2);
+    }
+
+    #[test]
+    fn active_and_open_limits_enforced() {
+        let mut d = dev_with_limits(3, 2);
+        // Two implicit opens via writes.
+        d.write(ZoneId(0), 0, 1, Nanos::ZERO).unwrap();
+        d.write(ZoneId(1), 0, 1, Nanos::ZERO).unwrap();
+        assert_eq!(d.open_zones(), 2);
+        // Third write: controller closes an implicitly opened zone.
+        d.write(ZoneId(2), 0, 1, Nanos::ZERO).unwrap();
+        assert_eq!(d.open_zones(), 2);
+        assert_eq!(d.active_zones(), 3);
+        assert_eq!(d.stats().implicit_closes, 1);
+        // Fourth zone would exceed MAR (closed zones still count).
+        assert_eq!(
+            d.write(ZoneId(3), 0, 1, Nanos::ZERO),
+            Err(ZnsError::TooManyActiveZones { limit: 3 })
+        );
+        // Resetting one active zone frees budget.
+        d.reset(ZoneId(0), Nanos::ZERO).unwrap();
+        d.write(ZoneId(3), 0, 1, Nanos::ZERO).unwrap();
+    }
+
+    #[test]
+    fn explicit_opens_are_not_evicted() {
+        let mut d = dev_with_limits(4, 2);
+        d.open(ZoneId(0)).unwrap();
+        d.open(ZoneId(1)).unwrap();
+        // Implicit open must fail: both open slots hold explicit zones.
+        assert_eq!(
+            d.write(ZoneId(2), 0, 1, Nanos::ZERO),
+            Err(ZnsError::TooManyOpenZones { limit: 2 })
+        );
+        // Explicit open also fails.
+        assert_eq!(
+            d.open(ZoneId(2)),
+            Err(ZnsError::TooManyOpenZones { limit: 2 })
+        );
+        // Closing one makes room.
+        d.close(ZoneId(0)).unwrap();
+        d.open(ZoneId(2)).unwrap();
+    }
+
+    #[test]
+    fn close_of_unwritten_zone_returns_to_empty() {
+        let mut d = dev();
+        d.open(ZoneId(0)).unwrap();
+        assert_eq!(d.active_zones(), 1);
+        d.close(ZoneId(0)).unwrap();
+        assert_eq!(d.zone(ZoneId(0)).unwrap().state(), ZoneState::Empty);
+        assert_eq!(d.active_zones(), 0);
+        // Closing a non-open zone is an error.
+        assert!(matches!(
+            d.close(ZoneId(0)),
+            Err(ZnsError::WrongState { op: "close", .. })
+        ));
+    }
+
+    #[test]
+    fn finish_moves_to_full_and_releases_resources() {
+        let mut d = dev();
+        d.write(ZoneId(0), 0, 1, Nanos::ZERO).unwrap();
+        assert_eq!(d.active_zones(), 1);
+        d.finish(ZoneId(0)).unwrap();
+        assert_eq!(d.zone(ZoneId(0)).unwrap().state(), ZoneState::Full);
+        assert_eq!(d.active_zones(), 0);
+        // Data below wp still readable; beyond still rejected.
+        assert!(d.read(ZoneId(0), 0, Nanos::ZERO).is_ok());
+        assert!(d.read(ZoneId(0), 1, Nanos::ZERO).is_err());
+        // Finish is idempotent on Full.
+        d.finish(ZoneId(0)).unwrap();
+    }
+
+    #[test]
+    fn simple_copy_moves_data_without_host_reads() {
+        let mut d = dev();
+        let mut t = Nanos::ZERO;
+        for i in 0..8u64 {
+            t = d.write(ZoneId(0), i, 100 + i, t).unwrap();
+        }
+        let host_reads_before = d.flash_stats().host_reads;
+        let sources: Vec<_> = (0..8u64).map(|i| (ZoneId(0), i)).collect();
+        let (first, done) = d.simple_copy(&sources, ZoneId(1), t).unwrap();
+        assert_eq!(first, 0);
+        assert_eq!(d.flash_stats().host_reads, host_reads_before);
+        assert_eq!(d.stats().simple_copy_pages, 8);
+        for i in 0..8u64 {
+            let (stamp, _) = d.read(ZoneId(1), i, done).unwrap();
+            assert_eq!(stamp, 100 + i);
+        }
+    }
+
+    #[test]
+    fn simple_copy_validates_before_moving() {
+        let mut d = dev();
+        d.write(ZoneId(0), 0, 1, Nanos::ZERO).unwrap();
+        // Source beyond wp: nothing is copied.
+        let err = d
+            .simple_copy(&[(ZoneId(0), 0), (ZoneId(0), 5)], ZoneId(1), Nanos::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, ZnsError::ReadBeyondWritePointer { .. }));
+        assert_eq!(d.zone(ZoneId(1)).unwrap().write_pointer(), 0);
+    }
+
+    #[test]
+    fn wear_out_shrinks_then_offlines_zone() {
+        let mut cfg = ZnsConfig::new(
+            FlashConfig {
+                geometry: Geometry::small_test(),
+                cell: CellKind::Tlc,
+                endurance_override: Some(3),
+            },
+            4,
+        );
+        cfg.max_active_zones = 8;
+        cfg.max_open_zones = 8;
+        let mut d = ZnsDevice::new(cfg).unwrap();
+        let mut t = Nanos::ZERO;
+        let mut capacities = Vec::new();
+        for _ in 0..4 {
+            // Write a little, then reset; endurance 3 retires all blocks
+            // on the 3rd erase.
+            match d.write(ZoneId(0), 0, 1, t) {
+                Ok(done) => t = done,
+                Err(ZnsError::ZoneOffline(_)) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+            match d.reset(ZoneId(0), t) {
+                Ok(done) => {
+                    t = done;
+                    capacities.push(d.zone(ZoneId(0)).unwrap().capacity());
+                }
+                Err(ZnsError::ZoneOffline(_)) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(d.zone(ZoneId(0)).unwrap().state(), ZoneState::Offline);
+        assert!(d.read(ZoneId(0), 0, t).is_err());
+        assert!(d.reset(ZoneId(0), t).is_err());
+        // Capacity history is non-increasing.
+        for w in capacities.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn read_only_injection_blocks_writes_allows_reads() {
+        let mut d = dev();
+        let t = d.write(ZoneId(0), 0, 7, Nanos::ZERO).unwrap();
+        d.inject_read_only(ZoneId(0)).unwrap();
+        assert_eq!(
+            d.write(ZoneId(0), 1, 8, t),
+            Err(ZnsError::ZoneReadOnly(ZoneId(0)))
+        );
+        assert_eq!(d.reset(ZoneId(0), t), Err(ZnsError::ZoneReadOnly(ZoneId(0))));
+        let (stamp, _) = d.read(ZoneId(0), 0, t).unwrap();
+        assert_eq!(stamp, 7);
+        assert_eq!(d.active_zones(), 0);
+    }
+
+    #[test]
+    fn striped_writes_exploit_plane_parallelism() {
+        let mut d = dev();
+        // Issue 4 writes at the same instant: they stripe across 4 planes
+        // and only serialize on the (2) channel buses.
+        let mut dones = Vec::new();
+        for i in 0..4u64 {
+            dones.push(d.write(ZoneId(0), i, i, Nanos::ZERO).unwrap());
+        }
+        let t = d.device().timing();
+        let serial = (t.transfer(4096) + t.program) * 4;
+        assert!(
+            *dones.iter().max().unwrap() < serial,
+            "striped writes should beat serial completion"
+        );
+    }
+
+    #[test]
+    fn dram_accounting_is_coarse() {
+        let d = dev();
+        // 4 bytes per block, far below the conventional 4 bytes per page.
+        assert_eq!(d.device_dram_bytes(), 32 * 4);
+        let per_page = d.device().geometry().total_pages() * 4;
+        assert!(d.device_dram_bytes() < per_page);
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type for ZNS operations.
+
+use crate::zone::{ZoneId, ZoneState};
+use bh_flash::FlashError;
+
+/// Errors returned by [`crate::ZnsDevice`] operations.
+///
+/// These mirror NVMe ZNS command-specific status codes where one exists
+/// (e.g. *Zone Invalid Write* for write-pointer mismatches, *Too Many
+/// Active Zones*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZnsError {
+    /// The zone identifier does not exist in this namespace.
+    ZoneOutOfRange(ZoneId),
+    /// A write specified an offset other than the zone's write pointer
+    /// (NVMe: Zone Invalid Write). The paper's §4.2 discusses exactly this
+    /// hazard for multi-writer workloads.
+    NotAtWritePointer {
+        /// The zone written.
+        zone: ZoneId,
+        /// Current write pointer (pages from zone start).
+        wp: u64,
+        /// Offset the caller tried to write.
+        got: u64,
+    },
+    /// The zone has no writable capacity left (NVMe: Zone Is Full).
+    ZoneFull(ZoneId),
+    /// The operation is not legal in the zone's current state.
+    WrongState {
+        /// The zone operated on.
+        zone: ZoneId,
+        /// Its state at the time.
+        state: ZoneState,
+        /// Short name of the attempted operation.
+        op: &'static str,
+    },
+    /// Opening/writing would exceed the maximum active zone limit (MAR).
+    TooManyActiveZones {
+        /// The configured limit.
+        limit: u32,
+    },
+    /// Explicitly opening would exceed the maximum open zone limit (MOR).
+    TooManyOpenZones {
+        /// The configured limit.
+        limit: u32,
+    },
+    /// Read at or beyond the write pointer (unwritten data).
+    ReadBeyondWritePointer {
+        /// The zone read.
+        zone: ZoneId,
+        /// Current write pointer.
+        wp: u64,
+        /// Offset the caller tried to read.
+        got: u64,
+    },
+    /// The zone is offline and holds no readable data.
+    ZoneOffline(ZoneId),
+    /// The zone is read-only; writes and resets are rejected.
+    ZoneReadOnly(ZoneId),
+    /// An underlying flash constraint was violated — a device-model bug.
+    Flash(FlashError),
+}
+
+impl From<FlashError> for ZnsError {
+    fn from(e: FlashError) -> Self {
+        ZnsError::Flash(e)
+    }
+}
+
+impl std::fmt::Display for ZnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZnsError::ZoneOutOfRange(z) => write!(f, "zone {z:?} out of range"),
+            ZnsError::NotAtWritePointer { zone, wp, got } => {
+                write!(f, "zone {zone:?}: write at {got} but write pointer is {wp}")
+            }
+            ZnsError::ZoneFull(z) => write!(f, "zone {z:?} is full"),
+            ZnsError::WrongState { zone, state, op } => {
+                write!(f, "zone {zone:?}: cannot {op} in state {state:?}")
+            }
+            ZnsError::TooManyActiveZones { limit } => {
+                write!(f, "too many active zones (limit {limit})")
+            }
+            ZnsError::TooManyOpenZones { limit } => {
+                write!(f, "too many open zones (limit {limit})")
+            }
+            ZnsError::ReadBeyondWritePointer { zone, wp, got } => {
+                write!(f, "zone {zone:?}: read at {got} beyond write pointer {wp}")
+            }
+            ZnsError::ZoneOffline(z) => write!(f, "zone {z:?} is offline"),
+            ZnsError::ZoneReadOnly(z) => write!(f, "zone {z:?} is read-only"),
+            ZnsError::Flash(e) => write!(f, "flash error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ZnsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ZnsError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_zone_and_offsets() {
+        let e = ZnsError::NotAtWritePointer {
+            zone: ZoneId(4),
+            wp: 100,
+            got: 90,
+        };
+        let s = e.to_string();
+        assert!(s.contains("90") && s.contains("100"));
+    }
+}

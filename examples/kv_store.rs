@@ -1,0 +1,75 @@
+//! An LSM key-value store on a ZNS SSD (the RocksDB/ZenFS scenario).
+//!
+//! Fills a store, overwrites to drive compaction, demonstrates crash
+//! recovery from the WAL, and prints the device-level write amplification
+//! that lifetime-based zone placement achieves. Run with:
+//!
+//! ```text
+//! cargo run -p bh-examples --bin kv_store
+//! ```
+
+use bh_flash::{FlashConfig, Geometry};
+use bh_kv::{Db, DbConfig, StorageBackend, ZnsBackend};
+use bh_metrics::Nanos;
+use bh_zns::{ZnsConfig, ZnsDevice};
+
+fn main() {
+    let geo = Geometry {
+        channels: 2,
+        dies_per_channel: 2,
+        planes_per_die: 2,
+        blocks_per_plane: 32,
+        pages_per_block: 64,
+        page_bytes: 4096,
+    };
+    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geo), 4);
+    cfg.max_active_zones = 14;
+    cfg.max_open_zones = 14;
+    let backend = ZnsBackend::new(ZnsDevice::new(cfg).unwrap());
+    let mut db = Db::new(backend, DbConfig::default()).unwrap();
+
+    let mut t = Nanos::ZERO;
+    println!("filling 20k keys ...");
+    for i in 0..20_000u64 {
+        let key = format!("user{i:08}").into_bytes();
+        let val = format!("profile-data-{i}-{}", "x".repeat(80)).into_bytes();
+        t = db.put(key, val, t).unwrap();
+    }
+    println!("overwriting 20k keys (compaction runs) ...");
+    for i in 0..20_000u64 {
+        let key = format!("user{:08}", i % 10_000).into_bytes();
+        let val = format!("updated-{i}-{}", "y".repeat(80)).into_bytes();
+        t = db.put(key, val, t).unwrap();
+    }
+
+    let (v, done) = db.get(b"user00000042", t).unwrap();
+    println!(
+        "get(user00000042) -> {} bytes in {}",
+        v.map(|v| v.len()).unwrap_or(0),
+        done.saturating_sub(t)
+    );
+
+    println!(
+        "levels: {:?}; flushes {}, compactions {}",
+        db.level_file_counts(),
+        db.stats().flushes,
+        db.stats().compactions
+    );
+    println!(
+        "app WA {:.2} (LSM compaction), device WA {:.2} (zones die wholesale)",
+        db.stats().app_write_amplification(),
+        db.backend().device_write_amplification()
+    );
+
+    // Crash: the memtable and unsynced WAL tail are lost; the durable
+    // prefix replays.
+    let key = b"crash-survivor".to_vec();
+    t = db.put(key.clone(), b"important".to_vec(), t).unwrap();
+    for i in 0..64u64 {
+        // Enough traffic to sync the WAL past our record.
+        t = db.put(format!("pad{i}").into_bytes(), vec![0; 64], t).unwrap();
+    }
+    let recovered = db.crash_and_recover(t).unwrap();
+    let (v, _) = db.get(&key, t).unwrap();
+    println!("after crash: replayed {recovered} WAL records; crash-survivor = {:?}", v.map(|v| String::from_utf8_lossy(&v).into_owned()));
+}

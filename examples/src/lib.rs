@@ -1,0 +1,3 @@
+//! Placeholder library target; the examples live as sibling binaries
+//! (`quickstart`, `kv_store`, `flash_cache`, `block_emulation`,
+//! `append_queues`).

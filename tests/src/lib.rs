@@ -1,0 +1,2 @@
+//! Integration-test package: the tests live in `tests/tests/`, spanning
+//! every crate in the workspace.

@@ -1,0 +1,150 @@
+//! Property tests: both device stacks behave like a simple model array
+//! under arbitrary operation sequences.
+
+use bh_conv::{ConvConfig, ConvError, ConvSsd};
+use bh_flash::{FlashConfig, Geometry};
+use bh_host::{BlockEmu, HostError, ReclaimPolicy};
+use bh_metrics::Nanos;
+use bh_zns::{ZnsConfig, ZnsDevice};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum DevOp {
+    Write(u64),
+    Read(u64),
+    Trim(u64),
+    Maintain,
+}
+
+fn op_strategy(cap: u64) -> impl Strategy<Value = DevOp> {
+    prop_oneof![
+        4 => (0..cap).prop_map(DevOp::Write),
+        3 => (0..cap).prop_map(DevOp::Read),
+        1 => (0..cap).prop_map(DevOp::Trim),
+        1 => Just(DevOp::Maintain),
+    ]
+}
+
+fn conv_dev() -> ConvSsd {
+    ConvSsd::new(ConvConfig::new(
+        FlashConfig::tlc(Geometry::small_test()),
+        0.15,
+    ))
+    .unwrap()
+}
+
+fn emu_dev() -> BlockEmu {
+    let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
+    cfg.max_active_zones = 8;
+    cfg.max_open_zones = 8;
+    BlockEmu::new(ZnsDevice::new(cfg).unwrap(), 2, ReclaimPolicy::Immediate)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The conventional SSD is linearizable against a model array: every
+    /// read returns the stamp of the latest write to that LBA.
+    #[test]
+    fn conv_matches_model(ops in proptest::collection::vec(op_strategy(128), 1..400)) {
+        let mut dev = conv_dev();
+        let cap = dev.capacity_pages();
+        let mut model: Vec<Option<u64>> = vec![None; cap as usize];
+        let mut t = Nanos::ZERO;
+        for op in ops {
+            match op {
+                DevOp::Write(lba) => {
+                    let lba = lba % cap;
+                    let w = dev.write(lba, t).unwrap();
+                    model[lba as usize] = Some(w.stamp);
+                    t = w.done;
+                }
+                DevOp::Read(lba) => {
+                    let lba = lba % cap;
+                    match (dev.read(lba, t), model[lba as usize]) {
+                        (Ok((stamp, done)), Some(expect)) => {
+                            prop_assert_eq!(stamp, expect);
+                            t = done;
+                        }
+                        (Err(ConvError::Unmapped(_)), None) => {}
+                        (got, want) => {
+                            return Err(TestCaseError::fail(
+                                format!("mismatch: dev {got:?} vs model {want:?}")));
+                        }
+                    }
+                }
+                DevOp::Trim(lba) => {
+                    let lba = lba % cap;
+                    dev.trim(lba).unwrap();
+                    model[lba as usize] = None;
+                }
+                DevOp::Maintain => {
+                    dev.maintenance(t, t + Nanos::from_millis(20)).unwrap();
+                }
+            }
+        }
+        prop_assert!(dev.write_amplification() >= 1.0);
+    }
+
+    /// The ZNS block emulation satisfies the same model.
+    #[test]
+    fn blockemu_matches_model(ops in proptest::collection::vec(op_strategy(128), 1..400)) {
+        let mut dev = emu_dev();
+        let cap = dev.capacity_pages();
+        let mut model: Vec<Option<u64>> = vec![None; cap as usize];
+        let mut t = Nanos::ZERO;
+        for op in ops {
+            match op {
+                DevOp::Write(lba) => {
+                    let lba = lba % cap;
+                    let done = dev.write(lba, t).unwrap();
+                    // BlockEmu stamps are its own counter; remember via read.
+                    let (stamp, done2) = dev.read(lba, done).unwrap();
+                    model[lba as usize] = Some(stamp);
+                    t = done2;
+                }
+                DevOp::Read(lba) => {
+                    let lba = lba % cap;
+                    match (dev.read(lba, t), model[lba as usize]) {
+                        (Ok((stamp, done)), Some(expect)) => {
+                            prop_assert_eq!(stamp, expect);
+                            t = done;
+                        }
+                        (Err(HostError::Unmapped(_)), None) => {}
+                        (got, want) => {
+                            return Err(TestCaseError::fail(
+                                format!("mismatch: dev {got:?} vs model {want:?}")));
+                        }
+                    }
+                }
+                DevOp::Trim(lba) => {
+                    let lba = lba % cap;
+                    dev.trim(lba).unwrap();
+                    model[lba as usize] = None;
+                }
+                DevOp::Maintain => {
+                    t = dev.maybe_reclaim(t).unwrap().1;
+                }
+            }
+        }
+        prop_assert!(dev.write_amplification() >= 1.0);
+    }
+
+    /// Write amplification is always >= 1 and finite, and completion
+    /// times never precede issue times, for any uniform write burst.
+    #[test]
+    fn timing_and_wa_invariants(seed in 0u64..1000, burst in 1usize..300) {
+        let mut dev = conv_dev();
+        let cap = dev.capacity_pages();
+        let mut x = seed;
+        let mut t = Nanos::ZERO;
+        for _ in 0..burst {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let w = dev.write(x % cap, t).unwrap();
+            prop_assert!(w.done >= t);
+            t = w.done;
+        }
+        let wa = dev.write_amplification();
+        prop_assert!(wa >= 1.0 && wa.is_finite());
+    }
+}

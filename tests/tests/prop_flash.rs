@@ -1,0 +1,179 @@
+//! Property tests for the flash substrate: the §2.1 physical constraints
+//! hold under arbitrary operation sequences, and page-state accounting
+//! is conserved.
+
+use bh_flash::{
+    BlockId, CellKind, FlashConfig, FlashDevice, FlashError, Geometry, OpOrigin, Ppa,
+};
+use bh_metrics::Nanos;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum FlashOp {
+    Program(u8),
+    ProgramAt(u8, u8),
+    Read(u8, u8),
+    Invalidate(u8, u8),
+    Erase(u8),
+    Copy(u8, u8, u8),
+}
+
+fn flash_op() -> impl Strategy<Value = FlashOp> {
+    prop_oneof![
+        4 => any::<u8>().prop_map(FlashOp::Program),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(b, p)| FlashOp::ProgramAt(b, p)),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(b, p)| FlashOp::Read(b, p)),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(b, p)| FlashOp::Invalidate(b, p)),
+        2 => any::<u8>().prop_map(FlashOp::Erase),
+        1 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(b, p, d)| FlashOp::Copy(b, p, d)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A model of per-block page states stays in lockstep with the
+    /// device through arbitrary (mostly invalid) operation sequences.
+    #[test]
+    fn flash_matches_page_state_model(ops in proptest::collection::vec(flash_op(), 1..400)) {
+        let geo = Geometry::small_test();
+        let mut dev = FlashDevice::new(FlashConfig::tlc(geo)).unwrap();
+        let blocks = geo.total_blocks();
+        let ppb = geo.pages_per_block;
+        // Model: per block, Vec<Option<stamp>> for programmed pages (None
+        // = programmed-but-invalidated), plus cursor.
+        let mut model: Vec<Vec<Option<u64>>> = vec![Vec::new(); blocks as usize];
+        let mut stamp = 0u64;
+        let t = Nanos::ZERO;
+        for op in ops {
+            match op {
+                FlashOp::Program(b) => {
+                    let b = b as u32 % blocks;
+                    stamp += 1;
+                    match dev.program_next(BlockId(b), stamp, t, OpOrigin::Host) {
+                        Ok((page, _)) => {
+                            prop_assert_eq!(page as usize, model[b as usize].len());
+                            model[b as usize].push(Some(stamp));
+                        }
+                        Err(FlashError::BlockFull(_)) => {
+                            prop_assert_eq!(model[b as usize].len() as u32, ppb);
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                FlashOp::ProgramAt(b, p) => {
+                    let b = b as u32 % blocks;
+                    let p = p as u32 % ppb;
+                    stamp += 1;
+                    let cursor = model[b as usize].len() as u32;
+                    match dev.program_at(Ppa::new(BlockId(b), p), stamp, t, OpOrigin::Host) {
+                        Ok(_) => {
+                            prop_assert_eq!(p, cursor, "out-of-order program accepted");
+                            model[b as usize].push(Some(stamp));
+                        }
+                        Err(FlashError::NonSequentialProgram { expected, .. }) => {
+                            prop_assert_eq!(expected, cursor);
+                            prop_assert_ne!(p, cursor);
+                        }
+                        Err(FlashError::BlockFull(_)) => {
+                            prop_assert_eq!(cursor, ppb);
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                FlashOp::Read(b, p) => {
+                    let b = b as u32 % blocks;
+                    let p = p as u32 % ppb;
+                    let expect = model[b as usize].get(p as usize);
+                    match dev.read(Ppa::new(BlockId(b), p), t, OpOrigin::Host) {
+                        Ok((got, _)) => {
+                            prop_assert_eq!(Some(&got), expect, "read state mismatch");
+                        }
+                        Err(FlashError::ReadUnwritten(_)) => {
+                            prop_assert!(expect.is_none(), "unwritten error on written page");
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                FlashOp::Invalidate(b, p) => {
+                    let b = b as u32 % blocks;
+                    let p = p as u32 % ppb;
+                    // Invalidating a free page panics by contract; only
+                    // exercise the legal transition.
+                    if (p as usize) < model[b as usize].len() {
+                        dev.invalidate(Ppa::new(BlockId(b), p)).unwrap();
+                        model[b as usize][p as usize] = None;
+                    }
+                }
+                FlashOp::Erase(b) => {
+                    let b = b as u32 % blocks;
+                    let out = dev.erase(BlockId(b), t).unwrap();
+                    prop_assert!(!out.retired, "default endurance exhausted in-test");
+                    model[b as usize].clear();
+                }
+                FlashOp::Copy(b, p, d) => {
+                    let b = b as u32 % blocks;
+                    let p = p as u32 % ppb;
+                    let d = d as u32 % blocks;
+                    let src_live = model[b as usize]
+                        .get(p as usize)
+                        .copied()
+                        .flatten();
+                    let dst_full = model[d as usize].len() as u32 == ppb;
+                    match dev.copy_page(Ppa::new(BlockId(b), p), BlockId(d), t) {
+                        Ok((dst_page, got, _)) => {
+                            prop_assert_eq!(Some(got), src_live);
+                            prop_assert_eq!(dst_page as usize, model[d as usize].len());
+                            model[d as usize].push(Some(got));
+                        }
+                        Err(FlashError::ReadUnwritten(_)) => {
+                            prop_assert!(src_live.is_none());
+                        }
+                        Err(FlashError::BlockFull(_)) => {
+                            prop_assert!(dst_full);
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+            }
+            // Conservation: per-block counts agree with the model.
+            for b in 0..blocks {
+                let blk = dev.block(BlockId(b)).unwrap();
+                let m = &model[b as usize];
+                prop_assert_eq!(blk.cursor() as usize, m.len());
+                prop_assert_eq!(
+                    blk.valid_pages() as usize,
+                    m.iter().filter(|s| s.is_some()).count()
+                );
+            }
+        }
+    }
+
+    /// Completion instants are monotone per plane under random issue
+    /// orders, and endurance retirement is permanent.
+    #[test]
+    fn wear_retirement_is_permanent(cycles in 1u32..12) {
+        let mut dev = FlashDevice::new(FlashConfig {
+            geometry: Geometry::small_test(),
+            cell: CellKind::Tlc,
+            endurance_override: Some(cycles),
+        })
+        .unwrap();
+        let t = Nanos::ZERO;
+        let mut retired = false;
+        for _ in 0..cycles + 3 {
+            match dev.erase(BlockId(0), t) {
+                Ok(out) => {
+                    prop_assert!(!retired, "operation succeeded after retirement");
+                    retired = out.retired;
+                }
+                Err(FlashError::BadBlock(_)) => {
+                    prop_assert!(retired, "BadBlock before retirement");
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            }
+        }
+        prop_assert!(retired);
+        prop_assert_eq!(dev.bad_blocks(), 1);
+    }
+}

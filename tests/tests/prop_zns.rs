@@ -1,0 +1,177 @@
+//! Property tests for the ZNS device: the zone state machine never
+//! enters an illegal configuration and the namespace-wide accounting
+//! (active/open counts) always matches the per-zone states, under
+//! arbitrary command sequences.
+
+use bh_flash::{FlashConfig, Geometry};
+use bh_metrics::Nanos;
+use bh_zns::{ZnsConfig, ZnsDevice, ZoneId, ZoneState};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum ZnsCmd {
+    Write(u8),
+    Append(u8),
+    Read(u8, u8),
+    Open(u8),
+    Close(u8),
+    Finish(u8),
+    Reset(u8),
+}
+
+fn cmd() -> impl Strategy<Value = ZnsCmd> {
+    prop_oneof![
+        4 => any::<u8>().prop_map(ZnsCmd::Write),
+        3 => any::<u8>().prop_map(ZnsCmd::Append),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(z, o)| ZnsCmd::Read(z, o)),
+        1 => any::<u8>().prop_map(ZnsCmd::Open),
+        1 => any::<u8>().prop_map(ZnsCmd::Close),
+        1 => any::<u8>().prop_map(ZnsCmd::Finish),
+        2 => any::<u8>().prop_map(ZnsCmd::Reset),
+    ]
+}
+
+fn device(mar: u32, mor: u32) -> ZnsDevice {
+    let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
+    cfg.max_active_zones = mar;
+    cfg.max_open_zones = mor;
+    ZnsDevice::new(cfg).unwrap()
+}
+
+/// Recomputes the active/open counts from zone states.
+fn recount(dev: &ZnsDevice) -> (u32, u32) {
+    let mut active = 0;
+    let mut open = 0;
+    for z in dev.zones() {
+        if z.state().is_active() {
+            active += 1;
+        }
+        if z.state().is_open() {
+            open += 1;
+        }
+    }
+    (active, open)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever command sequence arrives (most of it invalid), the
+    /// device never violates: wp <= capacity, limit accounting matches
+    /// the states, limits are respected, and data below the write
+    /// pointer reads back.
+    #[test]
+    fn zone_state_machine_holds_invariants(
+        cmds in proptest::collection::vec(cmd(), 1..300),
+        mar in 2u32..8,
+    ) {
+        let mor = mar.max(2) - 1;
+        let mut dev = device(mar, mor);
+        let zones = dev.num_zones();
+        let mut t = Nanos::ZERO;
+        // Model: per zone, the stamps written since last reset.
+        let mut model: Vec<Vec<u64>> = vec![Vec::new(); zones as usize];
+        let mut stamp = 0u64;
+        for c in cmds {
+            match c {
+                ZnsCmd::Write(z) => {
+                    let z = z as u32 % zones;
+                    let wp = dev.zone(ZoneId(z)).unwrap().write_pointer();
+                    stamp += 1;
+                    if let Ok(done) = dev.write(ZoneId(z), wp, stamp, t) {
+                        model[z as usize].push(stamp);
+                        t = done;
+                    }
+                }
+                ZnsCmd::Append(z) => {
+                    let z = z as u32 % zones;
+                    stamp += 1;
+                    if let Ok((off, done)) = dev.append(ZoneId(z), stamp, t) {
+                        prop_assert_eq!(off as usize, model[z as usize].len());
+                        model[z as usize].push(stamp);
+                        t = done;
+                    }
+                }
+                ZnsCmd::Read(z, o) => {
+                    let z = z as u32 % zones;
+                    let written = model[z as usize].len() as u64;
+                    match dev.read(ZoneId(z), o as u64, t) {
+                        Ok((got, done)) => {
+                            prop_assert!((o as u64) < written, "read past model wp succeeded");
+                            prop_assert_eq!(got, model[z as usize][o as usize]);
+                            t = done;
+                        }
+                        Err(_) => {
+                            // Either beyond wp or zone offline; both fine.
+                        }
+                    }
+                }
+                ZnsCmd::Open(z) => {
+                    let _ = dev.open(ZoneId(z as u32 % zones));
+                }
+                ZnsCmd::Close(z) => {
+                    let _ = dev.close(ZoneId(z as u32 % zones));
+                }
+                ZnsCmd::Finish(z) => {
+                    let _ = dev.finish(ZoneId(z as u32 % zones));
+                }
+                ZnsCmd::Reset(z) => {
+                    let z = z as u32 % zones;
+                    if let Ok(done) = dev.reset(ZoneId(z), t) {
+                        model[z as usize].clear();
+                        t = done;
+                    }
+                }
+            }
+            // Invariants after every command.
+            let (active, open) = recount(&dev);
+            prop_assert_eq!(active, dev.active_zones(), "active accounting drifted");
+            prop_assert_eq!(open, dev.open_zones(), "open accounting drifted");
+            prop_assert!(active <= mar, "MAR violated: {} > {}", active, mar);
+            prop_assert!(open <= mor, "MOR violated: {} > {}", open, mor);
+            for z in dev.zones() {
+                prop_assert!(z.write_pointer() <= z.capacity());
+                if z.state() == ZoneState::Empty {
+                    prop_assert_eq!(z.write_pointer(), 0);
+                }
+            }
+        }
+        // Final sweep: every modeled byte reads back.
+        for z in 0..zones {
+            for (o, &expect) in model[z as usize].iter().enumerate() {
+                if dev.zone(ZoneId(z)).unwrap().state() == ZoneState::Offline {
+                    continue;
+                }
+                let (got, done) = dev.read(ZoneId(z), o as u64, t).unwrap();
+                prop_assert_eq!(got, expect);
+                t = done;
+            }
+        }
+    }
+
+    /// Flash-level conservation under the ZNS model: total programs
+    /// equal the sum of bytes the model holds plus what resets destroyed.
+    #[test]
+    fn zns_program_accounting_is_conserved(
+        writes in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..200)
+    ) {
+        let mut dev = device(8, 8);
+        let zones = dev.num_zones();
+        let mut t = Nanos::ZERO;
+        let mut programs = 0u64;
+        for (z, reset) in writes {
+            let z = z as u32 % zones;
+            if reset {
+                if dev.reset(ZoneId(z), t).is_ok() {
+                    // Destroys content; programs counter unaffected.
+                }
+            } else if let Ok((_, done)) = dev.append(ZoneId(z), 1, t) {
+                programs += 1;
+                t = done;
+            }
+        }
+        prop_assert_eq!(dev.flash_stats().host_programs, programs);
+        // The zoned interface never amplifies writes by itself.
+        prop_assert!((dev.flash_stats().write_amplification() - 1.0).abs() < 1e-12);
+    }
+}
