@@ -3,8 +3,8 @@
 //! the LSM store — simulator wall-clock cost per operation.
 
 use bh_conv::{ConvConfig, ConvSsd};
-use bh_flash::{FlashConfig, Geometry};
 use bh_flash::CellKind;
+use bh_flash::{FlashConfig, Geometry};
 use bh_host::{BlockEmu, ReclaimPolicy};
 use bh_kv::{ConvBackend, Db, DbConfig};
 use bh_metrics::Nanos;
@@ -81,11 +81,7 @@ fn bench_blockemu_write(c: &mut Criterion) {
         let mut cfg = ZnsConfig::new(flash(), 8);
         cfg.max_active_zones = 14;
         cfg.max_open_zones = 14;
-        let mut emu = BlockEmu::new(
-            ZnsDevice::new(cfg).unwrap(),
-            2,
-            ReclaimPolicy::Immediate,
-        );
+        let mut emu = BlockEmu::new(ZnsDevice::new(cfg).unwrap(), 2, ReclaimPolicy::Immediate);
         let cap = emu.capacity_pages();
         let mut t = Nanos::ZERO;
         for lba in 0..cap {

@@ -24,9 +24,7 @@ fn bench_flash_program_erase(c: &mut Criterion) {
         b.iter(|| {
             let mut t = Nanos::ZERO;
             for _ in 0..dev.geometry().pages_per_block {
-                let (_, done) = dev
-                    .program_next(BlockId(0), 7, t, OpOrigin::Host)
-                    .unwrap();
+                let (_, done) = dev.program_next(BlockId(0), 7, t, OpOrigin::Host).unwrap();
                 t = done;
             }
             black_box(dev.erase(BlockId(0), t).unwrap());

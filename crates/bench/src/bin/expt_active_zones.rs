@@ -94,10 +94,9 @@ fn force_admit(mgr: &mut ActiveZoneManager, tenant: u32) {
 fn main() {
     let bursts = bh_bench::scaled(400, 80) as u32;
     let mut gen = BurstyTenants::new(
-        TENANTS,
-        6,              // Burst wants 6 zones at once (vs base share 2).
-        20_000_000,     // ~20ms mean idle between bursts.
-        5_000_000,      // 5ms hold per zone.
+        TENANTS, 6,          // Burst wants 6 zones at once (vs base share 2).
+        20_000_000, // ~20ms mean idle between bursts.
+        5_000_000,  // 5ms hold per zone.
         0xE10,
     );
     let events = gen.schedule(bursts);

@@ -75,7 +75,12 @@ fn main() {
         "E8 / §4.2 write-pointer contention",
         "N writers, one shared zone: host-locked writes vs zone append",
     );
-    let mut table = Table::new(["writers", "locked writes rec/s", "zone append rec/s", "speedup"]);
+    let mut table = Table::new([
+        "writers",
+        "locked writes rec/s",
+        "zone append rec/s",
+        "speedup",
+    ]);
     let mut series = Series::new("append speedup vs writers");
     let mut speedups = Vec::new();
     let mut locked_rates = Vec::new();

@@ -42,9 +42,7 @@ fn zns_cache() -> FlashCache<ZnsSegmentStore> {
 
 /// Zipfian get-then-fill traffic; returns (hit ratio, device WA, peak DRAM).
 fn run<S: SegmentStore>(cache: &mut FlashCache<S>, ops: u64) -> (f64, f64, u64) {
-    let universe = 4 * cache.store().num_segments() as u64
-        * cache.store().pages_per_segment()
-        / 2; // Object space ~2x cache capacity (objects are 2 pages).
+    let universe = 4 * cache.store().num_segments() as u64 * cache.store().pages_per_segment() / 2; // Object space ~2x cache capacity (objects are 2 pages).
     let zipf = Zipf::new(universe, 0.9);
     let mut rng = SmallRng::seed_from_u64(0xE13);
     let mut t = Nanos::ZERO;
@@ -79,13 +77,13 @@ fn main() {
     table.row([
         "conventional (coalesced)".into(),
         format!("{conv_hit:.3}"),
-        format!("{conv_wa:.2}"),
+        bh_bench::fmt_wa(conv_wa),
         format!("{} KiB", conv_dram >> 10),
     ]);
     table.row([
         "zns (direct)".into(),
         format!("{zns_hit:.3}"),
-        format!("{zns_wa:.2}"),
+        bh_bench::fmt_wa(zns_wa),
         format!("{} KiB", zns_dram >> 10),
     ]);
     report.table("write-path comparison", table);

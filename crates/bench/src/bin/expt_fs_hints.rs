@@ -89,7 +89,12 @@ fn main() {
         "E14 / §4.1 filesystem knowledge",
         "Mini-F2FS over ZNS: one data stream (today) vs per-owner streams (the paper's proposal)",
     );
-    let mut table = Table::new(["placement", "write amplification", "cleaned pages", "zone resets"]);
+    let mut table = Table::new([
+        "placement",
+        "write amplification",
+        "cleaned pages",
+        "zone resets",
+    ]);
     let (blind_wa, blind_cleaned, blind_resets) = run(HintMode::None, generations);
     table.row([
         "single stream (today's F2FS)".into(),

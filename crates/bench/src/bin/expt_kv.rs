@@ -135,14 +135,14 @@ fn main() {
     t1.row([
         "conventional".into(),
         format!("{:.0}", c.write_tput),
-        format!("{:.2}", c.device_wa),
-        format!("{:.2}", conv.stats().app_write_amplification()),
+        bh_bench::fmt_wa(c.device_wa),
+        bh_bench::fmt_wa(conv.stats().app_write_amplification()),
     ]);
     t1.row([
         "zns (lifetime zones)".into(),
         format!("{:.0}", z.write_tput),
-        format!("{:.2}", z.device_wa),
-        format!("{:.2}", zns.stats().app_write_amplification()),
+        bh_bench::fmt_wa(z.device_wa),
+        bh_bench::fmt_wa(zns.stats().app_write_amplification()),
     ]);
     report.table("write path", t1);
     let mut t2 = Table::new(["backend", "read mean", "p50", "p99", "p99.9"]);

@@ -258,8 +258,16 @@ fn main() {
         "Owner-correlated object churn: write throughput and reader latency, conventional vs ZNS+host",
     );
     let mut t1 = Table::new(["device", "write pages/s", "device WA"]);
-    t1.row(["conventional".into(), format!("{conv_tput:.0}"), format!("{conv_wa:.2}")]);
-    t1.row(["zns+hinted-streams".into(), format!("{zns_tput:.0}"), format!("{zns_wa:.2}")]);
+    t1.row([
+        "conventional".into(),
+        format!("{conv_tput:.0}"),
+        bh_bench::fmt_wa(conv_wa),
+    ]);
+    t1.row([
+        "zns+hinted-streams".into(),
+        format!("{zns_tput:.0}"),
+        bh_bench::fmt_wa(zns_wa),
+    ]);
     report.table("throughput phase (closed loop)", t1);
     let mut t2 = Table::new(["device", "mean read", "p50", "p99", "p99.9", "max"]);
     t2.row([

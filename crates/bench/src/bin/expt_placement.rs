@@ -85,9 +85,15 @@ fn main() {
     let events = gen.events(objects);
 
     let policies: [(&str, PlacementPolicy); 4] = [
-        ("scatter (no knowledge)", PlacementPolicy::Scatter { streams: 4 }),
+        (
+            "scatter (no knowledge)",
+            PlacementPolicy::Scatter { streams: 4 },
+        ),
         ("temporal (arrival order)", PlacementPolicy::Temporal),
-        ("by owner (fs knowledge)", PlacementPolicy::ByOwner { streams: 8 }),
+        (
+            "by owner (fs knowledge)",
+            PlacementPolicy::ByOwner { streams: 8 },
+        ),
         (
             "by expiry (app knowledge)",
             PlacementPolicy::ByExpiry {

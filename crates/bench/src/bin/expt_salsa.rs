@@ -29,9 +29,13 @@ fn zns_emu() -> BlockEmu {
     cfg.max_open_zones = 14;
     let dev = ZnsDevice::new(cfg).unwrap();
     let reserve = (dev.num_zones() * 3 / 20).max(4); // ~15% like SALSA.
-    BlockEmu::new(dev, reserve, ReclaimPolicy::IdleOnly {
-        min_idle: Nanos::from_millis(2),
-    })
+    BlockEmu::new(
+        dev,
+        reserve,
+        ReclaimPolicy::IdleOnly {
+            min_idle: Nanos::from_millis(2),
+        },
+    )
     .with_hot_cold(2)
 }
 
@@ -86,7 +90,10 @@ fn run(dev: &mut dyn BlockInterface, bursts: u64, burst_ops: u64) -> (Histogram,
         let done = dev.maintenance(idle_start).unwrap();
         arrival = done.max(idle_start) + Nanos::from_millis(45);
     }
-    (reads, ops_per_sec(done_ops, last_done.saturating_sub(run_start)))
+    (
+        reads,
+        ops_per_sec(done_ops, last_done.saturating_sub(run_start)),
+    )
 }
 
 fn main() {
@@ -112,7 +119,7 @@ fn main() {
         cs.p50.to_string(),
         cs.p99.to_string(),
         cs.p999.to_string(),
-        format!("{:.2}", conv.write_amplification()),
+        bh_bench::fmt_wa(conv.write_amplification()),
     ]);
     t1.row([
         "zns+salsa-like".into(),

@@ -95,7 +95,7 @@ fn main() {
             s.mean.to_string(),
             s.p99.to_string(),
             s.p999.to_string(),
-            format!("{wa:.2}"),
+            bh_bench::fmt_wa(wa),
         ]);
         results.push((name, s));
     }

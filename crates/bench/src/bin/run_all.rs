@@ -1,8 +1,12 @@
 //! Runs every experiment binary in sequence and summarizes pass/fail.
 //!
 //! ```text
-//! cargo run --release -p bh-bench --bin run_all [-- --quick]
+//! cargo run --release -p bh-bench --bin run_all [-- --quick] [-- --trace]
 //! ```
+//!
+//! Each experiment archives its report JSON (and, with `--trace` or
+//! `BH_TRACE=1`, its Chrome trace) under `$BH_RESULTS_DIR` (default
+//! `results/`).
 
 use std::process::Command;
 
@@ -26,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace = bh_bench::trace_enabled();
     let me = std::env::current_exe().expect("current exe");
     let bin_dir = me.parent().expect("bin dir").to_path_buf();
     let mut failures = Vec::new();
@@ -34,6 +39,9 @@ fn main() {
         let mut cmd = Command::new(bin_dir.join(name));
         if quick {
             cmd.arg("--quick");
+        }
+        if trace {
+            cmd.arg("--trace");
         }
         let status = cmd.status().expect("spawn experiment");
         if !status.success() {

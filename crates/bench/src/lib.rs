@@ -10,20 +10,103 @@
 //!   scriptable.
 
 use bh_core::Report;
+use bh_trace::Tracer;
+use std::path::PathBuf;
 
 /// True when the binary should run at reduced scale.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick") || std::env::var_os("BH_QUICK").is_some()
 }
 
-/// Prints the report and exits non-zero when a claim band failed.
+/// True when event tracing was requested, via `--trace` or a non-empty,
+/// non-`0` `BH_TRACE`.
+pub fn trace_enabled() -> bool {
+    std::env::args().any(|a| a == "--trace")
+        || std::env::var("BH_TRACE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+}
+
+/// A tracer honoring `--trace` / `BH_TRACE`, with ring capacity from
+/// `BH_TRACE_CAP`. Disabled (zero-cost) when tracing was not requested.
+pub fn tracer() -> Tracer {
+    if !trace_enabled() {
+        return Tracer::disabled();
+    }
+    let cap = std::env::var("BH_TRACE_CAP")
+        .ok()
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(bh_trace::DEFAULT_CAPACITY);
+    Tracer::ring(cap)
+}
+
+/// Where experiment artifacts land: `$BH_RESULTS_DIR`, default
+/// `results/`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("BH_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// The experiment's name: the executable's file stem.
+fn exe_stem() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "experiment".to_string())
+}
+
+/// Writes `contents` to `<results_dir>/<exe-stem><suffix>`, creating the
+/// directory. Archival is best-effort: failures are reported, not fatal.
+fn archive(suffix: &str, contents: &str) {
+    let dir = results_dir();
+    let path = dir.join(format!("{}{suffix}", exe_stem()));
+    let write = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, contents));
+    match write {
+        Ok(()) => eprintln!("archived {}", path.display()),
+        Err(e) => eprintln!("could not archive {}: {e}", path.display()),
+    }
+}
+
+/// Exports the tracer's retained events as Chrome `trace_event` JSON to
+/// `<results_dir>/<exe-stem>.trace.json` (loadable in Perfetto or
+/// `chrome://tracing`). No-op when the tracer is disabled.
+pub fn export_trace(tracer: &Tracer) {
+    if !tracer.enabled() {
+        return;
+    }
+    let events = tracer.events();
+    if tracer.dropped() > 0 {
+        eprintln!(
+            "trace ring dropped {} events; raise BH_TRACE_CAP to keep them",
+            tracer.dropped()
+        );
+    }
+    archive(".trace.json", &bh_trace::export::to_chrome_trace(&events));
+}
+
+/// Prints the report, archives its JSON to `<results_dir>/<exe-stem>.json`,
+/// and exits non-zero when a claim band failed.
 pub fn finish(report: Report) -> ! {
     println!("{}", report.render());
+    archive(".json", &report.to_json());
     if report.all_claims_hold() {
         std::process::exit(0);
     }
     eprintln!("one or more claim bands FAILED");
     std::process::exit(1);
+}
+
+/// Formats a write-amplification factor for report tables. WA is
+/// infinite when the device did internal work with zero host programs
+/// (e.g. a pure-relocation interval); render that case explicitly
+/// instead of relying on float formatting.
+pub fn fmt_wa(wa: f64) -> String {
+    if wa.is_finite() {
+        format!("{wa:.2}")
+    } else {
+        "inf (no host writes)".to_string()
+    }
 }
 
 /// Scale selector: `full` at paper scale, `quick` under `--quick`.

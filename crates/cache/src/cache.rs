@@ -15,6 +15,7 @@
 use crate::store::SegmentStore;
 use crate::Result;
 use bh_metrics::Nanos;
+use bh_trace::{CacheEvent, Tracer};
 use std::collections::HashMap;
 
 /// How inserted objects reach the device.
@@ -101,6 +102,7 @@ pub struct FlashCache<S: SegmentStore> {
     staged_pages: u64,
     peak_staged_pages: u64,
     stats: CacheStats,
+    tracer: Tracer,
 }
 
 impl<S: SegmentStore> FlashCache<S> {
@@ -126,7 +128,20 @@ impl<S: SegmentStore> FlashCache<S> {
             staged_pages: 0,
             peak_staged_pages: 0,
             stats: CacheStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer, cascading it into the segment store so cache
+    /// evictions and device events share one ordered stream.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.store.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The tracer currently installed (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The active write path.
@@ -257,6 +272,7 @@ impl<S: SegmentStore> FlashCache<S> {
         }
         let mut t = now;
         let mut readmits: Vec<(u64, u32)> = Vec::new();
+        let mut evicted_pages = 0u64;
         // Drop (or collect for readmission) objects still living in the
         // segment about to be recycled.
         let keys = std::mem::take(&mut self.segment_keys[next as usize]);
@@ -270,9 +286,18 @@ impl<S: SegmentStore> FlashCache<S> {
             }
             let entry = self.index.remove(&key).expect("checked above");
             self.stats.evicted += 1;
+            evicted_pages += entry.pages as u64;
             if self.cfg.readmit && entry.hit {
                 readmits.push((key, entry.pages));
             }
+        }
+        if evicted_pages > 0 && self.tracer.enabled() {
+            self.tracer.emit(
+                t,
+                CacheEvent::Evict {
+                    pages: evicted_pages,
+                },
+            );
         }
         t = self.store.erase_segment(next, t)?;
         self.current = next;

@@ -6,10 +6,11 @@
 //! eviction, so the FTL can erase without copying — the "trick" flash
 //! caches play); on ZNS a segment simply *is* a zone.
 
+use crate::Result;
 use bh_conv::ConvSsd;
 use bh_metrics::Nanos;
+use bh_trace::Tracer;
 use bh_zns::{ZnsDevice, ZoneId};
-use crate::Result;
 
 /// Page-granular storage organized in erase-sized segments.
 pub trait SegmentStore {
@@ -39,6 +40,10 @@ pub trait SegmentStore {
     /// True when this interface requires whole-segment coalescing in host
     /// DRAM before writing (the conventional-device constraint of §4.1).
     fn requires_coalescing(&self) -> bool;
+
+    /// Installs a tracer on the underlying device. Stores without
+    /// instrumentation may ignore it.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 }
 
 /// Segments as contiguous LBA ranges on a conventional SSD.
@@ -116,6 +121,10 @@ impl SegmentStore for ConvSegmentStore {
     fn requires_coalescing(&self) -> bool {
         true
     }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.ssd.set_tracer(tracer);
+    }
 }
 
 /// Segments as zones on a ZNS SSD.
@@ -162,7 +171,9 @@ impl SegmentStore for ZnsSegmentStore {
     }
 
     fn erase_segment(&mut self, segment: u32, now: Nanos) -> Result<Nanos> {
-        self.dev.reset(ZoneId(segment), now).map_err(|e| e.to_string())
+        self.dev
+            .reset(ZoneId(segment), now)
+            .map_err(|e| e.to_string())
     }
 
     fn device_write_amplification(&self) -> f64 {
@@ -171,6 +182,10 @@ impl SegmentStore for ZnsSegmentStore {
 
     fn requires_coalescing(&self) -> bool {
         false
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.dev.set_tracer(tracer);
     }
 }
 

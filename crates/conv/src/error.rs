@@ -58,7 +58,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = ConvError::LbaOutOfRange { lba: 10, capacity: 5 };
+        let e = ConvError::LbaOutOfRange {
+            lba: 10,
+            capacity: 5,
+        };
         assert!(e.to_string().contains("LBA 10"));
         let f: ConvError = FlashError::BadBlock(BlockId(1)).into();
         assert!(std::error::Error::source(&f).is_some());

@@ -184,7 +184,7 @@ mod tests {
         // §2.2: 4 KB pages at 4 B/entry is ~1 GB DRAM per TB of flash.
         let one_tb_pages = (1_u64 << 40) >> 12; // 2^28 pages.
         assert_eq!(device_dram_bytes_for(one_tb_pages), 1 << 30); // 1 GiB.
-        // The method agrees with the free function.
+                                                                  // The method agrees with the free function.
         let t = table();
         assert_eq!(t.device_dram_bytes(), 64 * BYTES_PER_ENTRY);
     }

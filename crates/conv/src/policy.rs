@@ -31,7 +31,12 @@ impl GcPolicy {
     /// returning its position in the slice, or `None` when empty.
     ///
     /// `blocks` provides per-block state; `now` feeds age-based scores.
-    pub fn select(self, candidates: &[BlockId], blocks: impl Fn(BlockId) -> BlockSnapshot, now: Nanos) -> Option<usize> {
+    pub fn select(
+        self,
+        candidates: &[BlockId],
+        blocks: impl Fn(BlockId) -> BlockSnapshot,
+        now: Nanos,
+    ) -> Option<usize> {
         if candidates.is_empty() {
             return None;
         }
@@ -121,7 +126,10 @@ mod tests {
     #[test]
     fn fifo_picks_first() {
         let ids = [BlockId(9), BlockId(1)];
-        assert_eq!(GcPolicy::Fifo.select(&ids, |_| snap(0, 0), Nanos::ZERO), Some(0));
+        assert_eq!(
+            GcPolicy::Fifo.select(&ids, |_| snap(0, 0), Nanos::ZERO),
+            Some(0)
+        );
     }
 
     #[test]

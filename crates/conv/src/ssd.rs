@@ -21,6 +21,7 @@ use crate::wear::WearLeveler;
 use crate::Result;
 use bh_flash::{BlockId, FlashDevice, FlashStats, OpOrigin, PlaneId, Ppa, Stamp};
 use bh_metrics::Nanos;
+use bh_trace::{ConvEvent, SpanId, Tracer};
 use std::collections::VecDeque;
 
 /// Per-plane allocation state.
@@ -37,6 +38,10 @@ struct PlaneState {
     sealed: VecDeque<BlockId>,
     /// Victim currently being relocated incrementally, if any.
     gc_victim: Option<BlockId>,
+    /// Trace span covering the in-flight GC episode.
+    gc_span: SpanId,
+    /// Valid pages copied out of the in-flight victim so far.
+    gc_copied: u32,
 }
 
 /// Counters for FTL-internal activity.
@@ -81,6 +86,7 @@ pub struct ConvSsd {
     /// Monotone counter driving plane-allocation dither.
     dither: u32,
     read_only: bool,
+    tracer: Tracer,
 }
 
 /// Result of a host write.
@@ -115,6 +121,8 @@ impl ConvSsd {
                 gc_frontier: None,
                 sealed: VecDeque::new(),
                 gc_victim: None,
+                gc_span: SpanId::NONE,
+                gc_copied: 0,
             })
             .collect();
         Ok(ConvSsd {
@@ -129,7 +137,21 @@ impl ConvSsd {
             gc_next_plane: 0,
             dither: 0,
             read_only: false,
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Installs a tracer on the FTL and the flash device beneath it. GC
+    /// episodes appear as begin/end span pairs; flash operations carry
+    /// their physical coordinates and origin.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.dev.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The tracer in use (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Exported logical capacity in pages.
@@ -194,7 +216,10 @@ impl ConvSsd {
                 let valid: u64 = (0..self.dev.geometry().blocks_per_plane)
                     .map(|i| {
                         let b = self.dev.geometry().block_in_plane(PlaneId(p as u32), i);
-                        self.dev.block(b).map(|blk| blk.valid_pages() as u64).unwrap_or(0)
+                        self.dev
+                            .block(b)
+                            .map(|blk| blk.valid_pages() as u64)
+                            .unwrap_or(0)
                     })
                     .sum();
                 (st.free.len(), st.sealed.len(), valid)
@@ -252,7 +277,9 @@ impl ConvSsd {
         let frontier = self.host_frontier(plane)?;
         self.stamp_counter += 1;
         let stamp = self.stamp_counter;
-        let (page, done) = self.dev.program_next(frontier, stamp, now, OpOrigin::Host)?;
+        let (page, done) = self
+            .dev
+            .program_next(frontier, stamp, now, OpOrigin::Host)?;
         let ppa = Ppa::new(frontier, page);
         if let Some(old) = self.map.bind(lba, ppa) {
             self.dev.invalidate(old)?;
@@ -319,7 +346,12 @@ impl ConvSsd {
         self.planes[plane.0 as usize]
             .sealed
             .iter()
-            .map(|&b| self.dev.block(b).map(|blk| blk.invalid_pages() as u64).unwrap_or(0))
+            .map(|&b| {
+                self.dev
+                    .block(b)
+                    .map(|blk| blk.invalid_pages() as u64)
+                    .unwrap_or(0)
+            })
             .sum()
     }
 
@@ -346,7 +378,7 @@ impl ConvSsd {
         // its deterministic stand-in. Hashing (rather than a fixed
         // modulus) keeps the skipped position itself from resonating.
         self.dither = self.dither.wrapping_add(1);
-        let skip = self.dither.wrapping_mul(2654435761) % 7 == 0;
+        let skip = self.dither.wrapping_mul(2654435761).is_multiple_of(7);
         let step = 1 + u32::from(skip);
         self.next_plane = (self.next_plane + step) % n;
         for off in 0..n {
@@ -489,7 +521,25 @@ impl ConvSsd {
                 Some(v) => v,
                 None => match self.select_victim(plane, now) {
                     Some(v) => {
-                        self.planes[plane.0 as usize].gc_victim = Some(v);
+                        let st = &mut self.planes[plane.0 as usize];
+                        st.gc_victim = Some(v);
+                        st.gc_copied = 0;
+                        if self.tracer.enabled() {
+                            let span = self.tracer.begin_span();
+                            self.planes[plane.0 as usize].gc_span = span;
+                            let blk = self.dev.block(v)?;
+                            let (valid, invalid) = (blk.valid_pages(), blk.invalid_pages());
+                            self.tracer.emit_span(
+                                now,
+                                span,
+                                ConvEvent::GcBegin {
+                                    plane: plane.0,
+                                    victim: v.0,
+                                    valid,
+                                    invalid,
+                                },
+                            );
+                        }
                         v
                     }
                     None => return Ok((progress, done)),
@@ -515,6 +565,7 @@ impl ConvSsd {
                     self.dev.invalidate(src)?;
                     self.seal_if_full(dst_plane, dst_block, FrontierKind::Gc);
                     self.stats.gc_pages_copied += 1;
+                    self.planes[plane.0 as usize].gc_copied += 1;
                     moved += 1;
                     progress += 1;
                 }
@@ -525,7 +576,22 @@ impl ConvSsd {
                     if !outcome.retired {
                         self.planes[plane.0 as usize].free.push(victim);
                     }
-                    self.planes[plane.0 as usize].gc_victim = None;
+                    let st = &mut self.planes[plane.0 as usize];
+                    st.gc_victim = None;
+                    let (span, copied) = (st.gc_span, st.gc_copied);
+                    st.gc_span = SpanId::NONE;
+                    st.gc_copied = 0;
+                    if self.tracer.enabled() {
+                        self.tracer.emit_span(
+                            outcome.done,
+                            span,
+                            ConvEvent::GcEnd {
+                                plane: plane.0,
+                                pages_copied: copied,
+                                retired: outcome.retired,
+                            },
+                        );
+                    }
                     self.stats.gc_erases += 1;
                     progress += 1;
                 }
@@ -568,18 +634,24 @@ impl ConvSsd {
             // this means *no* victim reclaims anything. For FIFO and
             // cost-benefit, fall back to the greediest victim before
             // giving up.
-            let (gi, _) = candidates
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &b)| self.dev.block(b).map(|blk| blk.invalid_pages()).unwrap_or(0))?;
+            let (gi, _) = candidates.iter().enumerate().max_by_key(|(_, &b)| {
+                self.dev
+                    .block(b)
+                    .map(|blk| blk.invalid_pages())
+                    .unwrap_or(0)
+            })?;
             let greedy_victim = candidates[gi];
             if self.dev.block(greedy_victim).ok()?.invalid_pages() == 0 {
                 return None;
             }
-            self.planes[plane.0 as usize].sealed.retain(|&b| b != greedy_victim);
+            self.planes[plane.0 as usize]
+                .sealed
+                .retain(|&b| b != greedy_victim);
             return Some(greedy_victim);
         }
-        self.planes[plane.0 as usize].sealed.retain(|&b| b != victim);
+        self.planes[plane.0 as usize]
+            .sealed
+            .retain(|&b| b != victim);
         Some(victim)
     }
 
@@ -669,6 +741,13 @@ impl ConvSsd {
             let pages = self.dev.block(block)?.valid_pages() as u64;
             self.relocate_and_erase(plane, block, now, false)?;
             self.stats.wl_migrations += 1;
+            self.tracer.emit(
+                now,
+                ConvEvent::WearLevel {
+                    block: block.0,
+                    pages_moved: pages as u32,
+                },
+            );
             if let Some(l) = self.leveler.as_mut() {
                 l.note_migration(pages);
             }
@@ -689,7 +768,11 @@ mod tests {
     use bh_flash::{CellKind, FlashConfig, Geometry};
 
     fn ssd(op: f64) -> ConvSsd {
-        ConvSsd::new(ConvConfig::new(FlashConfig::tlc(Geometry::small_test()), op)).unwrap()
+        ConvSsd::new(ConvConfig::new(
+            FlashConfig::tlc(Geometry::small_test()),
+            op,
+        ))
+        .unwrap()
     }
 
     #[test]
@@ -757,7 +840,9 @@ mod tests {
         // Overwrite 4x capacity in a fixed pseudo-random pattern.
         let mut x = 12345u64;
         for _ in 0..4 * cap {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lba = x % cap;
             let w = s.write(lba, t).unwrap();
             expect[lba as usize] = w.stamp;
@@ -795,7 +880,9 @@ mod tests {
             }
             let mut x = 7u64;
             for _ in 0..6 * cap {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 t = s.write(x % cap, t).unwrap().done;
             }
             results.push(s.write_amplification());
@@ -898,13 +985,45 @@ mod tests {
             }
             let mut x = 99u64;
             for _ in 0..4 * cap {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 t = s.write(x % cap, t).unwrap().done;
             }
             assert!(s.write_amplification() > 1.0, "{policy:?}");
             // Spot-check integrity.
             let (stamp, _) = s.read(0, t).unwrap();
             assert!(stamp > 0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn gc_episodes_trace_as_balanced_spans() {
+        let mut s = ssd(0.10);
+        s.set_tracer(Tracer::ring(1 << 16));
+        let cap = s.capacity_pages();
+        let mut t = Nanos::ZERO;
+        for lba in 0..cap {
+            t = s.write(lba, t).unwrap().done;
+        }
+        let mut x = 5u64;
+        for _ in 0..3 * cap {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            t = s.write(x % cap, t).unwrap().done;
+        }
+        let events = s.tracer().events();
+        let episodes = bh_trace::replay::gc_episodes(&events).unwrap();
+        let closed = episodes.iter().filter(|e| e.end.is_some()).count();
+        assert!(closed > 0, "no GC episode completed");
+        for ep in &episodes {
+            if let Some(end) = ep.end {
+                assert!(end >= ep.begin);
+                // Pages can be invalidated by host overwrites mid-episode,
+                // so the migrated count never exceeds the initial valid set.
+                assert!(ep.pages_copied <= ep.valid);
+            }
         }
     }
 
@@ -923,7 +1042,9 @@ mod tests {
         let mut x = 3u64;
         let mut max_overwrite_latency = Nanos::ZERO;
         for _ in 0..2 * cap {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let w = s.write(x % cap, t).unwrap();
             max_overwrite_latency = max_overwrite_latency.max(w.done.saturating_sub(t));
             t = w.done;

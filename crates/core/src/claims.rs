@@ -6,11 +6,11 @@
 //! the measured value; a [`ClaimSet`] aggregates them into the pass/fail
 //! table that EXPERIMENTS.md reproduces.
 
+use bh_json::Json;
 use bh_metrics::Table;
-use serde::Serialize;
 
 /// One paper claim checked against a measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Claim {
     /// Short identifier, e.g. `"E2.wa-at-0-op"`.
     pub id: String,
@@ -42,10 +42,24 @@ impl Claim {
     pub fn holds(&self) -> bool {
         self.measured >= self.band.0 && self.measured <= self.band.1
     }
+
+    /// JSON form for report archival.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("id", self.id.as_str())
+            .set("paper", self.paper.as_str())
+            .set("measured", self.measured)
+            .set(
+                "band",
+                Json::Arr(vec![self.band.0.into(), self.band.1.into()]),
+            )
+            .set("holds", self.holds());
+        j
+    }
 }
 
 /// A collection of claims for one experiment.
-#[derive(Debug, Default, Serialize)]
+#[derive(Debug, Default)]
 pub struct ClaimSet {
     claims: Vec<Claim>,
 }
@@ -85,6 +99,16 @@ impl ClaimSet {
     /// Number of claims that hold.
     pub fn held(&self) -> usize {
         self.claims.iter().filter(|c| c.holds()).count()
+    }
+
+    /// JSON form for report archival.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set(
+            "claims",
+            Json::Arr(self.claims.iter().map(Claim::to_json).collect()),
+        );
+        j
     }
 
     /// Renders the pass/fail table.

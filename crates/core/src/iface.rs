@@ -7,8 +7,10 @@
 //! differences are attributable to the interface and its software.
 
 use bh_conv::ConvSsd;
+use bh_flash::FlashStats;
 use bh_host::BlockEmu;
 use bh_metrics::Nanos;
+use bh_trace::Tracer;
 
 /// A page-granular block device with explicit virtual time.
 pub trait BlockInterface {
@@ -47,6 +49,16 @@ pub trait BlockInterface {
     /// Device-level write amplification observed so far.
     fn write_amplification(&self) -> f64;
 
+    /// Cumulative flash-level operation counters, for interval sampling.
+    fn flash_stats(&self) -> FlashStats;
+
+    /// Planes still occupied at `now` — an instantaneous queue-depth
+    /// proxy for the flash array.
+    fn queue_depth(&self, now: Nanos) -> u32;
+
+    /// Installs a tracer on the whole device stack.
+    fn set_tracer(&mut self, tracer: Tracer);
+
     /// Short label for reports.
     fn label(&self) -> &'static str;
 }
@@ -83,6 +95,18 @@ impl BlockInterface for ConvSsd {
         ConvSsd::write_amplification(self)
     }
 
+    fn flash_stats(&self) -> FlashStats {
+        *ConvSsd::flash_stats(self)
+    }
+
+    fn queue_depth(&self, now: Nanos) -> u32 {
+        self.device().scheduler().busy_planes(now)
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        ConvSsd::set_tracer(self, tracer);
+    }
+
     fn label(&self) -> &'static str {
         "conventional"
     }
@@ -115,6 +139,18 @@ impl BlockInterface for BlockEmu {
 
     fn write_amplification(&self) -> f64 {
         BlockEmu::write_amplification(self)
+    }
+
+    fn flash_stats(&self) -> FlashStats {
+        *self.device().flash_stats()
+    }
+
+    fn queue_depth(&self, now: Nanos) -> u32 {
+        self.device().device().scheduler().busy_planes(now)
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        BlockEmu::set_tracer(self, tracer);
     }
 
     fn label(&self) -> &'static str {

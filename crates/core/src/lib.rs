@@ -25,4 +25,4 @@ pub mod runner;
 pub use claims::{Claim, ClaimSet};
 pub use iface::BlockInterface;
 pub use report::{summary_cells, Report, SUMMARY_HEADER};
-pub use runner::{Pacing, RunConfig, RunResult, Runner};
+pub use runner::{Pacing, RunConfig, RunResult, Runner, Sample, Sampler};

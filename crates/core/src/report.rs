@@ -6,8 +6,8 @@
 //! `to_json` archives the raw numbers.
 
 use crate::claims::ClaimSet;
+use bh_json::Json;
 use bh_metrics::{Series, Summary, Table};
-use serde::Serialize;
 
 /// One experiment's full output.
 #[derive(Debug, Default)]
@@ -17,16 +17,6 @@ pub struct Report {
     tables: Vec<(String, Table)>,
     series: Vec<Series>,
     claims: Option<ClaimSet>,
-}
-
-/// Serializable skeleton for JSON archival.
-#[derive(Debug, Serialize)]
-struct ReportJson<'r> {
-    name: &'r str,
-    description: &'r str,
-    tables: Vec<(String, String)>,
-    series: Vec<(String, Vec<(f64, f64)>)>,
-    claims: Option<&'r ClaimSet>,
 }
 
 impl Report {
@@ -85,22 +75,42 @@ impl Report {
 
     /// Serializes the report to JSON.
     pub fn to_json(&self) -> String {
-        let skel = ReportJson {
-            name: &self.name,
-            description: &self.description,
-            tables: self
-                .tables
-                .iter()
-                .map(|(t, tab)| (t.clone(), tab.to_csv()))
-                .collect(),
-            series: self
-                .series
-                .iter()
-                .map(|s| (s.name().to_string(), s.points().to_vec()))
-                .collect(),
-            claims: self.claims.as_ref(),
-        };
-        serde_json::to_string_pretty(&skel).expect("report is serializable")
+        let mut j = Json::obj();
+        j.set("name", self.name.as_str())
+            .set("description", self.description.as_str())
+            .set(
+                "tables",
+                Json::Arr(
+                    self.tables
+                        .iter()
+                        .map(|(t, tab)| Json::Arr(vec![t.as_str().into(), tab.to_csv().into()]))
+                        .collect(),
+                ),
+            )
+            .set(
+                "series",
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            let points = s
+                                .points()
+                                .iter()
+                                .map(|&(x, y)| Json::Arr(vec![x.into(), y.into()]))
+                                .collect();
+                            Json::Arr(vec![s.name().into(), Json::Arr(points)])
+                        })
+                        .collect(),
+                ),
+            )
+            .set(
+                "claims",
+                self.claims
+                    .as_ref()
+                    .map(ClaimSet::to_json)
+                    .unwrap_or(Json::Null),
+            );
+        j.pretty()
     }
 }
 
@@ -152,8 +162,11 @@ mod tests {
         s.push(1.0, 2.0);
         r.series(s);
         let json = r.to_json();
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let parsed = bh_json::parse(&json).unwrap();
         assert_eq!(parsed["name"], "E0");
+        assert_eq!(parsed["series"][0][0], "x");
+        assert_eq!(parsed["series"][0][1][0][1], 2.0);
+        assert!(parsed["claims"].is_null());
     }
 
     #[test]

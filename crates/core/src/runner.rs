@@ -14,7 +14,9 @@
 //! (the ZNS stack's prerogative) can run on its policy.
 
 use crate::iface::BlockInterface;
-use bh_metrics::{Histogram, Nanos};
+use bh_flash::FlashStats;
+use bh_metrics::{Histogram, Nanos, Series};
+use bh_trace::{RunnerEvent, Tracer};
 use bh_workloads::{Op, OpStream};
 
 /// How the runner paces operations.
@@ -63,6 +65,129 @@ impl RunResult {
     }
 }
 
+/// One interval sample taken by the [`Sampler`].
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Virtual instant of the sample.
+    pub at: Nanos,
+    /// Operations issued so far.
+    pub ops_done: u64,
+    /// Write amplification over the interval since the previous sample.
+    pub interval_wa: f64,
+    /// Write amplification since the start of the run.
+    pub cumulative_wa: f64,
+    /// Planes still busy past the sample instant.
+    pub queue_depth: u32,
+}
+
+/// Periodically samples `FlashStats` deltas and queue depth during a run,
+/// emitting each sample as a [`RunnerEvent::Snapshot`] trace event and
+/// retaining them for [`Sampler::interval_wa_series`]-style figures.
+#[derive(Debug)]
+pub struct Sampler {
+    tracer: Tracer,
+    every: u64,
+    base: Option<FlashStats>,
+    last: FlashStats,
+    samples: Vec<Sample>,
+}
+
+impl Sampler {
+    /// Samples every `every` operations (min 1), emitting snapshots into
+    /// `tracer` when it is enabled.
+    pub fn new(tracer: Tracer, every: u64) -> Self {
+        Sampler {
+            tracer,
+            every: every.max(1),
+            base: None,
+            last: FlashStats::default(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The sampling period in operations.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Samples taken so far, in order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Resets the interval baseline to the device's current counters.
+    /// Call at run start so the first interval excludes pre-run fill
+    /// traffic; [`Runner::run_traced`] does this automatically.
+    pub fn prime(&mut self, dev: &dyn BlockInterface) {
+        let stats = dev.flash_stats();
+        self.base = Some(stats);
+        self.last = stats;
+    }
+
+    /// Takes one sample at `now` after `ops_done` operations.
+    pub fn sample(&mut self, dev: &dyn BlockInterface, ops_done: u64, now: Nanos) {
+        let stats = dev.flash_stats();
+        let base = *self.base.get_or_insert_with(FlashStats::default);
+        let interval = stats.delta_since(&self.last);
+        let run_total = stats.delta_since(&base);
+        let queue_depth = dev.queue_depth(now);
+        let sample = Sample {
+            at: now,
+            ops_done,
+            interval_wa: interval.write_amplification(),
+            cumulative_wa: run_total.write_amplification(),
+            queue_depth,
+        };
+        self.samples.push(sample);
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                now,
+                RunnerEvent::Snapshot {
+                    ops_done,
+                    interval_wa: sample.interval_wa,
+                    cumulative_wa: sample.cumulative_wa,
+                    queue_depth,
+                    host_programs: interval.host_programs,
+                    internal_programs: interval.internal_programs + interval.copies,
+                    erases: interval.erases,
+                },
+            );
+        }
+        self.last = stats;
+    }
+
+    /// Interval write amplification over virtual time (milliseconds on
+    /// the x-axis). Infinite intervals (pure internal work) are clamped
+    /// to the largest finite sample so the figure stays plottable.
+    pub fn interval_wa_series(&self, name: impl Into<String>) -> Series {
+        let cap = self
+            .samples
+            .iter()
+            .map(|s| s.interval_wa)
+            .filter(|w| w.is_finite())
+            .fold(1.0f64, f64::max);
+        let mut s = Series::new(name);
+        for sample in &self.samples {
+            let wa = if sample.interval_wa.is_finite() {
+                sample.interval_wa
+            } else {
+                cap
+            };
+            s.push(sample.at.as_millis_f64(), wa);
+        }
+        s
+    }
+
+    /// Queue depth over virtual time (milliseconds on the x-axis).
+    pub fn queue_depth_series(&self, name: impl Into<String>) -> Series {
+        let mut s = Series::new(name);
+        for sample in &self.samples {
+            s.push(sample.at.as_millis_f64(), sample.queue_depth as f64);
+        }
+        s
+    }
+}
+
 /// Drives operation streams against a device.
 #[derive(Debug)]
 pub struct Runner {
@@ -99,6 +224,30 @@ impl Runner {
         dev: &mut dyn BlockInterface,
         stream: &mut OpStream,
         start: Nanos,
+    ) -> Result<RunResult, String> {
+        self.run_inner(dev, stream, start, None)
+    }
+
+    /// Like [`Runner::run`], but takes periodic interval samples through
+    /// `sampler` (which also emits them as trace snapshots). The sampler
+    /// is primed at `start`, so intervals cover only this run.
+    pub fn run_traced(
+        &self,
+        dev: &mut dyn BlockInterface,
+        stream: &mut OpStream,
+        start: Nanos,
+        sampler: &mut Sampler,
+    ) -> Result<RunResult, String> {
+        sampler.prime(dev);
+        self.run_inner(dev, stream, start, Some(sampler))
+    }
+
+    fn run_inner(
+        &self,
+        dev: &mut dyn BlockInterface,
+        stream: &mut OpStream,
+        start: Nanos,
+        mut sampler: Option<&mut Sampler>,
     ) -> Result<RunResult, String> {
         let mut reads = Histogram::new();
         let mut writes = Histogram::new();
@@ -146,6 +295,13 @@ impl Runner {
                     } else {
                         return Err(e);
                     }
+                }
+            }
+            if let Some(s) = sampler.as_deref_mut() {
+                if (i + 1) % s.every() == 0 {
+                    // Sample at the arrival horizon: planes busy past this
+                    // instant are backlog the next op will queue behind.
+                    s.sample(&*dev, i + 1, arrival);
                 }
             }
         }
@@ -212,6 +368,48 @@ mod tests {
             r.writes.quantile(0.99) > r.writes.quantile(0.10) * 2,
             "overload should spread the latency distribution"
         );
+    }
+
+    #[test]
+    fn traced_run_samples_intervals_and_snapshots() {
+        use bh_trace::{Event, RunnerEvent, Tracer};
+        let mut dev = device();
+        let t = Runner::fill(&mut dev, Nanos::ZERO).unwrap();
+        let tracer = Tracer::ring(1 << 16);
+        dev.set_tracer(tracer.clone());
+        let mut stream =
+            OpStream::uniform(BlockInterface::capacity_pages(&dev), OpMix::write_only(), 7);
+        let runner = Runner::new(RunConfig {
+            ops: 1000,
+            pacing: Pacing::Closed,
+            maintenance_every: 0,
+        });
+        let mut sampler = Sampler::new(tracer.clone(), 100);
+        let r = runner
+            .run_traced(&mut dev, &mut stream, t, &mut sampler)
+            .unwrap();
+        assert!(r.device_wa >= 1.0);
+        assert_eq!(sampler.samples().len(), 10);
+        // Samples are monotone in time and cover the run only (priming
+        // excluded the fill traffic from the first interval).
+        for w in sampler.samples().windows(2) {
+            assert!(w[1].at >= w[0].at);
+            assert!(w[1].ops_done > w[0].ops_done);
+        }
+        let first = sampler.samples()[0];
+        assert!(first.interval_wa >= 1.0);
+        assert!(first.interval_wa.is_finite(), "writes ran in the interval");
+        // Snapshots landed in the same ring as the device's flash ops.
+        let events = tracer.events();
+        let snaps = events
+            .iter()
+            .filter(|e| matches!(e.event, Event::Runner(RunnerEvent::Snapshot { .. })))
+            .count();
+        assert_eq!(snaps, 10);
+        assert!(events.iter().any(|e| matches!(e.event, Event::Flash(_))));
+        // Series render with millisecond x-axes and one point per sample.
+        assert_eq!(sampler.interval_wa_series("wa").points().len(), 10);
+        assert_eq!(sampler.queue_depth_series("qd").points().len(), 10);
     }
 
     #[test]

@@ -133,8 +133,9 @@ mod tests {
         let m = PriceModel::default();
         let d = m.conventional(1024.0, 0.25);
         assert!((d.raw_flash_gib - 1280.0).abs() < 1e-9);
-        let parts =
-            d.raw_flash_gib * m.flash_usd_per_gib + d.dram_gib * m.dram_usd_per_gib + m.controller_usd;
+        let parts = d.raw_flash_gib * m.flash_usd_per_gib
+            + d.dram_gib * m.dram_usd_per_gib
+            + m.controller_usd;
         assert!((d.total_usd - parts).abs() < 1e-9);
     }
 }

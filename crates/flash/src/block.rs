@@ -282,7 +282,10 @@ mod tests {
     #[test]
     fn read_semantics() {
         let mut b = block();
-        assert_eq!(b.read(0), Err(FlashError::ReadUnwritten(Ppa::new(BlockId(0), 0))));
+        assert_eq!(
+            b.read(0),
+            Err(FlashError::ReadUnwritten(Ppa::new(BlockId(0), 0)))
+        );
         b.program_next(42).unwrap();
         assert_eq!(b.read(0), Ok(Some(42)));
         b.invalidate(0);
@@ -317,7 +320,10 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.wear(), 1);
         assert_eq!(b.erased_at_ns(), 99);
-        assert_eq!(b.read(0), Err(FlashError::ReadUnwritten(Ppa::new(BlockId(0), 0))));
+        assert_eq!(
+            b.read(0),
+            Err(FlashError::ReadUnwritten(Ppa::new(BlockId(0), 0)))
+        );
     }
 
     #[test]

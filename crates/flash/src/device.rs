@@ -10,11 +10,12 @@
 use crate::block::{Block, BlockStatus};
 use crate::cell::{CellKind, TimingSpec};
 use crate::error::FlashError;
-use crate::geometry::{BlockId, Geometry, Ppa};
+use crate::geometry::{BlockId, Geometry, PlaneId, Ppa};
 use crate::sched::ResourceModel;
 use crate::stats::FlashStats;
 use crate::Result;
 use bh_metrics::Nanos;
+use bh_trace::{FlashEvent, FlashOpKind, Tracer};
 
 /// Opaque per-page payload identifier.
 ///
@@ -90,6 +91,7 @@ pub struct FlashDevice {
     blocks: Vec<Block>,
     sched: ResourceModel,
     stats: FlashStats,
+    tracer: Tracer,
 }
 
 impl FlashDevice {
@@ -115,7 +117,53 @@ impl FlashDevice {
             blocks,
             sched: ResourceModel::new(&geo),
             stats: FlashStats::default(),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Installs a tracer; flash operations emit [`FlashEvent`]s into it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer in use (disabled by default). Cloning it yields a handle
+    /// onto the same event stream, which is how upper layers share one
+    /// trace across the stack.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    #[allow(clippy::too_many_arguments)] // Private helper mirroring the event's fields.
+    fn trace_op(
+        &mut self,
+        kind: FlashOpKind,
+        origin: OpOrigin,
+        plane: PlaneId,
+        block: BlockId,
+        page: u32,
+        start: Nanos,
+        done: Nanos,
+    ) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        self.tracer.emit(
+            start,
+            FlashEvent::Op {
+                kind,
+                origin: match origin {
+                    OpOrigin::Host => bh_trace::Origin::Host,
+                    OpOrigin::Internal => bh_trace::Origin::Internal,
+                },
+                channel: self.geo.channel_of(plane),
+                die: self.geo.die_of(plane),
+                plane: plane.0,
+                block: block.0,
+                page,
+                start,
+                done,
+            },
+        );
     }
 
     /// The device geometry.
@@ -171,16 +219,32 @@ impl FlashDevice {
     /// # Errors
     ///
     /// Propagates block-level errors; see [`Block::read`].
-    pub fn read(&mut self, ppa: Ppa, now: Nanos, origin: OpOrigin) -> Result<(Option<Stamp>, Nanos)> {
+    pub fn read(
+        &mut self,
+        ppa: Ppa,
+        now: Nanos,
+        origin: OpOrigin,
+    ) -> Result<(Option<Stamp>, Nanos)> {
         self.check_ppa(ppa)?;
         let stamp = self.blocks[ppa.block.0 as usize].read(ppa.page)?;
         let plane = self.geo.plane_of(ppa.block);
-        let done = self.sched.read(plane, &self.timing, self.geo.page_bytes, now);
+        let done = self
+            .sched
+            .read(plane, &self.timing, self.geo.page_bytes, now);
         match origin {
             OpOrigin::Host => self.stats.host_reads += 1,
             OpOrigin::Internal => self.stats.internal_reads += 1,
         }
         self.stats.busy += self.timing.read + self.timing.transfer(self.geo.page_bytes as u64);
+        self.trace_op(
+            FlashOpKind::Read,
+            origin,
+            plane,
+            ppa.block,
+            ppa.page,
+            now,
+            done,
+        );
         Ok((stamp, done))
     }
 
@@ -199,12 +263,15 @@ impl FlashDevice {
     ) -> Result<(u32, Nanos)> {
         let page = self.block_mut(block)?.program_next(stamp)?;
         let plane = self.geo.plane_of(block);
-        let done = self.sched.program(plane, &self.timing, self.geo.page_bytes, now);
+        let done = self
+            .sched
+            .program(plane, &self.timing, self.geo.page_bytes, now);
         match origin {
             OpOrigin::Host => self.stats.host_programs += 1,
             OpOrigin::Internal => self.stats.internal_programs += 1,
         }
         self.stats.busy += self.timing.program + self.timing.transfer(self.geo.page_bytes as u64);
+        self.trace_op(FlashOpKind::Program, origin, plane, block, page, now, done);
         Ok((page, done))
     }
 
@@ -214,16 +281,33 @@ impl FlashDevice {
     /// # Errors
     ///
     /// See [`Block::program_at`].
-    pub fn program_at(&mut self, ppa: Ppa, stamp: Stamp, now: Nanos, origin: OpOrigin) -> Result<Nanos> {
+    pub fn program_at(
+        &mut self,
+        ppa: Ppa,
+        stamp: Stamp,
+        now: Nanos,
+        origin: OpOrigin,
+    ) -> Result<Nanos> {
         self.check_ppa(ppa)?;
         self.block_mut(ppa.block)?.program_at(ppa.page, stamp)?;
         let plane = self.geo.plane_of(ppa.block);
-        let done = self.sched.program(plane, &self.timing, self.geo.page_bytes, now);
+        let done = self
+            .sched
+            .program(plane, &self.timing, self.geo.page_bytes, now);
         match origin {
             OpOrigin::Host => self.stats.host_programs += 1,
             OpOrigin::Internal => self.stats.internal_programs += 1,
         }
         self.stats.busy += self.timing.program + self.timing.transfer(self.geo.page_bytes as u64);
+        self.trace_op(
+            FlashOpKind::Program,
+            origin,
+            plane,
+            ppa.block,
+            ppa.page,
+            now,
+            done,
+        );
         Ok(done)
     }
 
@@ -264,6 +348,15 @@ impl FlashDevice {
         let done = self.sched.erase(plane, &self.timing, now);
         self.stats.erases += 1;
         self.stats.busy += self.timing.erase;
+        self.trace_op(
+            FlashOpKind::Erase,
+            OpOrigin::Internal,
+            plane,
+            block,
+            0,
+            now,
+            done,
+        );
         Ok(EraseOutcome { done, retired })
     }
 
@@ -277,7 +370,12 @@ impl FlashDevice {
     /// Fails if the source page is unwritten or invalid
     /// ([`FlashError::ReadUnwritten`] — copying dead data forward is an
     /// FTL bug), or if the destination cannot be programmed.
-    pub fn copy_page(&mut self, src: Ppa, dst_block: BlockId, now: Nanos) -> Result<(u32, Stamp, Nanos)> {
+    pub fn copy_page(
+        &mut self,
+        src: Ppa,
+        dst_block: BlockId,
+        now: Nanos,
+    ) -> Result<(u32, Stamp, Nanos)> {
         self.check_ppa(src)?;
         let stamp = match self.blocks[src.block.0 as usize].read(src.page)? {
             Some(s) => s,
@@ -289,6 +387,15 @@ impl FlashDevice {
         let done = self.sched.copy(src_plane, dst_plane, &self.timing, now);
         self.stats.copies += 1;
         self.stats.busy += self.timing.read + self.timing.program;
+        self.trace_op(
+            FlashOpKind::Copy,
+            OpOrigin::Internal,
+            dst_plane,
+            dst_block,
+            dst_page,
+            now,
+            done,
+        );
         Ok((dst_page, stamp, done))
     }
 
@@ -459,6 +566,36 @@ mod tests {
         assert_eq!(d.stats().host_programs, 1);
         assert_eq!(d.stats().internal_programs, 1);
         assert!((d.stats().write_amplification() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracer_sees_every_op_with_coordinates() {
+        let mut d = dev();
+        d.set_tracer(Tracer::ring(64));
+        d.program_next(BlockId(9), 1, Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        d.read(Ppa::new(BlockId(9), 0), Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        d.erase(BlockId(0), Nanos::ZERO).unwrap();
+        let events = d.tracer().events();
+        assert_eq!(events.len(), 3);
+        match &events[0].event {
+            bh_trace::Event::Flash(FlashEvent::Op {
+                kind,
+                plane,
+                block,
+                done,
+                start,
+                ..
+            }) => {
+                assert_eq!(*kind, FlashOpKind::Program);
+                // Block 9 lives in plane 1 under small_test geometry.
+                assert_eq!(*plane, 1);
+                assert_eq!(*block, 9);
+                assert!(done > start);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -119,14 +119,25 @@ impl Geometry {
         plane.0 / (self.dies_per_channel * self.planes_per_die)
     }
 
+    /// The die containing a plane, numbered globally across the device.
+    pub fn die_of(&self, plane: PlaneId) -> u32 {
+        plane.0 / self.planes_per_die
+    }
+
     /// The `index`-th block within `plane`.
     ///
     /// # Panics
     ///
     /// Panics if `plane` or `index` is out of range.
     pub fn block_in_plane(&self, plane: PlaneId, index: u32) -> BlockId {
-        assert!(plane.0 < self.total_planes(), "plane {plane:?} out of range");
-        assert!(index < self.blocks_per_plane, "block index {index} out of range");
+        assert!(
+            plane.0 < self.total_planes(),
+            "plane {plane:?} out of range"
+        );
+        assert!(
+            index < self.blocks_per_plane,
+            "block index {index} out of range"
+        );
         BlockId(plane.0 * self.blocks_per_plane + index)
     }
 

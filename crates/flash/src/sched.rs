@@ -55,6 +55,12 @@ impl ResourceModel {
         self.plane_busy[plane.0 as usize]
     }
 
+    /// Counts planes still occupied at `now` — an instantaneous queue-depth
+    /// proxy for the array, used by the trace sampler.
+    pub fn busy_planes(&self, now: Nanos) -> u32 {
+        self.plane_free.iter().filter(|&&free| free > now).count() as u32
+    }
+
     fn occupy_plane(&mut self, plane: PlaneId, from: Nanos, dur: Nanos) -> (Nanos, Nanos) {
         let idx = plane.0 as usize;
         let start = from.max(self.plane_free[idx]);
@@ -74,15 +80,28 @@ impl ResourceModel {
 
     /// Schedules a page read issued at `now`: array sense on the plane,
     /// then transfer over the channel. Returns the completion instant.
-    pub fn read(&mut self, plane: PlaneId, timing: &TimingSpec, page_bytes: u32, now: Nanos) -> Nanos {
+    pub fn read(
+        &mut self,
+        plane: PlaneId,
+        timing: &TimingSpec,
+        page_bytes: u32,
+        now: Nanos,
+    ) -> Nanos {
         let (_, array_end) = self.occupy_plane(plane, now, timing.read);
-        let (_, bus_end) = self.occupy_channel(plane, array_end, timing.transfer(page_bytes as u64));
+        let (_, bus_end) =
+            self.occupy_channel(plane, array_end, timing.transfer(page_bytes as u64));
         bus_end
     }
 
     /// Schedules a page program issued at `now`: transfer over the channel,
     /// then array program on the plane. Returns the completion instant.
-    pub fn program(&mut self, plane: PlaneId, timing: &TimingSpec, page_bytes: u32, now: Nanos) -> Nanos {
+    pub fn program(
+        &mut self,
+        plane: PlaneId,
+        timing: &TimingSpec,
+        page_bytes: u32,
+        now: Nanos,
+    ) -> Nanos {
         let (_, bus_end) = self.occupy_channel(plane, now, timing.transfer(page_bytes as u64));
         let (_, array_end) = self.occupy_plane(plane, bus_end, timing.program);
         array_end
@@ -119,7 +138,10 @@ mod tests {
     use crate::geometry::Geometry;
 
     fn setup() -> (ResourceModel, TimingSpec) {
-        (ResourceModel::new(&Geometry::small_test()), CellKind::Tlc.timing())
+        (
+            ResourceModel::new(&Geometry::small_test()),
+            CellKind::Tlc.timing(),
+        )
     }
 
     #[test]

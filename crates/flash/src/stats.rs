@@ -35,11 +35,17 @@ impl FlashStats {
 
     /// Write amplification factor: physical programs per host program.
     ///
-    /// Returns `1.0` when no host programs have occurred (an idle device
-    /// amplifies nothing).
+    /// Returns `1.0` when the device is idle (no programs from any
+    /// origin), and `f64::INFINITY` when internal work happened without a
+    /// single host program — previously this case was misreported as
+    /// `1.0`, hiding pure-overhead intervals from interval-WA series.
     pub fn write_amplification(&self) -> f64 {
         if self.host_programs == 0 {
-            return 1.0;
+            return if self.internal_programs + self.copies == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.total_programs() as f64 / self.host_programs as f64
     }
@@ -70,6 +76,20 @@ mod tests {
     #[test]
     fn wa_is_one_when_idle() {
         assert_eq!(FlashStats::default().write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn wa_is_infinite_for_pure_internal_work() {
+        let s = FlashStats {
+            internal_programs: 4,
+            ..FlashStats::default()
+        };
+        assert!(s.write_amplification().is_infinite());
+        let c = FlashStats {
+            copies: 1,
+            ..FlashStats::default()
+        };
+        assert!(c.write_amplification().is_infinite());
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::sched::ReclaimPolicy;
 use crate::zalloc::ZonedLocation;
 use crate::Result;
 use bh_metrics::Nanos;
+use bh_trace::{HostEvent, Tracer};
 use bh_zns::{ZnsDevice, ZoneId, ZoneState};
 
 /// Counters for the emulation layer.
@@ -115,6 +116,7 @@ pub struct BlockEmu {
     last_io: Nanos,
     stamp_counter: u64,
     stats: EmuStats,
+    tracer: Tracer,
 }
 
 impl BlockEmu {
@@ -161,7 +163,20 @@ impl BlockEmu {
             last_io: Nanos::ZERO,
             stamp_counter: 0,
             stats: EmuStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer, cascading it into the underlying ZNS device so
+    /// one ring receives host reclaim events and device events in order.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.dev.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The tracer currently installed (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Enables hot/cold stream separation (§4.1's application-aware
@@ -218,9 +233,17 @@ impl BlockEmu {
     /// Host-level write amplification: `(host writes + relocations) /
     /// host writes`. Equals the flash-level WA because zones are only
     /// erased when fully dead.
+    ///
+    /// Returns `1.0` when nothing was written at all and `f64::INFINITY`
+    /// when relocation work happened without a single host write (the same
+    /// convention as `FlashStats::write_amplification`).
     pub fn write_amplification(&self) -> f64 {
         if self.stats.host_writes == 0 {
-            return 1.0;
+            return if self.stats.relocated == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         (self.stats.host_writes + self.stats.relocated) as f64 / self.stats.host_writes as f64
     }
@@ -305,25 +328,25 @@ impl BlockEmu {
             h
         } else {
             match self.streams {
-            StreamMap::Single => 0,
-            StreamMap::HotCold { threshold } => {
-                let h = &mut self.heat[lba as usize];
-                *h = h.saturating_add(1);
-                self.writes_since_decay += 1;
-                if self.writes_since_decay >= self.map.len() as u64 {
-                    // Periodic decay keeps the classification adaptive.
-                    for v in &mut self.heat {
-                        *v /= 2;
+                StreamMap::Single => 0,
+                StreamMap::HotCold { threshold } => {
+                    let h = &mut self.heat[lba as usize];
+                    *h = h.saturating_add(1);
+                    self.writes_since_decay += 1;
+                    if self.writes_since_decay >= self.map.len() as u64 {
+                        // Periodic decay keeps the classification adaptive.
+                        for v in &mut self.heat {
+                            *v /= 2;
+                        }
+                        self.writes_since_decay = 0;
                     }
-                    self.writes_since_decay = 0;
+                    usize::from(self.heat[lba as usize] >= threshold)
                 }
-                usize::from(self.heat[lba as usize] >= threshold)
-            }
-            StreamMap::Region { regions } => {
-                (lba * regions as u64 / self.map.len() as u64) as usize
-            }
-            // Unhinted writes into hinted mode default to stream 0.
-            StreamMap::Hinted { .. } => 0,
+                StreamMap::Region { regions } => {
+                    (lba * regions as u64 / self.map.len() as u64) as usize
+                }
+                // Unhinted writes into hinted mode default to stream 0.
+                StreamMap::Hinted { .. } => 0,
             }
         };
         let zone = match self.frontiers[stream] {
@@ -331,6 +354,15 @@ impl BlockEmu {
             _ => {
                 let z = self.alloc_zone()?;
                 self.frontiers[stream] = Some(z);
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        now,
+                        HostEvent::ZoneAlloc {
+                            class: stream as u32,
+                            zone: z.0,
+                        },
+                    );
+                }
                 z
             }
         };
@@ -397,6 +429,16 @@ impl BlockEmu {
                 high_zones,
             } => (free <= low_zones, high_zones),
         };
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                now,
+                HostEvent::ReclaimGate {
+                    policy: self.policy.name(),
+                    free_zones: free,
+                    ran: gate || emergency,
+                },
+            );
+        }
         if !gate && !emergency {
             return Ok((0, now));
         }
@@ -474,6 +516,17 @@ impl BlockEmu {
             .enumerate()
             .filter_map(|(off, lba)| lba.map(|l| (off as u64, l)))
             .collect();
+        let span = self.tracer.begin_span();
+        if self.tracer.enabled() {
+            self.tracer.emit_span(
+                now,
+                span,
+                HostEvent::ReclaimBegin {
+                    victim: victim.0,
+                    live: entries.len() as u64,
+                },
+            );
+        }
         let mut t = now;
         // Relocate in chunks that fit the GC frontier.
         let mut idx = 0;
@@ -490,10 +543,7 @@ impl BlockEmu {
                     // quality, not correctness).
                     Err(HostError::NoFreeZone) => {
                         let fallback = self.frontiers.iter().flatten().copied().find(|&c| {
-                            self.dev
-                                .zone(c)
-                                .map(|z| z.remaining() > 0)
-                                .unwrap_or(false)
+                            self.dev.zone(c).map(|z| z.remaining() > 0).unwrap_or(false)
                         });
                         match fallback {
                             Some(c) => c,
@@ -544,6 +594,16 @@ impl BlockEmu {
         let done = self.dev.reset(victim, t)?;
         self.free.push(victim);
         self.stats.resets += 1;
+        if self.tracer.enabled() {
+            self.tracer.emit_span(
+                done,
+                span,
+                HostEvent::ReclaimEnd {
+                    victim: victim.0,
+                    relocated: entries.len() as u64,
+                },
+            );
+        }
         Ok(done)
     }
 }
@@ -589,7 +649,9 @@ mod tests {
         }
         let mut x = 5u64;
         for i in 0..3 * cap {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lba = x % cap;
             t = e.write(lba, t).unwrap();
             if i % 64 == 0 {
@@ -698,7 +760,9 @@ mod tests {
             }
             let mut x = 77u64;
             for _ in 0..6 * cap {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let lba = if x % 10 < 9 { x % (cap / 20) } else { x % cap };
                 t = e.write(lba, t).unwrap();
                 t = e.maybe_reclaim(t).unwrap().1;
@@ -756,7 +820,65 @@ mod tests {
             separated < blind * 0.7,
             "region streams should slash WA: blind {blind:.2}, regions {separated:.2}"
         );
-        assert!(separated < 1.6, "regional WA should be near 1, got {separated:.2}");
+        assert!(
+            separated < 1.6,
+            "regional WA should be near 1, got {separated:.2}"
+        );
+    }
+
+    #[test]
+    fn reclaim_traces_gates_and_balanced_spans() {
+        use bh_trace::{Event, HostEvent, Tracer};
+        let mut e = emu(ReclaimPolicy::Immediate);
+        e.set_tracer(Tracer::ring(1 << 16));
+        let cap = e.capacity_pages();
+        let mut t = Nanos::ZERO;
+        for i in 0..4 * cap {
+            t = e.write(i % cap, t).unwrap();
+            if i % 32 == 0 {
+                t = e.maybe_reclaim(t).unwrap().1;
+            }
+        }
+        let events = e.tracer().events();
+        let mut gates = 0;
+        let mut begins = std::collections::HashMap::new();
+        let mut ends = 0u64;
+        for ev in &events {
+            match ev.event {
+                Event::Host(HostEvent::ReclaimGate { policy, .. }) => {
+                    assert_eq!(policy, "immediate");
+                    gates += 1;
+                }
+                Event::Host(HostEvent::ReclaimBegin { victim, live }) => {
+                    assert!(ev.span.is_some());
+                    begins.insert(ev.span, (victim, live, ev.at));
+                }
+                Event::Host(HostEvent::ReclaimEnd { victim, relocated }) => {
+                    let (bv, live, begun) =
+                        begins.remove(&ev.span).expect("end without matching begin");
+                    assert_eq!(bv, victim);
+                    assert_eq!(relocated, live);
+                    assert!(ev.at >= begun);
+                    ends += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(gates > 0, "gate decisions should be traced");
+        assert!(ends > 0, "reclaim episodes should be traced");
+        assert!(
+            begins.is_empty(),
+            "every reclaim begin should have an end: {begins:?}"
+        );
+        assert_eq!(ends, e.stats().resets);
+    }
+
+    #[test]
+    fn wa_is_infinite_for_pure_relocation() {
+        let mut e = emu(ReclaimPolicy::Immediate);
+        assert_eq!(e.write_amplification(), 1.0);
+        e.stats.relocated = 5;
+        assert!(e.write_amplification().is_infinite());
     }
 
     #[test]

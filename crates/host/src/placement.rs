@@ -219,7 +219,10 @@ impl ObjectStore {
     ///
     /// Returns [`HostError::NoSuchObject`] for unknown ids.
     pub fn delete(&mut self, id: u64, _now: Nanos) -> Result<()> {
-        let meta = self.objects.remove(&id).ok_or(HostError::NoSuchObject(id))?;
+        let meta = self
+            .objects
+            .remove(&id)
+            .ok_or(HostError::NoSuchObject(id))?;
         for loc in &meta.locations {
             self.live[loc.zone.0 as usize] -= 1;
         }
@@ -397,7 +400,9 @@ mod tests {
         let mut t = Nanos::ZERO;
         // Interleave short-lived (even) and long-lived (odd) objects.
         for id in 0..32u64 {
-            t = s.put(id, 4, (id % 2) as u32, Nanos::from_secs(1), t).unwrap();
+            t = s
+                .put(id, 4, (id % 2) as u32, Nanos::from_secs(1), t)
+                .unwrap();
         }
         for id in (0..32u64).step_by(2) {
             s.delete(id, t).unwrap();
@@ -424,7 +429,9 @@ mod tests {
         let mut s = ObjectStore::new(dev(), PlacementPolicy::ByOwner { streams: 4 });
         let mut t = Nanos::ZERO;
         for id in 0..16u64 {
-            t = s.put(id, 4, (id % 2) as u32, Nanos::from_secs(1), t).unwrap();
+            t = s
+                .put(id, 4, (id % 2) as u32, Nanos::from_secs(1), t)
+                .unwrap();
         }
         for id in (0..16u64).step_by(2) {
             s.delete(id, t).unwrap();
@@ -440,7 +447,11 @@ mod tests {
             }
         }
         s.reclaim(t, 7).unwrap();
-        assert_eq!(s.stats().relocated, 0, "segregated dead zone needs no copies");
+        assert_eq!(
+            s.stats().relocated,
+            0,
+            "segregated dead zone needs no copies"
+        );
         assert!(s.stats().resets >= 1);
         // Owner 1's survivors are untouched and readable.
         let (stamp, _) = s.read(1, 0, t).unwrap();
@@ -467,12 +478,10 @@ mod tests {
         // Streaming workload: objects arrive, live a fixed time, die.
         let mut s = ObjectStore::new(dev(), PlacementPolicy::Temporal);
         let mut t = Nanos::ZERO;
-        let mut next_id = 0u64;
         let mut alive = std::collections::VecDeque::new();
-        for _ in 0..200 {
+        for next_id in 0u64..200 {
             t = s.put(next_id, 2, 0, Nanos::ZERO, t).unwrap();
             alive.push_back(next_id);
-            next_id += 1;
             if alive.len() > 40 {
                 let dead = alive.pop_front().unwrap();
                 s.delete(dead, t).unwrap();

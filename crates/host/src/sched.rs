@@ -32,9 +32,24 @@ pub enum ReclaimPolicy {
 }
 
 impl ReclaimPolicy {
+    /// Stable short name for reports and trace events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReclaimPolicy::Immediate => "immediate",
+            ReclaimPolicy::IdleOnly { .. } => "idle-only",
+            ReclaimPolicy::Watermark { .. } => "watermark",
+        }
+    }
+
     /// Decides whether reclaim should run, given the current free-zone
     /// count, the device's last-I/O instant, and the current instant.
-    pub fn should_reclaim(&self, free_zones: u32, last_io: Nanos, now: Nanos, emergency_zones: u32) -> bool {
+    pub fn should_reclaim(
+        &self,
+        free_zones: u32,
+        last_io: Nanos,
+        now: Nanos,
+        emergency_zones: u32,
+    ) -> bool {
         if free_zones <= emergency_zones {
             // Every policy yields to an out-of-space emergency.
             return true;

@@ -11,6 +11,7 @@
 use crate::error::HostError;
 use crate::Result;
 use bh_metrics::Nanos;
+use bh_trace::{HostEvent, Tracer};
 use bh_zns::{ZnsDevice, ZoneId, ZoneState};
 use std::collections::HashMap;
 
@@ -42,12 +43,21 @@ pub struct ZoneAllocator {
     open: HashMap<LifetimeClass, ZoneId>,
     /// Zones this allocator has handed out and not yet seen reset.
     owned: Vec<ZoneId>,
+    /// Records class→zone allocation events; disabled by default.
+    tracer: Tracer,
 }
 
 impl ZoneAllocator {
     /// Creates an allocator with no zones.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs a tracer. The allocator does not own the device, so this
+    /// does not cascade; give the device the same tracer handle for one
+    /// merged stream.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The zone currently open for `class`, if any.
@@ -104,6 +114,15 @@ impl ZoneAllocator {
                 let z = self.find_empty(dev)?;
                 self.open.insert(class, z);
                 self.owned.push(z);
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        now,
+                        HostEvent::ZoneAlloc {
+                            class: class.0,
+                            zone: z.0,
+                        },
+                    );
+                }
                 z
             }
         };

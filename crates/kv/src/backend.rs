@@ -26,6 +26,7 @@ use crate::Result;
 use bh_conv::ConvSsd;
 use bh_host::{HostError, LifetimeClass, ZoneAllocator, ZonedLocation};
 use bh_metrics::Nanos;
+use bh_trace::Tracer;
 use bh_zns::{ZnsDevice, ZoneId, ZoneState};
 use std::collections::HashMap;
 
@@ -96,6 +97,10 @@ pub trait StorageBackend {
 
     /// Total pages the host asked the device to write (for app-level WA).
     fn host_pages_written(&self) -> u64;
+
+    /// Installs a tracer on the underlying device(s). Backends without
+    /// instrumentation may ignore it.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 }
 
 /// In-memory file body plus flush bookkeeping shared by both backends.
@@ -197,8 +202,8 @@ impl ConvBackend {
             // provenance; model the resulting decorrelated reuse by
             // picking a hashed position instead of strict LIFO.
             self.reuse_counter = self.reuse_counter.wrapping_add(1);
-            let idx =
-                (self.reuse_counter.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as usize % self.free_lbas.len();
+            let idx = (self.reuse_counter.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as usize
+                % self.free_lbas.len();
             return Ok(self.free_lbas.swap_remove(idx));
         }
         if self.next_lba < self.ssd.capacity_pages() {
@@ -206,7 +211,9 @@ impl ConvBackend {
             self.next_lba += 1;
             return Ok(l);
         }
-        Err(KvError::Device("conventional SSD out of logical space".into()))
+        Err(KvError::Device(
+            "conventional SSD out of logical space".into(),
+        ))
     }
 
     fn write_page(&mut self, lba: u64, now: Nanos) -> Result<Nanos> {
@@ -271,7 +278,7 @@ impl StorageBackend for ConvBackend {
         let (has_tail, existing) = {
             let fb = self.files.get(&f).ok_or(KvError::NoSuchFile(f.0))?;
             (
-                fb.content.len() as u64 % page != 0,
+                !(fb.content.len() as u64).is_multiple_of(page),
                 fb.synced_tail,
             )
         };
@@ -360,6 +367,10 @@ impl StorageBackend for ConvBackend {
 
     fn host_pages_written(&self) -> u64 {
         self.host_pages
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.ssd.set_tracer(tracer);
     }
 }
 
@@ -470,9 +481,7 @@ impl ZnsBackend {
         let dead: Vec<ZoneId> = self
             .dev
             .zones()
-            .filter(|z| {
-                z.state() == ZoneState::Full && self.live[z.id().0 as usize] == 0
-            })
+            .filter(|z| z.state() == ZoneState::Full && self.live[z.id().0 as usize] == 0)
             .map(|z| z.id())
             .collect();
         for z in &dead {
@@ -552,7 +561,7 @@ impl StorageBackend for ZnsBackend {
         let (has_tail, class, old_tail) = {
             let fb = self.files.get(&f).ok_or(KvError::NoSuchFile(f.0))?;
             (
-                fb.content.len() as u64 % page != 0,
+                !(fb.content.len() as u64).is_multiple_of(page),
                 fb.hint.class(),
                 fb.synced_tail,
             )
@@ -649,6 +658,11 @@ impl StorageBackend for ZnsBackend {
 
     fn host_pages_written(&self) -> u64 {
         self.host_pages
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.alloc.set_tracer(tracer.clone());
+        self.dev.set_tracer(tracer);
     }
 }
 

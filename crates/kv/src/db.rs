@@ -16,6 +16,7 @@ use crate::memtable::{Memtable, Mutation};
 use crate::sst::{decode_entry, encode_entry, Sst, SstBuilder};
 use crate::Result;
 use bh_metrics::Nanos;
+use bh_trace::{KvEvent, Tracer};
 
 /// Tuning parameters for a [`Db`].
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +107,7 @@ pub struct Db<B: StorageBackend> {
     levels: Vec<Vec<Sst>>,
     seq: u64,
     stats: DbStats,
+    tracer: Tracer,
 }
 
 impl<B: StorageBackend> Db<B> {
@@ -121,7 +123,20 @@ impl<B: StorageBackend> Db<B> {
             levels: vec![Vec::new()],
             seq: 0,
             stats: DbStats::default(),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Installs a tracer, cascading it into the storage backend so LSM
+    /// events and device events share one ordered stream.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.backend.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The tracer currently installed (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Activity counters.
@@ -142,8 +157,7 @@ impl<B: StorageBackend> Db<B> {
     fn write_internal(&mut self, key: Vec<u8>, mutation: Mutation, now: Nanos) -> Result<Nanos> {
         self.seq += 1;
         self.stats.writes += 1;
-        self.stats.app_bytes +=
-            (key.len() + mutation.as_ref().map(Vec::len).unwrap_or(0)) as u64;
+        self.stats.app_bytes += (key.len() + mutation.as_ref().map(Vec::len).unwrap_or(0)) as u64;
         let mut record = Vec::new();
         encode_entry(&mut record, &key, self.seq, &mutation);
         let mut t = self.backend.append(self.wal, &record, now)?;
@@ -217,6 +231,16 @@ impl<B: StorageBackend> Db<B> {
         let (sst, done) = builder.finish(&mut self.backend, t)?;
         t = done;
         self.stats.sst_bytes_written += sst.data_bytes;
+        if self.tracer.enabled() {
+            let page = self.backend.page_bytes() as u64;
+            self.tracer.emit(
+                t,
+                KvEvent::Flush {
+                    entries: entries.len() as u64,
+                    pages: sst.data_bytes.div_ceil(page),
+                },
+            );
+        }
         self.levels[0].push(sst);
         self.stats.flushes += 1;
         // The WAL's contents are now durable in the SST; replace it.
@@ -283,8 +307,16 @@ impl<B: StorageBackend> Db<B> {
             // smallest key (simple deterministic pick).
             vec![self.levels[level].remove(0)]
         };
-        let smallest = upper.iter().map(|s| s.smallest.clone()).min().expect("inputs");
-        let largest = upper.iter().map(|s| s.largest.clone()).max().expect("inputs");
+        let smallest = upper
+            .iter()
+            .map(|s| s.smallest.clone())
+            .min()
+            .expect("inputs");
+        let largest = upper
+            .iter()
+            .map(|s| s.largest.clone())
+            .max()
+            .expect("inputs");
         // Overlapping files in the level below.
         let lower_level = &mut self.levels[level + 1];
         let mut lower = Vec::new();
@@ -328,11 +360,15 @@ impl<B: StorageBackend> Db<B> {
             if is_bottom && mutation.is_none() {
                 continue;
             }
-            let b = builder
-                .get_or_insert_with(|| SstBuilder::new(&mut self.backend, out_level, self.cfg.block_bytes));
+            let b = builder.get_or_insert_with(|| {
+                SstBuilder::new(&mut self.backend, out_level, self.cfg.block_bytes)
+            });
             t = b.add(&mut self.backend, &key, seq, &mutation, t)?;
             if b.data_bytes() >= self.cfg.sst_bytes {
-                let (sst, done) = builder.take().expect("just used").finish(&mut self.backend, t)?;
+                let (sst, done) = builder
+                    .take()
+                    .expect("just used")
+                    .finish(&mut self.backend, t)?;
                 t = done;
                 self.stats.sst_bytes_written += sst.data_bytes;
                 outputs.push(sst);
@@ -348,6 +384,17 @@ impl<B: StorageBackend> Db<B> {
         }
 
         // Install outputs sorted by key; delete inputs.
+        if self.tracer.enabled() {
+            let page = self.backend.page_bytes() as u64;
+            let pages_out: u64 = outputs.iter().map(|s| s.data_bytes.div_ceil(page)).sum();
+            self.tracer.emit(
+                t,
+                KvEvent::Compaction {
+                    tables_in: (upper.len() + lower.len()) as u32,
+                    pages_out,
+                },
+            );
+        }
         let lower_level = &mut self.levels[level + 1];
         lower_level.extend(outputs);
         lower_level.sort_by(|a, b| a.smallest.cmp(&b.smallest));
@@ -501,7 +548,10 @@ mod tests {
         t = db.flush(t).unwrap();
         let _ = db.maybe_compact(t).unwrap();
         let counts = db.level_file_counts();
-        assert!(counts[0] <= small_cfg().l0_files, "L0 over target: {counts:?}");
+        assert!(
+            counts[0] <= small_cfg().l0_files,
+            "L0 over target: {counts:?}"
+        );
         assert!(db.stats().compactions > 0);
         // Deeper levels are sorted and non-overlapping.
         for level in db.levels.iter().skip(1) {
@@ -509,6 +559,31 @@ mod tests {
                 assert!(w[0].largest < w[1].smallest);
             }
         }
+    }
+
+    #[test]
+    fn flushes_and_compactions_are_traced() {
+        use bh_trace::{Event, KvEvent, Tracer};
+        let mut db = conv_db();
+        db.set_tracer(Tracer::ring(1 << 20));
+        let mut t = Nanos::ZERO;
+        for i in 0..3000u64 {
+            t = db.put(key(i % 600), value(i), t).unwrap();
+        }
+        let events = db.tracer().events();
+        let flushes = events
+            .iter()
+            .filter(|e| matches!(e.event, Event::Kv(KvEvent::Flush { .. })))
+            .count() as u64;
+        let compactions = events
+            .iter()
+            .filter(|e| matches!(e.event, Event::Kv(KvEvent::Compaction { .. })))
+            .count() as u64;
+        assert_eq!(flushes, db.stats().flushes);
+        assert_eq!(compactions, db.stats().compactions);
+        assert!(flushes > 0 && compactions > 0);
+        // The cascade reaches the device: flash ops land in the same ring.
+        assert!(events.iter().any(|e| matches!(e.event, Event::Flash(_))));
     }
 
     #[test]

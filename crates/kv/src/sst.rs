@@ -19,6 +19,9 @@ use crate::memtable::Mutation;
 use crate::Result;
 use bh_metrics::Nanos;
 
+/// One decoded entry: key, sequence number, mutation.
+pub type ScanEntry = (Vec<u8>, u64, Mutation);
+
 /// Tombstones are encoded with this value-length marker.
 const TOMBSTONE: u32 = u32::MAX;
 /// Footer: index_off, index_len, bloom_off, bloom_len (4 × u64).
@@ -132,7 +135,10 @@ impl Sst {
             return Ok((None, now));
         }
         // Last block whose first key <= key.
-        let idx = match self.index.partition_point(|e| e.first_key.as_slice() <= key) {
+        let idx = match self
+            .index
+            .partition_point(|e| e.first_key.as_slice() <= key)
+        {
             0 => return Ok((None, now)),
             n => n - 1,
         };
@@ -157,7 +163,7 @@ impl Sst {
         &self,
         backend: &mut dyn StorageBackend,
         now: Nanos,
-    ) -> Result<(Vec<(Vec<u8>, u64, Mutation)>, Nanos)> {
+    ) -> Result<(Vec<ScanEntry>, Nanos)> {
         let mut out = Vec::with_capacity(self.entries as usize);
         let mut t = now;
         for entry in &self.index {
@@ -452,7 +458,10 @@ mod tests {
             decode_entry(&buf, &mut at).unwrap(),
             (b"k1".to_vec(), 7, Some(b"v1".to_vec()))
         );
-        assert_eq!(decode_entry(&buf, &mut at).unwrap(), (b"k2".to_vec(), 8, None));
+        assert_eq!(
+            decode_entry(&buf, &mut at).unwrap(),
+            (b"k2".to_vec(), 8, None)
+        );
         assert_eq!(at, buf.len());
     }
 

@@ -70,8 +70,8 @@ impl Histogram {
         // 2^m <= value < 2^(m+1), with m >= 6.
         let m = 63 - value.leading_zeros();
         let region = (m - 5) as usize; // 1-based region number.
-        // Shifting by (m - 5) puts the value in [32, 64); the low 5 bits
-        // after removing the implicit MSB select the sub-bucket.
+                                       // Shifting by (m - 5) puts the value in [32, 64); the low 5 bits
+                                       // after removing the implicit MSB select the sub-bucket.
         let sub = (value >> (m - 5)) as usize - SUBS;
         LINEAR as usize + (region - 1) * SUBS + sub
     }
@@ -301,7 +301,10 @@ mod tests {
         for &(q, expect_us) in &[(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
             let got = h.quantile(q).as_micros_f64();
             let rel = (got - expect_us).abs() / expect_us;
-            assert!(rel < 0.04, "q={q}: got {got}, expected {expect_us}, rel {rel}");
+            assert!(
+                rel < 0.04,
+                "q={q}: got {got}, expected {expect_us}, rel {rel}"
+            );
         }
     }
 

@@ -91,8 +91,14 @@ impl Taxonomy {
     pub fn tabulate(records: &[PaperRecord]) -> Self {
         let mut t = Taxonomy::default();
         for r in records {
-            let v = Venue::ALL.iter().position(|&x| x == r.venue).expect("venue");
-            let i = Impact::ALL.iter().position(|&x| x == r.impact).expect("impact");
+            let v = Venue::ALL
+                .iter()
+                .position(|&x| x == r.venue)
+                .expect("venue");
+            let i = Impact::ALL
+                .iter()
+                .position(|&x| x == r.impact)
+                .expect("impact");
             t.counts[v][i] += 1;
         }
         t
@@ -101,7 +107,10 @@ impl Taxonomy {
     /// Count for one venue/category cell.
     pub fn count(&self, venue: Venue, impact: Impact) -> u32 {
         let v = Venue::ALL.iter().position(|&x| x == venue).expect("venue");
-        let i = Impact::ALL.iter().position(|&x| x == impact).expect("impact");
+        let i = Impact::ALL
+            .iter()
+            .position(|&x| x == impact)
+            .expect("impact");
         self.counts[v][i]
     }
 

@@ -1,0 +1,524 @@
+//! Trace export: JSONL (full schema, one event per line) and Chrome
+//! `trace_event` JSON (loadable in Perfetto / `chrome://tracing`).
+//!
+//! Chrome-trace mapping:
+//!
+//! - flash operations → `"X"` complete events on per-die tracks
+//!   (`pid` "flash", `tid` = global die index);
+//! - conventional-FTL GC episodes → `"B"`/`"E"` duration spans, one
+//!   track per plane — episodes still open at the end of the recording
+//!   window are closed at the last observed instant so every span is a
+//!   well-formed duration;
+//! - host reclaim episodes → `"B"`/`"E"` spans likewise;
+//! - zone state transitions and limit stalls → `"i"` instant events;
+//! - runner snapshots → `"C"` counter events (WA and queue depth).
+//!
+//! Per-write append events are deliberately JSONL-only: a steady-state
+//! run emits one per page and would swamp the timeline view.
+
+use crate::event::{
+    CacheEvent, ConvEvent, Event, FlashEvent, HostEvent, KvEvent, RunnerEvent, TracedEvent,
+    ZnsEvent,
+};
+use bh_json::Json;
+use bh_metrics::Nanos;
+
+/// Serializes one event to its flat JSONL schema.
+pub fn event_json(ev: &TracedEvent) -> Json {
+    let mut j = Json::obj();
+    j.set("seq", ev.seq)
+        .set("ns", ev.at.as_nanos())
+        .set("span", ev.span.0)
+        .set("subsystem", ev.subsystem().name());
+    match ev.event {
+        Event::Flash(FlashEvent::Op {
+            kind,
+            origin,
+            channel,
+            die,
+            plane,
+            block,
+            page,
+            start,
+            done,
+        }) => {
+            j.set("type", kind.name())
+                .set("origin", origin.name())
+                .set("channel", channel)
+                .set("die", die)
+                .set("plane", plane)
+                .set("block", block)
+                .set("page", page)
+                .set("start_ns", start.as_nanos())
+                .set("done_ns", done.as_nanos());
+        }
+        Event::Conv(ConvEvent::GcBegin {
+            plane,
+            victim,
+            valid,
+            invalid,
+        }) => {
+            j.set("type", "gc-begin")
+                .set("plane", plane)
+                .set("victim", victim)
+                .set("valid", valid)
+                .set("invalid", invalid);
+        }
+        Event::Conv(ConvEvent::GcEnd {
+            plane,
+            pages_copied,
+            retired,
+        }) => {
+            j.set("type", "gc-end")
+                .set("plane", plane)
+                .set("pages_copied", pages_copied)
+                .set("retired", retired);
+        }
+        Event::Conv(ConvEvent::WearLevel { block, pages_moved }) => {
+            j.set("type", "wear-level")
+                .set("block", block)
+                .set("pages_moved", pages_moved);
+        }
+        Event::Zns(ZnsEvent::Transition {
+            zone,
+            from,
+            to,
+            cause,
+        }) => {
+            j.set("type", "zone-transition")
+                .set("zone", zone)
+                .set("from", from.name())
+                .set("to", to.name())
+                .set("cause", cause);
+        }
+        Event::Zns(ZnsEvent::Append { zone, wp }) => {
+            j.set("type", "append").set("zone", zone).set("wp", wp);
+        }
+        Event::Zns(ZnsEvent::LimitStall {
+            zone,
+            active,
+            open,
+            kind,
+            limit,
+        }) => {
+            j.set("type", "limit-stall")
+                .set("zone", zone)
+                .set("active", active)
+                .set("open", open)
+                .set("kind", kind)
+                .set("limit", limit);
+        }
+        Event::Host(HostEvent::ReclaimBegin { victim, live }) => {
+            j.set("type", "reclaim-begin")
+                .set("victim", victim)
+                .set("live", live);
+        }
+        Event::Host(HostEvent::ReclaimEnd { victim, relocated }) => {
+            j.set("type", "reclaim-end")
+                .set("victim", victim)
+                .set("relocated", relocated);
+        }
+        Event::Host(HostEvent::ReclaimGate {
+            policy,
+            free_zones,
+            ran,
+        }) => {
+            j.set("type", "reclaim-gate")
+                .set("policy", policy)
+                .set("free_zones", free_zones)
+                .set("ran", ran);
+        }
+        Event::Host(HostEvent::ZoneAlloc { class, zone }) => {
+            j.set("type", "zone-alloc")
+                .set("class", class)
+                .set("zone", zone);
+        }
+        Event::Kv(KvEvent::Flush { entries, pages }) => {
+            j.set("type", "flush")
+                .set("entries", entries)
+                .set("pages", pages);
+        }
+        Event::Kv(KvEvent::Compaction {
+            tables_in,
+            pages_out,
+        }) => {
+            j.set("type", "compaction")
+                .set("tables_in", tables_in)
+                .set("pages_out", pages_out);
+        }
+        Event::Cache(CacheEvent::Evict { pages }) => {
+            j.set("type", "evict").set("pages", pages);
+        }
+        Event::Runner(RunnerEvent::Snapshot {
+            ops_done,
+            interval_wa,
+            cumulative_wa,
+            queue_depth,
+            host_programs,
+            internal_programs,
+            erases,
+        }) => {
+            j.set("type", "snapshot")
+                .set("ops_done", ops_done)
+                .set("interval_wa", interval_wa)
+                .set("cumulative_wa", cumulative_wa)
+                .set("queue_depth", queue_depth)
+                .set("host_programs", host_programs)
+                .set("internal_programs", internal_programs)
+                .set("erases", erases);
+        }
+    }
+    j
+}
+
+/// Exports the full event stream as JSONL, one compact object per line.
+pub fn to_jsonl(events: &[TracedEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_json(ev).dump());
+        out.push('\n');
+    }
+    out
+}
+
+/// Process ids used in the Chrome trace, one per subsystem family.
+mod pid {
+    pub const FLASH: u32 = 1;
+    pub const CONV_GC: u32 = 2;
+    pub const ZNS: u32 = 3;
+    pub const HOST: u32 = 4;
+    pub const RUNNER: u32 = 5;
+}
+
+fn micros(t: Nanos) -> f64 {
+    t.as_nanos() as f64 / 1_000.0
+}
+
+fn chrome_event(ph: &str, name: &str, pid_: u32, tid: u32, ts: f64) -> Json {
+    let mut j = Json::obj();
+    j.set("ph", ph)
+        .set("name", name)
+        .set("pid", pid_)
+        .set("tid", tid)
+        .set("ts", ts);
+    j
+}
+
+fn metadata(pid_: u32, name: &str) -> Json {
+    let mut args = Json::obj();
+    args.set("name", name);
+    let mut j = Json::obj();
+    j.set("ph", "M")
+        .set("name", "process_name")
+        .set("pid", pid_)
+        .set("tid", 0u32)
+        .set("args", args);
+    j
+}
+
+/// Exports a Chrome `trace_event` JSON document.
+///
+/// Episodes (GC, host reclaim) whose end falls outside the recording
+/// window are closed at the last observed instant, and end events whose
+/// begin was evicted from the drop-oldest ring are skipped, so the
+/// output always contains well-formed duration spans.
+pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
+    let mut out: Vec<Json> = vec![
+        metadata(pid::FLASH, "flash (per-die ops)"),
+        metadata(pid::CONV_GC, "conv FTL GC (per-plane episodes)"),
+        metadata(pid::ZNS, "zns zone state machine"),
+        metadata(pid::HOST, "host reclaim"),
+        metadata(pid::RUNNER, "runner samples"),
+    ];
+    let last_ts = micros(events.iter().map(|e| e.at).max().unwrap_or(Nanos::ZERO));
+    // Open B events awaiting their E: (pid, tid, begin ts).
+    let mut open: Vec<(u32, u32, &'static str)> = Vec::new();
+
+    for ev in events {
+        let ts = micros(ev.at);
+        match ev.event {
+            Event::Flash(FlashEvent::Op {
+                kind,
+                origin,
+                die,
+                plane,
+                block,
+                page,
+                start,
+                done,
+                ..
+            }) => {
+                let mut j = chrome_event("X", kind.name(), pid::FLASH, die, micros(start));
+                j.set("dur", micros(done) - micros(start));
+                let mut args = Json::obj();
+                args.set("origin", origin.name())
+                    .set("plane", plane)
+                    .set("block", block)
+                    .set("page", page);
+                j.set("args", args);
+                out.push(j);
+            }
+            Event::Conv(ConvEvent::GcBegin {
+                plane,
+                victim,
+                valid,
+                invalid,
+            }) => {
+                let mut j = chrome_event("B", "gc", pid::CONV_GC, plane, ts);
+                let mut args = Json::obj();
+                args.set("span", ev.span.0)
+                    .set("victim", victim)
+                    .set("valid", valid)
+                    .set("invalid", invalid);
+                j.set("args", args);
+                out.push(j);
+                open.push((pid::CONV_GC, plane, "gc"));
+            }
+            Event::Conv(ConvEvent::GcEnd {
+                plane,
+                pages_copied,
+                retired,
+            }) => {
+                // An end whose begin was evicted from the ring has no
+                // span to close; emitting it would unbalance the track.
+                let Some(pos) = open
+                    .iter()
+                    .position(|&(p, t, _)| p == pid::CONV_GC && t == plane)
+                else {
+                    continue;
+                };
+                open.swap_remove(pos);
+                let mut j = chrome_event("E", "gc", pid::CONV_GC, plane, ts);
+                let mut args = Json::obj();
+                args.set("span", ev.span.0)
+                    .set("pages_copied", pages_copied)
+                    .set("retired", retired);
+                j.set("args", args);
+                out.push(j);
+            }
+            Event::Conv(ConvEvent::WearLevel { block, pages_moved }) => {
+                let mut j = chrome_event("i", "wear-level", pid::CONV_GC, 0, ts);
+                j.set("s", "p");
+                let mut args = Json::obj();
+                args.set("block", block).set("pages_moved", pages_moved);
+                j.set("args", args);
+                out.push(j);
+            }
+            Event::Zns(ZnsEvent::Transition { zone, from, to, .. }) => {
+                let mut j = chrome_event(
+                    "i",
+                    &format!("{}\u{2192}{}", from.name(), to.name()),
+                    pid::ZNS,
+                    zone,
+                    ts,
+                );
+                j.set("s", "t");
+                out.push(j);
+            }
+            Event::Zns(ZnsEvent::Append { .. }) => {
+                // JSONL-only: one event per written page is too dense
+                // for a timeline.
+            }
+            Event::Zns(ZnsEvent::LimitStall { zone, kind, .. }) => {
+                let mut j = chrome_event("i", "limit-stall", pid::ZNS, zone, ts);
+                j.set("s", "p");
+                let mut args = Json::obj();
+                args.set("kind", kind);
+                j.set("args", args);
+                out.push(j);
+            }
+            Event::Host(HostEvent::ReclaimBegin { victim, live }) => {
+                let mut j = chrome_event("B", "reclaim", pid::HOST, 0, ts);
+                let mut args = Json::obj();
+                args.set("span", ev.span.0)
+                    .set("victim", victim)
+                    .set("live", live);
+                j.set("args", args);
+                out.push(j);
+                open.push((pid::HOST, 0, "reclaim"));
+            }
+            Event::Host(HostEvent::ReclaimEnd { relocated, .. }) => {
+                let Some(pos) = open.iter().position(|&(p, _, _)| p == pid::HOST) else {
+                    continue;
+                };
+                open.swap_remove(pos);
+                let mut j = chrome_event("E", "reclaim", pid::HOST, 0, ts);
+                let mut args = Json::obj();
+                args.set("span", ev.span.0).set("relocated", relocated);
+                j.set("args", args);
+                out.push(j);
+            }
+            Event::Host(HostEvent::ReclaimGate { .. })
+            | Event::Host(HostEvent::ZoneAlloc { .. })
+            | Event::Kv(_)
+            | Event::Cache(_) => {
+                // JSONL-only bookkeeping events.
+            }
+            Event::Runner(RunnerEvent::Snapshot {
+                interval_wa,
+                cumulative_wa,
+                queue_depth,
+                ..
+            }) => {
+                let mut wa = chrome_event("C", "write-amplification", pid::RUNNER, 0, ts);
+                let mut args = Json::obj();
+                // Counter tracks cannot draw infinity; clamp for display.
+                args.set("interval", clamp_counter(interval_wa))
+                    .set("cumulative", clamp_counter(cumulative_wa));
+                wa.set("args", args);
+                out.push(wa);
+                let mut qd = chrome_event("C", "queue-depth", pid::RUNNER, 0, ts);
+                let mut args = Json::obj();
+                args.set("busy_planes", queue_depth);
+                qd.set("args", args);
+                out.push(qd);
+            }
+        }
+    }
+
+    // Close any episode still open at the end of the window.
+    for (p, t, name) in open {
+        out.push(chrome_event("E", name, p, t, last_ts));
+    }
+
+    let mut doc = Json::obj();
+    doc.set("traceEvents", Json::Arr(out))
+        .set("displayTimeUnit", "ms");
+    doc.dump()
+}
+
+fn clamp_counter(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FlashOpKind, Origin};
+    use crate::sink::{SpanId, Tracer};
+
+    fn sample_events() -> Vec<TracedEvent> {
+        let t = Tracer::ring(64);
+        let span = t.begin_span();
+        t.emit(
+            Nanos::from_nanos(100),
+            FlashEvent::Op {
+                kind: FlashOpKind::Program,
+                origin: Origin::Host,
+                channel: 0,
+                die: 1,
+                plane: 2,
+                block: 3,
+                page: 4,
+                start: Nanos::from_nanos(100),
+                done: Nanos::from_nanos(600),
+            },
+        );
+        t.emit_span(
+            Nanos::from_nanos(700),
+            span,
+            ConvEvent::GcBegin {
+                plane: 2,
+                victim: 3,
+                valid: 5,
+                invalid: 11,
+            },
+        );
+        t.emit_span(
+            Nanos::from_nanos(900),
+            span,
+            ConvEvent::GcEnd {
+                plane: 2,
+                pages_copied: 5,
+                retired: false,
+            },
+        );
+        t.events()
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_keep_schema() {
+        let jsonl = to_jsonl(&sample_events());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let first = bh_json::parse(lines[0]).unwrap();
+        assert_eq!(first["subsystem"], "flash");
+        assert_eq!(first["type"], "program");
+        assert_eq!(first["die"].as_u64(), Some(1));
+        let begin = bh_json::parse(lines[1]).unwrap();
+        assert_eq!(begin["type"], "gc-begin");
+        assert_eq!(begin["span"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_balanced_spans() {
+        let doc = bh_json::parse(&to_chrome_trace(&sample_events())).unwrap();
+        let events = doc["traceEvents"].as_arr().unwrap();
+        let begins = events.iter().filter(|e| e["ph"] == "B").count();
+        let ends = events.iter().filter(|e| e["ph"] == "E").count();
+        assert_eq!(begins, 1);
+        assert_eq!(ends, 1);
+        assert!(events.iter().any(|e| e["ph"] == "X"));
+    }
+
+    #[test]
+    fn unterminated_episode_gets_closed() {
+        let t = Tracer::ring(8);
+        let span = t.begin_span();
+        t.emit_span(
+            Nanos::from_nanos(10),
+            span,
+            ConvEvent::GcBegin {
+                plane: 0,
+                victim: 1,
+                valid: 2,
+                invalid: 3,
+            },
+        );
+        let doc = bh_json::parse(&to_chrome_trace(&t.events())).unwrap();
+        let events = doc["traceEvents"].as_arr().unwrap();
+        let begins = events.iter().filter(|e| e["ph"] == "B").count();
+        let ends = events.iter().filter(|e| e["ph"] == "E").count();
+        assert_eq!(begins, ends, "every B needs an E");
+    }
+
+    #[test]
+    fn orphan_end_is_skipped() {
+        // A GcEnd whose GcBegin was evicted from the drop-oldest ring
+        // must not produce an unbalanced "E" record.
+        let t = Tracer::ring(8);
+        t.emit(
+            Nanos::from_nanos(50),
+            ConvEvent::GcEnd {
+                plane: 4,
+                pages_copied: 9,
+                retired: true,
+            },
+        );
+        let doc = bh_json::parse(&to_chrome_trace(&t.events())).unwrap();
+        let events = doc["traceEvents"].as_arr().unwrap();
+        assert!(events.iter().all(|e| e["ph"] != "E"));
+        assert!(events.iter().all(|e| e["ph"] != "B"));
+    }
+
+    #[test]
+    fn empty_stream_exports_cleanly() {
+        assert_eq!(to_jsonl(&[]), "");
+        let doc = bh_json::parse(&to_chrome_trace(&[])).unwrap();
+        assert!(doc["traceEvents"].as_arr().unwrap().len() >= 5); // metadata only
+    }
+
+    #[test]
+    fn span_none_is_zero_in_jsonl() {
+        let t = Tracer::ring(4);
+        t.emit(Nanos::ZERO, CacheEvent::Evict { pages: 7 });
+        let line = to_jsonl(&t.events());
+        let j = bh_json::parse(line.trim()).unwrap();
+        assert_eq!(j["span"].as_u64(), Some(0));
+        let _ = SpanId::NONE;
+    }
+}

@@ -1,0 +1,200 @@
+//! Replay helpers: re-derive state from an event stream.
+//!
+//! These are the consistency checks behind the trace tests — if replaying
+//! the recorded transitions does not reproduce the state the device
+//! reports, the instrumentation is lying about what happened.
+
+use crate::event::{ConvEvent, Event, TracedEvent, ZnsEvent, ZoneStateTag};
+use crate::sink::SpanId;
+use bh_metrics::Nanos;
+use std::collections::BTreeMap;
+
+/// Final zone states implied by the recorded `Transition` events.
+///
+/// Zones that never transitioned do not appear (they stayed in their
+/// initial `Empty` state).
+pub fn zone_states(events: &[TracedEvent]) -> BTreeMap<u32, ZoneStateTag> {
+    let mut states = BTreeMap::new();
+    for ev in events {
+        if let Event::Zns(ZnsEvent::Transition { zone, to, .. }) = ev.event {
+            states.insert(zone, to);
+        }
+    }
+    states
+}
+
+/// One reconstructed GC episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcEpisode {
+    /// The span tying begin to end.
+    pub span: SpanId,
+    /// Plane the episode ran on.
+    pub plane: u32,
+    /// Victim block.
+    pub victim: u32,
+    /// Begin instant.
+    pub begin: Nanos,
+    /// End instant, when the episode closed inside the window.
+    pub end: Option<Nanos>,
+    /// Valid pages the begin event promised to migrate.
+    pub valid: u32,
+    /// Pages the end event reported migrated.
+    pub pages_copied: u32,
+}
+
+/// Reconstructs GC episodes from begin/end pairs, validating pairing.
+///
+/// # Errors
+///
+/// Returns a description when the stream is inconsistent: an end without
+/// a begin, two begins on one span, or an end on a different plane than
+/// its begin. (An unfinished trailing begin is *not* an error — the
+/// recording window may close mid-episode.)
+pub fn gc_episodes(events: &[TracedEvent]) -> Result<Vec<GcEpisode>, String> {
+    let mut episodes: Vec<GcEpisode> = Vec::new();
+    let mut open: BTreeMap<SpanId, usize> = BTreeMap::new();
+    for ev in events {
+        match ev.event {
+            Event::Conv(ConvEvent::GcBegin {
+                plane,
+                victim,
+                valid,
+                ..
+            }) => {
+                if open.contains_key(&ev.span) {
+                    return Err(format!("span {} began twice", ev.span.0));
+                }
+                open.insert(ev.span, episodes.len());
+                episodes.push(GcEpisode {
+                    span: ev.span,
+                    plane,
+                    victim,
+                    begin: ev.at,
+                    end: None,
+                    valid,
+                    pages_copied: 0,
+                });
+            }
+            Event::Conv(ConvEvent::GcEnd {
+                plane,
+                pages_copied,
+                ..
+            }) => {
+                let idx = open
+                    .remove(&ev.span)
+                    .ok_or_else(|| format!("span {} ended without beginning", ev.span.0))?;
+                let ep = &mut episodes[idx];
+                if ep.plane != plane {
+                    return Err(format!(
+                        "span {} began on plane {} but ended on plane {}",
+                        ev.span.0, ep.plane, plane
+                    ));
+                }
+                if ev.at < ep.begin {
+                    return Err(format!("span {} ended before it began", ev.span.0));
+                }
+                ep.end = Some(ev.at);
+                ep.pages_copied = pages_copied;
+            }
+            _ => {}
+        }
+    }
+    Ok(episodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ZnsEvent;
+    use crate::sink::Tracer;
+
+    #[test]
+    fn zone_states_keep_last_transition() {
+        let t = Tracer::ring(16);
+        t.emit(
+            Nanos::from_nanos(1),
+            ZnsEvent::Transition {
+                zone: 3,
+                from: ZoneStateTag::Empty,
+                to: ZoneStateTag::ImplicitlyOpened,
+                cause: "write",
+            },
+        );
+        t.emit(
+            Nanos::from_nanos(2),
+            ZnsEvent::Transition {
+                zone: 3,
+                from: ZoneStateTag::ImplicitlyOpened,
+                to: ZoneStateTag::Full,
+                cause: "write",
+            },
+        );
+        let states = zone_states(&t.events());
+        assert_eq!(states.get(&3), Some(&ZoneStateTag::Full));
+        assert_eq!(states.len(), 1);
+    }
+
+    #[test]
+    fn episodes_pair_begin_and_end() {
+        let t = Tracer::ring(16);
+        let s = t.begin_span();
+        t.emit_span(
+            Nanos::from_nanos(5),
+            s,
+            ConvEvent::GcBegin {
+                plane: 1,
+                victim: 9,
+                valid: 4,
+                invalid: 12,
+            },
+        );
+        t.emit_span(
+            Nanos::from_nanos(50),
+            s,
+            ConvEvent::GcEnd {
+                plane: 1,
+                pages_copied: 4,
+                retired: false,
+            },
+        );
+        let eps = gc_episodes(&t.events()).unwrap();
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].end, Some(Nanos::from_nanos(50)));
+        assert_eq!(eps[0].pages_copied, 4);
+    }
+
+    #[test]
+    fn end_without_begin_is_an_error() {
+        let t = Tracer::ring(16);
+        let s = t.begin_span();
+        t.emit_span(
+            Nanos::from_nanos(5),
+            s,
+            ConvEvent::GcEnd {
+                plane: 0,
+                pages_copied: 0,
+                retired: false,
+            },
+        );
+        assert!(gc_episodes(&t.events()).is_err());
+    }
+
+    #[test]
+    fn unfinished_episode_is_tolerated() {
+        let t = Tracer::ring(16);
+        let s = t.begin_span();
+        t.emit_span(
+            Nanos::from_nanos(5),
+            s,
+            ConvEvent::GcBegin {
+                plane: 0,
+                victim: 1,
+                valid: 2,
+                invalid: 3,
+            },
+        );
+        let eps = gc_episodes(&t.events()).unwrap();
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].end, None);
+    }
+}

@@ -90,7 +90,10 @@ impl ObjectStream {
     /// Panics on degenerate configs (zero owners, empty size range).
     pub fn new(cfg: ObjectStreamConfig, seed: u64) -> Self {
         assert!(cfg.owners > 0, "need at least one owner");
-        assert!(cfg.pages.0 >= 1 && cfg.pages.0 <= cfg.pages.1, "bad size range");
+        assert!(
+            cfg.pages.0 >= 1 && cfg.pages.0 <= cfg.pages.1,
+            "bad size range"
+        );
         ObjectStream {
             cfg,
             rng: SmallRng::seed_from_u64(seed),
@@ -106,7 +109,10 @@ impl ObjectStream {
             t += (-u.ln() * self.cfg.arrival_gap_ns as f64) as u64;
             let owner = self.rng.gen_range(0..self.cfg.owners);
             let lifetime = self.cfg.base_lifetime_ns * (owner as u64 + 1);
-            let noise = 1.0 + self.rng.gen_range(-self.cfg.lifetime_noise..=self.cfg.lifetime_noise);
+            let noise = 1.0
+                + self
+                    .rng
+                    .gen_range(-self.cfg.lifetime_noise..=self.cfg.lifetime_noise);
             let death = t + (lifetime as f64 * noise) as u64;
             let pages = self.rng.gen_range(self.cfg.pages.0..=self.cfg.pages.1);
             events.push(ObjectEvent::Put {
@@ -159,12 +165,14 @@ mod tests {
             2,
         );
         let events = s.events(300);
-        let mut lifetime_sum = vec![0u64; 3];
-        let mut counts = vec![0u64; 3];
+        let mut lifetime_sum = [0u64; 3];
+        let mut counts = [0u64; 3];
         let mut puts = std::collections::HashMap::new();
         for e in &events {
             match e {
-                ObjectEvent::Put { at_ns, id, owner, .. } => {
+                ObjectEvent::Put {
+                    at_ns, id, owner, ..
+                } => {
                     puts.insert(*id, (*at_ns, *owner));
                 }
                 ObjectEvent::Delete { at_ns, id } => {

@@ -114,7 +114,11 @@ impl OpStream {
         match self.dist {
             AddressDist::Uniform => self.rng.gen_range(0..self.capacity),
             AddressDist::Zipfian(_) => {
-                let rank = self.zipf.as_ref().expect("built in new").sample(&mut self.rng);
+                let rank = self
+                    .zipf
+                    .as_ref()
+                    .expect("built in new")
+                    .sample(&mut self.rng);
                 // Spread ranks over the space so hot pages are not
                 // physically adjacent.
                 rank.wrapping_mul(0x9E3779B97F4A7C15) % self.capacity

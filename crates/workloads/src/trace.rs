@@ -6,11 +6,10 @@
 //! sequences can be archived with the experiment results.
 
 use crate::synthetic::Op;
-use serde::{Deserialize, Serialize};
+use bh_json::Json;
 
-/// Serializable form of an [`Op`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(tag = "op", content = "lba")]
+/// Serializable form of an [`Op`]. JSON shape: `{"op":"Write","lba":3}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TraceOp {
     /// A page read.
     Read(u64),
@@ -41,7 +40,7 @@ impl From<TraceOp> for Op {
 }
 
 /// A recorded sequence of block operations.
-#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     name: String,
     ops: Vec<TraceOp>,
@@ -89,22 +88,52 @@ impl Trace {
         self.ops.iter().map(|&op| op.into())
     }
 
-    /// Serializes to JSON.
-    ///
-    /// # Panics
-    ///
-    /// Never panics: the structure contains only serializable primitives.
+    /// Serializes to JSON: `{"name":...,"ops":[{"op":"Write","lba":3},...]}`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace is always serializable")
+        let mut ops = Json::arr();
+        for op in &self.ops {
+            let (tag, lba) = match *op {
+                TraceOp::Read(l) => ("Read", l),
+                TraceOp::Write(l) => ("Write", l),
+                TraceOp::Trim(l) => ("Trim", l),
+            };
+            let mut entry = Json::obj();
+            entry.set("op", tag).set("lba", lba);
+            ops.push(entry);
+        }
+        let mut j = Json::obj();
+        j.set("name", self.name.as_str()).set("ops", ops);
+        j.dump()
     }
 
     /// Parses a trace back from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the serde error message for malformed input.
+    /// Returns a description for malformed input.
     pub fn from_json(s: &str) -> Result<Self, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+        let j = bh_json::parse(s)?;
+        let name = j["name"]
+            .as_str()
+            .ok_or("trace is missing a string \"name\"")?
+            .to_string();
+        let entries = j["ops"]
+            .as_arr()
+            .ok_or("trace is missing an \"ops\" array")?;
+        let mut ops = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let lba = entry["lba"]
+                .as_u64()
+                .ok_or("trace op is missing an integer \"lba\"")?;
+            let op = match entry["op"].as_str() {
+                Some("Read") => TraceOp::Read(lba),
+                Some("Write") => TraceOp::Write(lba),
+                Some("Trim") => TraceOp::Trim(lba),
+                other => return Err(format!("unknown trace op {other:?}")),
+            };
+            ops.push(op);
+        }
+        Ok(Trace { name, ops })
     }
 }
 

@@ -44,10 +44,7 @@ impl Zipf {
         let h_integral_x1 = Self::h_integral(theta, 1.5) - 1.0;
         let h_integral_n = Self::h_integral(theta, n as f64 + 0.5);
         let s = 2.0
-            - Self::h_integral_inverse(
-                theta,
-                Self::h_integral(theta, 2.5) - Self::h(theta, 2.0),
-            );
+            - Self::h_integral_inverse(theta, Self::h_integral(theta, 2.5) - Self::h(theta, 2.0));
         Zipf {
             n,
             theta,
@@ -96,8 +93,7 @@ impl Zipf {
     /// Draws one rank in `0..n`, most popular first.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
         loop {
-            let u = self.h_integral_n
-                + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
+            let u = self.h_integral_n + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
             let x = Self::h_integral_inverse(self.theta, u);
             let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
             if k - x <= self.s

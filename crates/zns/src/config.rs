@@ -44,7 +44,7 @@ impl ZnsConfig {
         if self.blocks_per_zone == 0 {
             return Err("blocks_per_zone must be non-zero".into());
         }
-        if geo.total_blocks() % self.blocks_per_zone != 0 {
+        if !geo.total_blocks().is_multiple_of(self.blocks_per_zone) {
             return Err(format!(
                 "blocks_per_zone {} does not divide total blocks {}",
                 self.blocks_per_zone,
@@ -81,7 +81,8 @@ impl ZnsConfig {
 
     /// Writable capacity per zone in pages.
     pub fn zone_capacity(&self) -> u64 {
-        self.zone_capacity_pages.unwrap_or_else(|| self.zone_size_pages())
+        self.zone_capacity_pages
+            .unwrap_or_else(|| self.zone_size_pages())
     }
 }
 

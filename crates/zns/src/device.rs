@@ -6,6 +6,7 @@ use crate::zone::{Zone, ZoneId, ZoneState};
 use crate::Result;
 use bh_flash::{FlashDevice, FlashStats, OpOrigin, PlaneId, Ppa, Stamp};
 use bh_metrics::Nanos;
+use bh_trace::{Tracer, ZnsEvent, ZoneStateTag};
 
 /// Operation counters specific to the zoned interface.
 #[derive(Debug, Clone, Copy, Default)]
@@ -47,6 +48,23 @@ pub struct ZnsDevice {
     active: u32,
     open: u32,
     stats: ZnsStats,
+    tracer: Tracer,
+    /// Latest issue instant seen; stamps transitions from untimed zone
+    /// management commands (open/close/finish take no `now`).
+    clock: Nanos,
+}
+
+/// Maps the device's zone state onto the dependency-free trace tag.
+fn state_tag(state: ZoneState) -> ZoneStateTag {
+    match state {
+        ZoneState::Empty => ZoneStateTag::Empty,
+        ZoneState::ImplicitlyOpened => ZoneStateTag::ImplicitlyOpened,
+        ZoneState::ExplicitlyOpened => ZoneStateTag::ExplicitlyOpened,
+        ZoneState::Closed => ZoneStateTag::Closed,
+        ZoneState::Full => ZoneStateTag::Full,
+        ZoneState::ReadOnly => ZoneStateTag::ReadOnly,
+        ZoneState::Offline => ZoneStateTag::Offline,
+    }
 }
 
 impl ZnsDevice {
@@ -87,7 +105,44 @@ impl ZnsDevice {
             active: 0,
             open: 0,
             stats: ZnsStats::default(),
+            tracer: Tracer::disabled(),
+            clock: Nanos::ZERO,
         })
+    }
+
+    /// Installs a tracer on the zoned layer and the flash device beneath
+    /// it. Zone state transitions, write-pointer advances, and MAR/MOR
+    /// stalls are emitted as [`ZnsEvent`]s.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.dev.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The tracer in use (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Records a zone state transition into the trace.
+    fn trace_transition(
+        &mut self,
+        id: ZoneId,
+        from: ZoneState,
+        to: ZoneState,
+        cause: &'static str,
+    ) {
+        if from == to || !self.tracer.enabled() {
+            return;
+        }
+        self.tracer.emit(
+            self.clock,
+            ZnsEvent::Transition {
+                zone: id.0,
+                from: state_tag(from),
+                to: state_tag(to),
+                cause,
+            },
+        );
     }
 
     /// The device configuration.
@@ -168,6 +223,7 @@ impl ZnsDevice {
             ZoneState::ImplicitlyOpened if explicit => {
                 // Promote implicit -> explicit; open count unchanged.
                 self.zone_mut(id)?.set_state(ZoneState::ExplicitlyOpened);
+                self.trace_transition(id, state, ZoneState::ExplicitlyOpened, "promote");
                 return Ok(());
             }
             ZoneState::ImplicitlyOpened | ZoneState::ExplicitlyOpened => return Ok(()),
@@ -177,6 +233,7 @@ impl ZnsDevice {
         }
         let becomes_active = !state.is_active();
         if becomes_active && self.active >= self.cfg.max_active_zones {
+            self.trace_stall(id, "active", self.cfg.max_active_zones);
             return Err(ZnsError::TooManyActiveZones {
                 limit: self.cfg.max_active_zones,
             });
@@ -191,13 +248,14 @@ impl ZnsDevice {
                 .map(Zone::id);
             match victim {
                 Some(v) => {
-                    self.close_to_state(v)?;
+                    self.close_to_state(v, "implicit-close")?;
                     self.stats.implicit_closes += 1;
                 }
                 None => {
+                    self.trace_stall(id, "open", self.cfg.max_open_zones);
                     return Err(ZnsError::TooManyOpenZones {
                         limit: self.cfg.max_open_zones,
-                    })
+                    });
                 }
             }
         }
@@ -206,22 +264,43 @@ impl ZnsDevice {
         }
         self.open += 1;
         self.zone_mut(id)?.set_state(target);
+        self.trace_transition(id, state, target, if explicit { "open" } else { "write" });
         Ok(())
+    }
+
+    /// Records a MAR/MOR refusal into the trace.
+    fn trace_stall(&mut self, id: ZoneId, kind: &'static str, limit: u32) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        self.tracer.emit(
+            self.clock,
+            ZnsEvent::LimitStall {
+                zone: id.0,
+                active: self.active,
+                open: self.open,
+                kind,
+                limit,
+            },
+        );
     }
 
     /// Moves an opened zone to Closed (wp > 0) or back to Empty (wp == 0),
     /// adjusting the open/active accounting.
-    fn close_to_state(&mut self, id: ZoneId) -> Result<()> {
+    fn close_to_state(&mut self, id: ZoneId, cause: &'static str) -> Result<()> {
         let zone = self.zone(id)?;
         let wp = zone.write_pointer();
-        debug_assert!(zone.state().is_open());
+        let state = zone.state();
+        debug_assert!(state.is_open());
         self.open -= 1;
-        if wp == 0 {
+        let target = if wp == 0 {
             self.active -= 1;
-            self.zone_mut(id)?.set_state(ZoneState::Empty);
+            ZoneState::Empty
         } else {
-            self.zone_mut(id)?.set_state(ZoneState::Closed);
-        }
+            ZoneState::Closed
+        };
+        self.zone_mut(id)?.set_state(target);
+        self.trace_transition(id, state, target, cause);
         Ok(())
     }
 
@@ -250,7 +329,7 @@ impl ZnsDevice {
                 op: "close",
             });
         }
-        self.close_to_state(id)
+        self.close_to_state(id, "close")
     }
 
     /// Finishes a zone (Zone Management Send: Finish): moves it to Full,
@@ -267,17 +346,20 @@ impl ZnsDevice {
             ZoneState::Full => Ok(()),
             ZoneState::Empty => {
                 self.zone_mut(id)?.set_state(ZoneState::Full);
+                self.trace_transition(id, state, ZoneState::Full, "finish");
                 Ok(())
             }
             ZoneState::ImplicitlyOpened | ZoneState::ExplicitlyOpened => {
                 self.open -= 1;
                 self.active -= 1;
                 self.zone_mut(id)?.set_state(ZoneState::Full);
+                self.trace_transition(id, state, ZoneState::Full, "finish");
                 Ok(())
             }
             ZoneState::Closed => {
                 self.active -= 1;
                 self.zone_mut(id)?.set_state(ZoneState::Full);
+                self.trace_transition(id, state, ZoneState::Full, "finish");
                 Ok(())
             }
             ZoneState::ReadOnly | ZoneState::Offline => Err(ZnsError::WrongState {
@@ -302,6 +384,7 @@ impl ZnsDevice {
     /// Returns [`ZnsError::ZoneReadOnly`] / [`ZnsError::ZoneOffline`] for
     /// unresettable zones.
     pub fn reset(&mut self, id: ZoneId, now: Nanos) -> Result<Nanos> {
+        self.clock = self.clock.max(now);
         let state = self.zone(id)?.state();
         match state {
             ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly(id)),
@@ -325,15 +408,22 @@ impl ZnsDevice {
             }
         }
         let pages_per_block = self.dev.geometry().pages_per_block as u64;
-        {
+        let offlined = {
             let zone = self.zone_mut(id)?;
             zone.note_reset();
             for b in retired {
                 zone.retire_block(b, pages_per_block);
             }
-            if zone.blocks().is_empty() {
+            let dead = zone.blocks().is_empty();
+            if dead {
                 zone.set_state(ZoneState::Offline);
             }
+            dead
+        };
+        self.clock = self.clock.max(done);
+        self.trace_transition(id, state, ZoneState::Empty, "reset");
+        if offlined {
+            self.trace_transition(id, ZoneState::Empty, ZoneState::Offline, "wear-out");
         }
         self.stats.resets += 1;
         Ok(done)
@@ -364,11 +454,16 @@ impl ZnsDevice {
     /// Completes a write at the write pointer: advances it and moves the
     /// zone to Full at capacity.
     fn commit_write(&mut self, id: ZoneId) -> Result<()> {
-        let full = {
+        let (full, wp) = {
             let zone = self.zone_mut(id)?;
             zone.advance_wp();
-            zone.write_pointer() == zone.capacity()
+            let wp = zone.write_pointer();
+            (wp == zone.capacity(), wp)
         };
+        if self.tracer.enabled() {
+            self.tracer
+                .emit(self.clock, ZnsEvent::Append { zone: id.0, wp });
+        }
         if full {
             let state = self.zone(id)?.state();
             if state.is_open() {
@@ -378,6 +473,7 @@ impl ZnsDevice {
                 self.active -= 1;
             }
             self.zone_mut(id)?.set_state(ZoneState::Full);
+            self.trace_transition(id, state, ZoneState::Full, "write-full");
         }
         Ok(())
     }
@@ -386,6 +482,7 @@ impl ZnsDevice {
     /// pointer (the spec's Zone Invalid Write check — the §4.2 contention
     /// hazard). Returns the completion instant.
     pub fn write(&mut self, id: ZoneId, offset: u64, stamp: Stamp, now: Nanos) -> Result<Nanos> {
+        self.clock = self.clock.max(now);
         let wp = self.prepare_write(id, Some(offset))?;
         let (block, page) = self.zone(id)?.locate(wp);
         let done = self
@@ -400,6 +497,7 @@ impl ZnsDevice {
     /// (NVMe Zone Append, §4.2). Returns the assigned offset and the
     /// completion instant.
     pub fn append(&mut self, id: ZoneId, stamp: Stamp, now: Nanos) -> Result<(u64, Nanos)> {
+        self.clock = self.clock.max(now);
         let wp = self.prepare_write(id, None)?;
         let (block, page) = self.zone(id)?.locate(wp);
         let done = self
@@ -413,13 +511,18 @@ impl ZnsDevice {
     /// Reads one page at `offset`, which must be below the write pointer.
     /// Returns the stored stamp and the completion instant.
     pub fn read(&mut self, id: ZoneId, offset: u64, now: Nanos) -> Result<(Stamp, Nanos)> {
+        self.clock = self.clock.max(now);
         let zone = self.zone(id)?;
         if zone.state() == ZoneState::Offline {
             return Err(ZnsError::ZoneOffline(id));
         }
         let wp = zone.write_pointer();
         if offset >= wp {
-            return Err(ZnsError::ReadBeyondWritePointer { zone: id, wp, got: offset });
+            return Err(ZnsError::ReadBeyondWritePointer {
+                zone: id,
+                wp,
+                got: offset,
+            });
         }
         let (block, page) = zone.locate(offset);
         let (stamp, done) = self.dev.read(Ppa::new(block, page), now, OpOrigin::Host)?;
@@ -445,6 +548,7 @@ impl ZnsDevice {
         dst: ZoneId,
         now: Nanos,
     ) -> Result<(u64, Nanos)> {
+        self.clock = self.clock.max(now);
         // Validate sources up front so the copy is all-or-nothing.
         for &(src_zone, offset) in sources {
             let z = self.zone(src_zone)?;
@@ -496,6 +600,7 @@ impl ZnsDevice {
             self.active -= 1;
         }
         self.zone_mut(id)?.set_state(ZoneState::ReadOnly);
+        self.trace_transition(id, state, ZoneState::ReadOnly, "inject");
         Ok(())
     }
 }
@@ -770,7 +875,10 @@ mod tests {
             d.write(ZoneId(0), 1, 8, t),
             Err(ZnsError::ZoneReadOnly(ZoneId(0)))
         );
-        assert_eq!(d.reset(ZoneId(0), t), Err(ZnsError::ZoneReadOnly(ZoneId(0))));
+        assert_eq!(
+            d.reset(ZoneId(0), t),
+            Err(ZnsError::ZoneReadOnly(ZoneId(0)))
+        );
         let (stamp, _) = d.read(ZoneId(0), 0, t).unwrap();
         assert_eq!(stamp, 7);
         assert_eq!(d.active_zones(), 0);
@@ -791,6 +899,38 @@ mod tests {
             *dones.iter().max().unwrap() < serial,
             "striped writes should beat serial completion"
         );
+    }
+
+    #[test]
+    fn transitions_replay_to_device_state() {
+        let mut d = dev_with_limits(3, 2);
+        d.set_tracer(Tracer::ring(1 << 12));
+        let mut t = Nanos::ZERO;
+        for i in 0..64u64 {
+            t = d.write(ZoneId(0), i, i, t).unwrap();
+        }
+        d.open(ZoneId(1)).unwrap();
+        d.write(ZoneId(1), 0, 1, t).unwrap();
+        d.close(ZoneId(1)).unwrap();
+        t = d.reset(ZoneId(0), t).unwrap();
+        // Trip the MAR: zones 1 (closed) + a write each to 2 and 3.
+        d.write(ZoneId(2), 0, 1, t).unwrap();
+        d.write(ZoneId(3), 0, 1, t).unwrap();
+        assert!(d.write(ZoneId(4), 0, 1, t).is_err());
+        let events = d.tracer().events();
+        let replayed = bh_trace::replay::zone_states(&events);
+        for z in d.zones() {
+            let got = replayed
+                .get(&z.id().0)
+                .copied()
+                .unwrap_or(bh_trace::ZoneStateTag::Empty);
+            assert_eq!(got, state_tag(z.state()), "zone {:?}", z.id());
+        }
+        // The refused open left a limit-stall marker.
+        assert!(events.iter().any(|e| matches!(
+            e.event,
+            bh_trace::Event::Zns(ZnsEvent::LimitStall { kind: "active", .. })
+        )));
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl ZoneState {
 
     /// True for states that count against the **open** zone limit (MOR).
     pub fn is_open(self) -> bool {
-        matches!(self, ZoneState::ImplicitlyOpened | ZoneState::ExplicitlyOpened)
+        matches!(
+            self,
+            ZoneState::ImplicitlyOpened | ZoneState::ExplicitlyOpened
+        )
     }
 }
 

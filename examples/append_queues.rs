@@ -49,5 +49,8 @@ fn main() {
     }
     let append = ops_per_sec(events.len() as u64, last);
     println!("zone append             : {append:>8.0} records/s");
-    println!("\nspeedup: {:.1}x — the spec's append command at work.", append / locked);
+    println!(
+        "\nspeedup: {:.1}x — the spec's append command at work.",
+        append / locked
+    );
 }

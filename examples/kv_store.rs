@@ -67,9 +67,14 @@ fn main() {
     t = db.put(key.clone(), b"important".to_vec(), t).unwrap();
     for i in 0..64u64 {
         // Enough traffic to sync the WAL past our record.
-        t = db.put(format!("pad{i}").into_bytes(), vec![0; 64], t).unwrap();
+        t = db
+            .put(format!("pad{i}").into_bytes(), vec![0; 64], t)
+            .unwrap();
     }
     let recovered = db.crash_and_recover(t).unwrap();
     let (v, _) = db.get(&key, t).unwrap();
-    println!("after crash: replayed {recovered} WAL records; crash-survivor = {:?}", v.map(|v| String::from_utf8_lossy(&v).into_owned()));
+    println!(
+        "after crash: replayed {recovered} WAL records; crash-survivor = {:?}",
+        v.map(|v| String::from_utf8_lossy(&v).into_owned())
+    );
 }

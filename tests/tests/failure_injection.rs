@@ -6,6 +6,7 @@ use bh_flash::{CellKind, FlashConfig, Geometry};
 use bh_host::{BlockEmu, ReclaimPolicy};
 use bh_kv::{ConvBackend, Db, DbConfig};
 use bh_metrics::Nanos;
+use bh_trace::{replay, Tracer, ZoneStateTag};
 use bh_zns::{ZnsConfig, ZnsDevice, ZnsError, ZoneId, ZoneState};
 
 fn worn_flash(endurance: u32) -> FlashConfig {
@@ -45,6 +46,35 @@ fn conv_wears_out_gracefully() {
     assert_eq!(ssd.write(0, t).unwrap_err(), ConvError::ReadOnly);
 }
 
+/// Wearing a traced device to death must not corrupt the event stream:
+/// GC episode pairing stays consistent through block retirements and
+/// the transition to read-only mode.
+#[test]
+fn conv_wearout_keeps_trace_consistent() {
+    let mut ssd = ConvSsd::new(ConvConfig::new(worn_flash(8), 0.15)).unwrap();
+    let tracer = Tracer::ring(1 << 20);
+    ssd.set_tracer(tracer.clone());
+    let cap = ssd.capacity_pages();
+    let mut t = Nanos::ZERO;
+    'outer: for round in 0..400u64 {
+        for lba in 0..cap {
+            match ssd.write((lba + round) % cap, t) {
+                Ok(w) => t = w.done,
+                Err(ConvError::ReadOnly) => break 'outer,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+    }
+    assert!(ssd.is_read_only(), "device should have worn out");
+    let episodes =
+        replay::gc_episodes(&tracer.events()).expect("wear-out must not break begin/end pairing");
+    assert!(!episodes.is_empty(), "wearing out involves GC");
+    // Episodes that retired their victim are still well-formed spans.
+    for ep in episodes.iter().filter(|e| e.end.is_some()) {
+        assert!(ep.end.unwrap() >= ep.begin);
+    }
+}
+
 /// A ZNS zone whose blocks all retire goes offline; its neighbours are
 /// unaffected.
 #[test]
@@ -72,6 +102,34 @@ fn zns_zone_goes_offline_without_collateral() {
     t = dev.write(ZoneId(1), 0, 42, t).unwrap();
     let (stamp, _) = dev.read(ZoneId(1), 0, t).unwrap();
     assert_eq!(stamp, 42);
+}
+
+/// The death of a zone is visible in the trace: the recorded
+/// transitions replay to the offline state the device reports.
+#[test]
+fn zns_offline_transition_is_traced() {
+    let mut cfg = ZnsConfig::new(worn_flash(3), 4);
+    cfg.max_active_zones = 8;
+    cfg.max_open_zones = 8;
+    let mut dev = ZnsDevice::new(cfg).unwrap();
+    let tracer = Tracer::ring(1 << 20);
+    dev.set_tracer(tracer.clone());
+    let mut t = Nanos::ZERO;
+    loop {
+        match dev.write(ZoneId(0), 0, 1, t) {
+            Ok(done) => t = done,
+            Err(ZnsError::ZoneOffline(_)) => break,
+            Err(e) => panic!("unexpected {e}"),
+        }
+        match dev.reset(ZoneId(0), t) {
+            Ok(done) => t = done,
+            Err(ZnsError::ZoneOffline(_)) => break,
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+    assert_eq!(dev.zone(ZoneId(0)).unwrap().state(), ZoneState::Offline);
+    let replayed = replay::zone_states(&tracer.events());
+    assert_eq!(replayed.get(&0), Some(&ZoneStateTag::Offline));
 }
 
 /// A read-only zone keeps serving reads while rejecting writes; the
@@ -124,7 +182,9 @@ fn kv_survives_repeated_crashes() {
         // Flush makes this round durable, then crash mid-next-round.
         t = db.flush(t).unwrap();
         for i in 0..10u64 {
-            t = db.put(format!("tail{i}").into_bytes(), vec![round as u8], t).unwrap();
+            t = db
+                .put(format!("tail{i}").into_bytes(), vec![round as u8], t)
+                .unwrap();
         }
         db.crash_and_recover(t).unwrap();
         // Flushed keys always reflect the completed round.
@@ -141,11 +201,7 @@ fn blockemu_tolerates_wearing_device() {
     let mut cfg = ZnsConfig::new(worn_flash(40), 4);
     cfg.max_active_zones = 8;
     cfg.max_open_zones = 8;
-    let mut emu = BlockEmu::new(
-        ZnsDevice::new(cfg).unwrap(),
-        2,
-        ReclaimPolicy::Immediate,
-    );
+    let mut emu = BlockEmu::new(ZnsDevice::new(cfg).unwrap(), 2, ReclaimPolicy::Immediate);
     let cap = emu.capacity_pages();
     let mut t = Nanos::ZERO;
     for lba in 0..cap {
@@ -165,7 +221,7 @@ fn blockemu_tolerates_wearing_device() {
             }
             Err(_) => break, // Wear-out: acceptable terminal state.
         }
-        if writes % 64 == 0 {
+        if writes.is_multiple_of(64) {
             t = emu.maybe_reclaim(t).unwrap().1;
         }
     }

@@ -1,14 +1,18 @@
 //! Property tests: both device stacks behave like a simple model array
 //! under arbitrary operation sequences.
+//!
+//! Implemented as seeded-loop property tests (the offline build vendors
+//! no proptest); each case prints its seed on failure for replay.
 
 use bh_conv::{ConvConfig, ConvError, ConvSsd};
 use bh_flash::{FlashConfig, Geometry};
 use bh_host::{BlockEmu, HostError, ReclaimPolicy};
 use bh_metrics::Nanos;
 use bh_zns::{ZnsConfig, ZnsDevice};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum DevOp {
     Write(u64),
     Read(u64),
@@ -16,13 +20,14 @@ enum DevOp {
     Maintain,
 }
 
-fn op_strategy(cap: u64) -> impl Strategy<Value = DevOp> {
-    prop_oneof![
-        4 => (0..cap).prop_map(DevOp::Write),
-        3 => (0..cap).prop_map(DevOp::Read),
-        1 => (0..cap).prop_map(DevOp::Trim),
-        1 => Just(DevOp::Maintain),
-    ]
+fn gen_op(rng: &mut SmallRng, cap: u64) -> DevOp {
+    // Weights mirror the original proptest strategy: 4/3/1/1.
+    match rng.gen_range(0u32..9) {
+        0..=3 => DevOp::Write(rng.gen_range(0..cap)),
+        4..=6 => DevOp::Read(rng.gen_range(0..cap)),
+        7 => DevOp::Trim(rng.gen_range(0..cap)),
+        _ => DevOp::Maintain,
+    }
 }
 
 fn conv_dev() -> ConvSsd {
@@ -40,19 +45,19 @@ fn emu_dev() -> BlockEmu {
     BlockEmu::new(ZnsDevice::new(cfg).unwrap(), 2, ReclaimPolicy::Immediate)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The conventional SSD is linearizable against a model array: every
-    /// read returns the stamp of the latest write to that LBA.
-    #[test]
-    fn conv_matches_model(ops in proptest::collection::vec(op_strategy(128), 1..400)) {
+/// The conventional SSD is linearizable against a model array: every
+/// read returns the stamp of the latest write to that LBA.
+#[test]
+fn conv_matches_model() {
+    for case in 0u64..48 {
+        let mut rng = SmallRng::seed_from_u64(0xDE71_0000 ^ case);
+        let n_ops = rng.gen_range(1usize..400);
         let mut dev = conv_dev();
         let cap = dev.capacity_pages();
         let mut model: Vec<Option<u64>> = vec![None; cap as usize];
         let mut t = Nanos::ZERO;
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match gen_op(&mut rng, 128) {
                 DevOp::Write(lba) => {
                     let lba = lba % cap;
                     let w = dev.write(lba, t).unwrap();
@@ -63,13 +68,12 @@ proptest! {
                     let lba = lba % cap;
                     match (dev.read(lba, t), model[lba as usize]) {
                         (Ok((stamp, done)), Some(expect)) => {
-                            prop_assert_eq!(stamp, expect);
+                            assert_eq!(stamp, expect, "case {case}");
                             t = done;
                         }
                         (Err(ConvError::Unmapped(_)), None) => {}
                         (got, want) => {
-                            return Err(TestCaseError::fail(
-                                format!("mismatch: dev {got:?} vs model {want:?}")));
+                            panic!("case {case}: mismatch: dev {got:?} vs model {want:?}")
                         }
                     }
                 }
@@ -83,18 +87,22 @@ proptest! {
                 }
             }
         }
-        prop_assert!(dev.write_amplification() >= 1.0);
+        assert!(dev.write_amplification() >= 1.0, "case {case}");
     }
+}
 
-    /// The ZNS block emulation satisfies the same model.
-    #[test]
-    fn blockemu_matches_model(ops in proptest::collection::vec(op_strategy(128), 1..400)) {
+/// The ZNS block emulation satisfies the same model.
+#[test]
+fn blockemu_matches_model() {
+    for case in 0u64..48 {
+        let mut rng = SmallRng::seed_from_u64(0xDE71_1000 ^ case);
+        let n_ops = rng.gen_range(1usize..400);
         let mut dev = emu_dev();
         let cap = dev.capacity_pages();
         let mut model: Vec<Option<u64>> = vec![None; cap as usize];
         let mut t = Nanos::ZERO;
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match gen_op(&mut rng, 128) {
                 DevOp::Write(lba) => {
                     let lba = lba % cap;
                     let done = dev.write(lba, t).unwrap();
@@ -107,13 +115,12 @@ proptest! {
                     let lba = lba % cap;
                     match (dev.read(lba, t), model[lba as usize]) {
                         (Ok((stamp, done)), Some(expect)) => {
-                            prop_assert_eq!(stamp, expect);
+                            assert_eq!(stamp, expect, "case {case}");
                             t = done;
                         }
                         (Err(HostError::Unmapped(_)), None) => {}
                         (got, want) => {
-                            return Err(TestCaseError::fail(
-                                format!("mismatch: dev {got:?} vs model {want:?}")));
+                            panic!("case {case}: mismatch: dev {got:?} vs model {want:?}")
                         }
                     }
                 }
@@ -127,24 +134,31 @@ proptest! {
                 }
             }
         }
-        prop_assert!(dev.write_amplification() >= 1.0);
+        assert!(dev.write_amplification() >= 1.0, "case {case}");
     }
+}
 
-    /// Write amplification is always >= 1 and finite, and completion
-    /// times never precede issue times, for any uniform write burst.
-    #[test]
-    fn timing_and_wa_invariants(seed in 0u64..1000, burst in 1usize..300) {
+/// Write amplification is always >= 1 and finite after host writes, and
+/// completion times never precede issue times, for any uniform write
+/// burst.
+#[test]
+fn timing_and_wa_invariants() {
+    for case in 0u64..48 {
+        let mut rng = SmallRng::seed_from_u64(0xDE71_2000 ^ case);
+        let mut x = rng.gen_range(0u64..1000);
+        let burst = rng.gen_range(1usize..300);
         let mut dev = conv_dev();
         let cap = dev.capacity_pages();
-        let mut x = seed;
         let mut t = Nanos::ZERO;
         for _ in 0..burst {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let w = dev.write(x % cap, t).unwrap();
-            prop_assert!(w.done >= t);
+            assert!(w.done >= t, "case {case}");
             t = w.done;
         }
         let wa = dev.write_amplification();
-        prop_assert!(wa >= 1.0 && wa.is_finite());
+        assert!(wa >= 1.0 && wa.is_finite(), "case {case}");
     }
 }

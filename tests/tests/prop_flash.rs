@@ -1,14 +1,18 @@
 //! Property tests for the flash substrate: the §2.1 physical constraints
 //! hold under arbitrary operation sequences, and page-state accounting
 //! is conserved.
+//!
+//! Implemented as seeded-loop property tests (the offline build vendors
+//! no proptest): each case derives a fresh deterministic RNG, generates a
+//! random operation sequence, and checks the device against a reference
+//! model after every step. Failures print the case seed for replay.
 
-use bh_flash::{
-    BlockId, CellKind, FlashConfig, FlashDevice, FlashError, Geometry, OpOrigin, Ppa,
-};
+use bh_flash::{BlockId, CellKind, FlashConfig, FlashDevice, FlashError, Geometry, OpOrigin, Ppa};
 use bh_metrics::Nanos;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum FlashOp {
     Program(u8),
     ProgramAt(u8, u8),
@@ -18,24 +22,38 @@ enum FlashOp {
     Copy(u8, u8, u8),
 }
 
-fn flash_op() -> impl Strategy<Value = FlashOp> {
-    prop_oneof![
-        4 => any::<u8>().prop_map(FlashOp::Program),
-        1 => (any::<u8>(), any::<u8>()).prop_map(|(b, p)| FlashOp::ProgramAt(b, p)),
-        3 => (any::<u8>(), any::<u8>()).prop_map(|(b, p)| FlashOp::Read(b, p)),
-        2 => (any::<u8>(), any::<u8>()).prop_map(|(b, p)| FlashOp::Invalidate(b, p)),
-        2 => any::<u8>().prop_map(FlashOp::Erase),
-        1 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(b, p, d)| FlashOp::Copy(b, p, d)),
-    ]
+fn gen_op(rng: &mut SmallRng) -> FlashOp {
+    // Weights mirror the original proptest strategy: 4/1/3/2/2/1.
+    match rng.gen_range(0u32..13) {
+        0..=3 => FlashOp::Program(rng.gen_range(0u32..256) as u8),
+        4 => FlashOp::ProgramAt(
+            rng.gen_range(0u32..256) as u8,
+            rng.gen_range(0u32..256) as u8,
+        ),
+        5..=7 => FlashOp::Read(
+            rng.gen_range(0u32..256) as u8,
+            rng.gen_range(0u32..256) as u8,
+        ),
+        8..=9 => FlashOp::Invalidate(
+            rng.gen_range(0u32..256) as u8,
+            rng.gen_range(0u32..256) as u8,
+        ),
+        10..=11 => FlashOp::Erase(rng.gen_range(0u32..256) as u8),
+        _ => FlashOp::Copy(
+            rng.gen_range(0u32..256) as u8,
+            rng.gen_range(0u32..256) as u8,
+            rng.gen_range(0u32..256) as u8,
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A model of per-block page states stays in lockstep with the
-    /// device through arbitrary (mostly invalid) operation sequences.
-    #[test]
-    fn flash_matches_page_state_model(ops in proptest::collection::vec(flash_op(), 1..400)) {
+/// A model of per-block page states stays in lockstep with the device
+/// through arbitrary (mostly invalid) operation sequences.
+#[test]
+fn flash_matches_page_state_model() {
+    for case in 0u64..64 {
+        let mut rng = SmallRng::seed_from_u64(0xF1A5_0000 ^ case);
+        let n_ops = rng.gen_range(1usize..400);
         let geo = Geometry::small_test();
         let mut dev = FlashDevice::new(FlashConfig::tlc(geo)).unwrap();
         let blocks = geo.total_blocks();
@@ -45,20 +63,20 @@ proptest! {
         let mut model: Vec<Vec<Option<u64>>> = vec![Vec::new(); blocks as usize];
         let mut stamp = 0u64;
         let t = Nanos::ZERO;
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match gen_op(&mut rng) {
                 FlashOp::Program(b) => {
                     let b = b as u32 % blocks;
                     stamp += 1;
                     match dev.program_next(BlockId(b), stamp, t, OpOrigin::Host) {
                         Ok((page, _)) => {
-                            prop_assert_eq!(page as usize, model[b as usize].len());
+                            assert_eq!(page as usize, model[b as usize].len(), "case {case}");
                             model[b as usize].push(Some(stamp));
                         }
                         Err(FlashError::BlockFull(_)) => {
-                            prop_assert_eq!(model[b as usize].len() as u32, ppb);
+                            assert_eq!(model[b as usize].len() as u32, ppb, "case {case}");
                         }
-                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        Err(e) => panic!("case {case}: {e}"),
                     }
                 }
                 FlashOp::ProgramAt(b, p) => {
@@ -68,17 +86,17 @@ proptest! {
                     let cursor = model[b as usize].len() as u32;
                     match dev.program_at(Ppa::new(BlockId(b), p), stamp, t, OpOrigin::Host) {
                         Ok(_) => {
-                            prop_assert_eq!(p, cursor, "out-of-order program accepted");
+                            assert_eq!(p, cursor, "case {case}: out-of-order program accepted");
                             model[b as usize].push(Some(stamp));
                         }
                         Err(FlashError::NonSequentialProgram { expected, .. }) => {
-                            prop_assert_eq!(expected, cursor);
-                            prop_assert_ne!(p, cursor);
+                            assert_eq!(expected, cursor, "case {case}");
+                            assert_ne!(p, cursor, "case {case}");
                         }
                         Err(FlashError::BlockFull(_)) => {
-                            prop_assert_eq!(cursor, ppb);
+                            assert_eq!(cursor, ppb, "case {case}");
                         }
-                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        Err(e) => panic!("case {case}: {e}"),
                     }
                 }
                 FlashOp::Read(b, p) => {
@@ -87,12 +105,15 @@ proptest! {
                     let expect = model[b as usize].get(p as usize);
                     match dev.read(Ppa::new(BlockId(b), p), t, OpOrigin::Host) {
                         Ok((got, _)) => {
-                            prop_assert_eq!(Some(&got), expect, "read state mismatch");
+                            assert_eq!(Some(&got), expect, "case {case}: read state mismatch");
                         }
                         Err(FlashError::ReadUnwritten(_)) => {
-                            prop_assert!(expect.is_none(), "unwritten error on written page");
+                            assert!(
+                                expect.is_none(),
+                                "case {case}: unwritten error on written page"
+                            );
                         }
-                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        Err(e) => panic!("case {case}: {e}"),
                     }
                 }
                 FlashOp::Invalidate(b, p) => {
@@ -108,31 +129,28 @@ proptest! {
                 FlashOp::Erase(b) => {
                     let b = b as u32 % blocks;
                     let out = dev.erase(BlockId(b), t).unwrap();
-                    prop_assert!(!out.retired, "default endurance exhausted in-test");
+                    assert!(!out.retired, "case {case}: default endurance exhausted");
                     model[b as usize].clear();
                 }
                 FlashOp::Copy(b, p, d) => {
                     let b = b as u32 % blocks;
                     let p = p as u32 % ppb;
                     let d = d as u32 % blocks;
-                    let src_live = model[b as usize]
-                        .get(p as usize)
-                        .copied()
-                        .flatten();
+                    let src_live = model[b as usize].get(p as usize).copied().flatten();
                     let dst_full = model[d as usize].len() as u32 == ppb;
                     match dev.copy_page(Ppa::new(BlockId(b), p), BlockId(d), t) {
                         Ok((dst_page, got, _)) => {
-                            prop_assert_eq!(Some(got), src_live);
-                            prop_assert_eq!(dst_page as usize, model[d as usize].len());
+                            assert_eq!(Some(got), src_live, "case {case}");
+                            assert_eq!(dst_page as usize, model[d as usize].len(), "case {case}");
                             model[d as usize].push(Some(got));
                         }
                         Err(FlashError::ReadUnwritten(_)) => {
-                            prop_assert!(src_live.is_none());
+                            assert!(src_live.is_none(), "case {case}");
                         }
                         Err(FlashError::BlockFull(_)) => {
-                            prop_assert!(dst_full);
+                            assert!(dst_full, "case {case}");
                         }
-                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        Err(e) => panic!("case {case}: {e}"),
                     }
                 }
             }
@@ -140,19 +158,23 @@ proptest! {
             for b in 0..blocks {
                 let blk = dev.block(BlockId(b)).unwrap();
                 let m = &model[b as usize];
-                prop_assert_eq!(blk.cursor() as usize, m.len());
-                prop_assert_eq!(
+                assert_eq!(blk.cursor() as usize, m.len(), "case {case}");
+                assert_eq!(
                     blk.valid_pages() as usize,
-                    m.iter().filter(|s| s.is_some()).count()
+                    m.iter().filter(|s| s.is_some()).count(),
+                    "case {case}"
                 );
             }
         }
     }
+}
 
-    /// Completion instants are monotone per plane under random issue
-    /// orders, and endurance retirement is permanent.
-    #[test]
-    fn wear_retirement_is_permanent(cycles in 1u32..12) {
+/// Endurance retirement is permanent: after the rated cycle count a
+/// block reports `BadBlock` forever.
+#[test]
+fn wear_retirement_is_permanent() {
+    for case in 0u64..11 {
+        let cycles = 1 + case as u32; // 1..=11 rated cycles
         let mut dev = FlashDevice::new(FlashConfig {
             geometry: Geometry::small_test(),
             cell: CellKind::Tlc,
@@ -164,16 +186,19 @@ proptest! {
         for _ in 0..cycles + 3 {
             match dev.erase(BlockId(0), t) {
                 Ok(out) => {
-                    prop_assert!(!retired, "operation succeeded after retirement");
+                    assert!(
+                        !retired,
+                        "case {case}: operation succeeded after retirement"
+                    );
                     retired = out.retired;
                 }
                 Err(FlashError::BadBlock(_)) => {
-                    prop_assert!(retired, "BadBlock before retirement");
+                    assert!(retired, "case {case}: BadBlock before retirement");
                 }
-                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                Err(e) => panic!("case {case}: {e}"),
             }
         }
-        prop_assert!(retired);
-        prop_assert_eq!(dev.bad_blocks(), 1);
+        assert!(retired, "case {case}");
+        assert_eq!(dev.bad_blocks(), 1, "case {case}");
     }
 }

@@ -1,12 +1,16 @@
 //! Property tests: the LSM store behaves like a `BTreeMap` on both
 //! backends, through flushes, compactions, and crashes.
+//!
+//! Implemented as seeded-loop property tests (the offline build vendors
+//! no proptest); each case prints its seed on failure for replay.
 
 use bh_conv::{ConvConfig, ConvSsd};
 use bh_flash::{FlashConfig, Geometry};
 use bh_kv::{ConvBackend, Db, DbConfig, ZnsBackend};
 use bh_metrics::Nanos;
 use bh_zns::{ZnsConfig, ZnsDevice};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
@@ -17,13 +21,20 @@ enum KvOp {
     Flush,
 }
 
-fn kv_op() -> impl Strategy<Value = KvOp> {
-    prop_oneof![
-        5 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(k, v)| KvOp::Put(k, v)),
-        2 => any::<u8>().prop_map(KvOp::Delete),
-        3 => any::<u8>().prop_map(KvOp::Get),
-        1 => Just(KvOp::Flush),
-    ]
+fn gen_value(rng: &mut SmallRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect()
+}
+
+fn gen_op(rng: &mut SmallRng) -> KvOp {
+    let k = rng.gen_range(0u32..256) as u8;
+    // Weights mirror the original proptest strategy: 5/2/3/1.
+    match rng.gen_range(0u32..11) {
+        0..=4 => KvOp::Put(k, gen_value(rng, 63)),
+        5..=6 => KvOp::Delete(k),
+        7..=9 => KvOp::Get(k),
+        _ => KvOp::Flush,
+    }
 }
 
 fn geometry() -> Geometry {
@@ -53,10 +64,7 @@ fn key(k: u8) -> Vec<u8> {
     format!("key{k:03}").into_bytes()
 }
 
-fn check_model<B: bh_kv::StorageBackend>(
-    db: &mut Db<B>,
-    ops: &[KvOp],
-) -> Result<(), TestCaseError> {
+fn check_model<B: bh_kv::StorageBackend>(db: &mut Db<B>, ops: &[KvOp], case: u64) {
     let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
     let mut t = Nanos::ZERO;
     for op in ops {
@@ -71,7 +79,7 @@ fn check_model<B: bh_kv::StorageBackend>(
             }
             KvOp::Get(k) => {
                 let (got, done) = db.get(&key(*k), t).unwrap();
-                prop_assert_eq!(&got, &model.get(&key(*k)).cloned(), "key {}", k);
+                assert_eq!(got, model.get(&key(*k)).cloned(), "case {case} key {k}");
                 t = done;
             }
             KvOp::Flush => {
@@ -83,39 +91,54 @@ fn check_model<B: bh_kv::StorageBackend>(
     // Full sweep at the end.
     for k in 0..=255u8 {
         let (got, done) = db.get(&key(k), t).unwrap();
-        prop_assert_eq!(&got, &model.get(&key(k)).cloned(), "final key {}", k);
+        assert_eq!(
+            got,
+            model.get(&key(k)).cloned(),
+            "case {case} final key {k}"
+        );
         t = done;
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn conv_backend_matches_btreemap(ops in proptest::collection::vec(kv_op(), 1..250)) {
+#[test]
+fn conv_backend_matches_btreemap() {
+    for case in 0u64..24 {
+        let mut rng = SmallRng::seed_from_u64(0x4B00_0000 ^ case);
+        let n_ops = rng.gen_range(1usize..250);
+        let ops: Vec<KvOp> = (0..n_ops).map(|_| gen_op(&mut rng)).collect();
         let ssd = ConvSsd::new(ConvConfig::new(FlashConfig::tlc(geometry()), 0.15)).unwrap();
         let mut db = Db::new(ConvBackend::new(ssd), tiny_cfg()).unwrap();
-        check_model(&mut db, &ops)?;
+        check_model(&mut db, &ops, case);
     }
+}
 
-    #[test]
-    fn zns_backend_matches_btreemap(ops in proptest::collection::vec(kv_op(), 1..250)) {
+#[test]
+fn zns_backend_matches_btreemap() {
+    for case in 0u64..24 {
+        let mut rng = SmallRng::seed_from_u64(0x4B00_1000 ^ case);
+        let n_ops = rng.gen_range(1usize..250);
+        let ops: Vec<KvOp> = (0..n_ops).map(|_| gen_op(&mut rng)).collect();
         let mut cfg = ZnsConfig::new(FlashConfig::tlc(geometry()), 4);
         cfg.max_active_zones = 14;
         cfg.max_open_zones = 14;
         let mut db = Db::new(ZnsBackend::new(ZnsDevice::new(cfg).unwrap()), tiny_cfg()).unwrap();
-        check_model(&mut db, &ops)?;
+        check_model(&mut db, &ops, case);
     }
+}
 
-    /// Crash recovery never resurrects deleted keys or loses flushed
-    /// data: after a crash, every key's value is either the model value
-    /// or (for keys whose last write was unsynced) the previous state.
-    #[test]
-    fn crash_recovery_is_prefix_consistent(
-        before in proptest::collection::vec(kv_op(), 1..120),
-        tail_puts in proptest::collection::vec((any::<u8>(), proptest::collection::vec(any::<u8>(), 0..32)), 0..20),
-    ) {
+/// Crash recovery never resurrects deleted keys or loses flushed data:
+/// after a crash, every key's value is either the model value or (for
+/// keys whose last write was unsynced) the previous state.
+#[test]
+fn crash_recovery_is_prefix_consistent() {
+    for case in 0u64..24 {
+        let mut rng = SmallRng::seed_from_u64(0x4B00_2000 ^ case);
+        let n_before = rng.gen_range(1usize..120);
+        let before: Vec<KvOp> = (0..n_before).map(|_| gen_op(&mut rng)).collect();
+        let n_tail = rng.gen_range(0usize..20);
+        let tail_puts: Vec<(u8, Vec<u8>)> = (0..n_tail)
+            .map(|_| (rng.gen_range(0u32..256) as u8, gen_value(&mut rng, 31)))
+            .collect();
         let ssd = ConvSsd::new(ConvConfig::new(FlashConfig::tlc(geometry()), 0.15)).unwrap();
         let mut db = Db::new(ConvBackend::new(ssd), tiny_cfg()).unwrap();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
@@ -149,7 +172,11 @@ proptest! {
                 // depending on sync/flush boundaries; both must decode.
                 continue;
             }
-            prop_assert_eq!(&got, &model.get(&key(k)).cloned(), "stable key {}", k);
+            assert_eq!(
+                got,
+                model.get(&key(k)).cloned(),
+                "case {case} stable key {k}"
+            );
         }
     }
 }

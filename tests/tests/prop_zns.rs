@@ -2,13 +2,17 @@
 //! enters an illegal configuration and the namespace-wide accounting
 //! (active/open counts) always matches the per-zone states, under
 //! arbitrary command sequences.
+//!
+//! Implemented as seeded-loop property tests (the offline build vendors
+//! no proptest); each case prints its seed on failure for replay.
 
 use bh_flash::{FlashConfig, Geometry};
 use bh_metrics::Nanos;
 use bh_zns::{ZnsConfig, ZnsDevice, ZoneId, ZoneState};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum ZnsCmd {
     Write(u8),
     Append(u8),
@@ -19,16 +23,18 @@ enum ZnsCmd {
     Reset(u8),
 }
 
-fn cmd() -> impl Strategy<Value = ZnsCmd> {
-    prop_oneof![
-        4 => any::<u8>().prop_map(ZnsCmd::Write),
-        3 => any::<u8>().prop_map(ZnsCmd::Append),
-        2 => (any::<u8>(), any::<u8>()).prop_map(|(z, o)| ZnsCmd::Read(z, o)),
-        1 => any::<u8>().prop_map(ZnsCmd::Open),
-        1 => any::<u8>().prop_map(ZnsCmd::Close),
-        1 => any::<u8>().prop_map(ZnsCmd::Finish),
-        2 => any::<u8>().prop_map(ZnsCmd::Reset),
-    ]
+fn gen_cmd(rng: &mut SmallRng) -> ZnsCmd {
+    let z = rng.gen_range(0u32..256) as u8;
+    // Weights mirror the original proptest strategy: 4/3/2/1/1/1/2.
+    match rng.gen_range(0u32..14) {
+        0..=3 => ZnsCmd::Write(z),
+        4..=6 => ZnsCmd::Append(z),
+        7..=8 => ZnsCmd::Read(z, rng.gen_range(0u32..256) as u8),
+        9 => ZnsCmd::Open(z),
+        10 => ZnsCmd::Close(z),
+        11 => ZnsCmd::Finish(z),
+        _ => ZnsCmd::Reset(z),
+    }
 }
 
 fn device(mar: u32, mor: u32) -> ZnsDevice {
@@ -53,18 +59,15 @@ fn recount(dev: &ZnsDevice) -> (u32, u32) {
     (active, open)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Whatever command sequence arrives (most of it invalid), the
-    /// device never violates: wp <= capacity, limit accounting matches
-    /// the states, limits are respected, and data below the write
-    /// pointer reads back.
-    #[test]
-    fn zone_state_machine_holds_invariants(
-        cmds in proptest::collection::vec(cmd(), 1..300),
-        mar in 2u32..8,
-    ) {
+/// Whatever command sequence arrives (most of it invalid), the device
+/// never violates: wp <= capacity, limit accounting matches the states,
+/// limits are respected, and data below the write pointer reads back.
+#[test]
+fn zone_state_machine_holds_invariants() {
+    for case in 0u64..64 {
+        let mut rng = SmallRng::seed_from_u64(0x25A0_0000 ^ case);
+        let n_cmds = rng.gen_range(1usize..300);
+        let mar = rng.gen_range(2u32..8);
         let mor = mar.max(2) - 1;
         let mut dev = device(mar, mor);
         let zones = dev.num_zones();
@@ -72,8 +75,8 @@ proptest! {
         // Model: per zone, the stamps written since last reset.
         let mut model: Vec<Vec<u64>> = vec![Vec::new(); zones as usize];
         let mut stamp = 0u64;
-        for c in cmds {
-            match c {
+        for _ in 0..n_cmds {
+            match gen_cmd(&mut rng) {
                 ZnsCmd::Write(z) => {
                     let z = z as u32 % zones;
                     let wp = dev.zone(ZoneId(z)).unwrap().write_pointer();
@@ -87,7 +90,7 @@ proptest! {
                     let z = z as u32 % zones;
                     stamp += 1;
                     if let Ok((off, done)) = dev.append(ZoneId(z), stamp, t) {
-                        prop_assert_eq!(off as usize, model[z as usize].len());
+                        assert_eq!(off as usize, model[z as usize].len(), "case {case}");
                         model[z as usize].push(stamp);
                         t = done;
                     }
@@ -97,8 +100,11 @@ proptest! {
                     let written = model[z as usize].len() as u64;
                     match dev.read(ZoneId(z), o as u64, t) {
                         Ok((got, done)) => {
-                            prop_assert!((o as u64) < written, "read past model wp succeeded");
-                            prop_assert_eq!(got, model[z as usize][o as usize]);
+                            assert!(
+                                (o as u64) < written,
+                                "case {case}: read past model wp succeeded"
+                            );
+                            assert_eq!(got, model[z as usize][o as usize], "case {case}");
                             t = done;
                         }
                         Err(_) => {
@@ -125,14 +131,22 @@ proptest! {
             }
             // Invariants after every command.
             let (active, open) = recount(&dev);
-            prop_assert_eq!(active, dev.active_zones(), "active accounting drifted");
-            prop_assert_eq!(open, dev.open_zones(), "open accounting drifted");
-            prop_assert!(active <= mar, "MAR violated: {} > {}", active, mar);
-            prop_assert!(open <= mor, "MOR violated: {} > {}", open, mor);
+            assert_eq!(
+                active,
+                dev.active_zones(),
+                "case {case}: active accounting drifted"
+            );
+            assert_eq!(
+                open,
+                dev.open_zones(),
+                "case {case}: open accounting drifted"
+            );
+            assert!(active <= mar, "case {case}: MAR violated: {active} > {mar}");
+            assert!(open <= mor, "case {case}: MOR violated: {open} > {mor}");
             for z in dev.zones() {
-                prop_assert!(z.write_pointer() <= z.capacity());
+                assert!(z.write_pointer() <= z.capacity(), "case {case}");
                 if z.state() == ZoneState::Empty {
-                    prop_assert_eq!(z.write_pointer(), 0);
+                    assert_eq!(z.write_pointer(), 0, "case {case}");
                 }
             }
         }
@@ -143,35 +157,41 @@ proptest! {
                     continue;
                 }
                 let (got, done) = dev.read(ZoneId(z), o as u64, t).unwrap();
-                prop_assert_eq!(got, expect);
+                assert_eq!(got, expect, "case {case}");
                 t = done;
             }
         }
     }
+}
 
-    /// Flash-level conservation under the ZNS model: total programs
-    /// equal the sum of bytes the model holds plus what resets destroyed.
-    #[test]
-    fn zns_program_accounting_is_conserved(
-        writes in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..200)
-    ) {
+/// Flash-level conservation under the ZNS model: total programs equal
+/// the appends that succeeded, and the zoned interface never amplifies
+/// writes by itself.
+#[test]
+fn zns_program_accounting_is_conserved() {
+    for case in 0u64..64 {
+        let mut rng = SmallRng::seed_from_u64(0x25A0_1000 ^ case);
+        let n_writes = rng.gen_range(1usize..200);
         let mut dev = device(8, 8);
         let zones = dev.num_zones();
         let mut t = Nanos::ZERO;
         let mut programs = 0u64;
-        for (z, reset) in writes {
-            let z = z as u32 % zones;
+        for _ in 0..n_writes {
+            let z = rng.gen_range(0u32..256) % zones;
+            let reset = rng.gen_bool(0.5);
             if reset {
-                if dev.reset(ZoneId(z), t).is_ok() {
-                    // Destroys content; programs counter unaffected.
-                }
+                // Destroys content; programs counter unaffected.
+                let _ = dev.reset(ZoneId(z), t);
             } else if let Ok((_, done)) = dev.append(ZoneId(z), 1, t) {
                 programs += 1;
                 t = done;
             }
         }
-        prop_assert_eq!(dev.flash_stats().host_programs, programs);
+        assert_eq!(dev.flash_stats().host_programs, programs, "case {case}");
         // The zoned interface never amplifies writes by itself.
-        prop_assert!((dev.flash_stats().write_amplification() - 1.0).abs() < 1e-12);
+        assert!(
+            (dev.flash_stats().write_amplification() - 1.0).abs() < 1e-12,
+            "case {case}"
+        );
     }
 }

@@ -1,0 +1,114 @@
+//! Offline shim for the slice of the `criterion` API the workspace's
+//! micro-benchmarks use: `Criterion::bench_function`, `Bencher::iter`,
+//! `sample_size`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build environment has no network access, so instead of the real
+//! statistical harness this runs a short warm-up followed by timed
+//! batches and prints mean ns/iter — enough to spot order-of-magnitude
+//! regressions with `cargo bench`, with zero dependencies.
+
+use std::time::Instant;
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            batches: self.sample_size,
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut b);
+        if b.ns_per_iter.is_nan() {
+            println!("{id:<40} (no iterations)");
+        } else {
+            println!("{id:<40} {:>12.1} ns/iter", b.ns_per_iter);
+        }
+        self
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the workload.
+#[derive(Debug)]
+pub struct Bencher {
+    batches: usize,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing mean wall-clock ns per call.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm up and estimate a batch size targeting ~1ms per batch.
+        let warmup = Instant::now();
+        let mut calls = 0u64;
+        while warmup.elapsed().as_millis() < 10 {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call_ns = warmup.elapsed().as_nanos() as f64 / calls.max(1) as f64;
+        let batch = ((1_000_000.0 / per_call_ns.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        let timed = Instant::now();
+        let mut total_calls = 0u64;
+        for _ in 0..self.batches {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_calls += batch;
+        }
+        self.ns_per_iter = timed.elapsed().as_nanos() as f64 / total_calls.max(1) as f64;
+    }
+}
+
+/// Re-export so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Mirrors `criterion_group!`, including the `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
