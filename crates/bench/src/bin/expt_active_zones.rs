@@ -8,88 +8,13 @@
 //! three strategies; we measure how long requests wait for admission.
 
 use bh_core::{ClaimSet, Report};
-use bh_host::{ActiveZoneManager, AzGrant, AzStrategy};
-use bh_metrics::{Histogram, Nanos, Table};
-use bh_workloads::{BurstyTenants, TenantEvent};
-use std::collections::VecDeque;
+use bh_fleet::admission_waits;
+use bh_host::AzStrategy;
+use bh_metrics::Table;
+use bh_workloads::BurstyTenants;
 
 const MAR: u32 = 14;
 const TENANTS: u32 = 7;
-
-/// Replays the demand schedule; returns admission-wait statistics.
-fn run(strategy: AzStrategy, events: &[TenantEvent]) -> Histogram {
-    let mut mgr = ActiveZoneManager::new(strategy, MAR, TENANTS);
-    let mut waits = Histogram::new();
-    // Per-tenant queue of pending acquisitions (blocked requests wait).
-    let mut pending: Vec<VecDeque<u64>> = vec![VecDeque::new(); TENANTS as usize];
-    // Releases owed once granted (each grant is released hold later; the
-    // schedule's Release events drive that).
-    for e in events {
-        match *e {
-            TenantEvent::Acquire { at_ns, tenant } => {
-                pending[tenant as usize].push_back(at_ns);
-                try_admit(&mut mgr, &mut pending, &mut waits, at_ns);
-            }
-            TenantEvent::Release { at_ns, tenant } => {
-                // A release only happens for a granted slot; if the
-                // tenant's request is still pending, its hold hasn't
-                // started — push the release forward by admitting first.
-                if mgr.held(tenant) > 0 {
-                    mgr.release(tenant);
-                } else {
-                    // The acquire this release pairs with never got in
-                    // yet; admit it now (the schedule guarantees order),
-                    // then release immediately (zero-length hold).
-                    if let Some(req) = pending[tenant as usize].pop_front() {
-                        waits.record(Nanos::from_nanos(at_ns - req));
-                        force_admit(&mut mgr, tenant);
-                        mgr.release(tenant);
-                    }
-                }
-                try_admit(&mut mgr, &mut pending, &mut waits, at_ns);
-            }
-        }
-    }
-    waits
-}
-
-/// Admits as many pending requests as the strategy allows, oldest first.
-fn try_admit(
-    mgr: &mut ActiveZoneManager,
-    pending: &mut [VecDeque<u64>],
-    waits: &mut Histogram,
-    now_ns: u64,
-) {
-    loop {
-        // Oldest pending request across tenants.
-        let oldest = pending
-            .iter()
-            .enumerate()
-            .filter_map(|(t, q)| q.front().map(|&at| (at, t as u32)))
-            .min();
-        let Some((at, tenant)) = oldest else { return };
-        match mgr.acquire(tenant) {
-            AzGrant::Granted | AzGrant::GrantedByRevoke { .. } => {
-                pending[tenant as usize].pop_front();
-                waits.record(Nanos::from_nanos(now_ns.saturating_sub(at)));
-            }
-            AzGrant::Blocked => return,
-        }
-    }
-}
-
-/// Forces a slot through for bookkeeping symmetry (used only when a
-/// zero-length hold is being retired).
-fn force_admit(mgr: &mut ActiveZoneManager, tenant: u32) {
-    match mgr.acquire(tenant) {
-        AzGrant::Granted | AzGrant::GrantedByRevoke { .. } => {}
-        AzGrant::Blocked => {
-            // Steal via release-of-the-largest-holder semantics: in the
-            // replay this cannot happen because a release always precedes
-            // (the schedule is balanced), but stay safe.
-        }
-    }
-}
 
 fn main() {
     let bursts = bh_bench::scaled(400, 80) as u32;
@@ -112,7 +37,7 @@ fn main() {
         ("dynamic demand", AzStrategy::DynamicDemand),
         ("lending w/ guarantees", AzStrategy::Lending),
     ] {
-        let waits = run(strategy, &events);
+        let waits = admission_waits(strategy, MAR, TENANTS, &events);
         let s = waits.summary();
         table.row([
             name.to_string(),

@@ -1,12 +1,18 @@
-//! Runs every experiment binary in sequence and summarizes pass/fail.
+//! Runs every experiment binary and summarizes pass/fail.
 //!
 //! ```text
-//! cargo run --release -p bh-bench --bin run_all [-- --quick] [-- --trace]
+//! cargo run --release -p bh-bench --bin run_all [-- --quick] [-- --trace] [-- --jobs N]
 //! ```
 //!
-//! Each experiment archives its report JSON (and, with `--trace` or
-//! `BH_TRACE=1`, its Chrome trace) under `$BH_RESULTS_DIR` (default
-//! `results/`).
+//! Experiments are independent processes, so they can run in parallel:
+//! `--jobs N` (or `BH_JOBS=N`) drives up to N at once on the same
+//! order-preserving thread pool the fleet engine uses; the default is
+//! the machine's available parallelism. Output is captured per
+//! experiment and printed in the fixed experiment order, so logs look
+//! identical no matter how many jobs ran. Each experiment archives its
+//! report JSON (and, with `--trace` or `BH_TRACE=1`, its Chrome trace)
+//! under `$BH_RESULTS_DIR` (default `results/`); archiving is atomic, so
+//! parallel runs never interleave artifacts.
 
 use std::process::Command;
 
@@ -26,16 +32,37 @@ const EXPERIMENTS: &[&str] = &[
     "expt_fs_hints",
     "expt_gc_policy",
     "expt_qlc",
+    "expt_fleet",
 ];
+
+/// `--jobs N` argument or `BH_JOBS` env var; default: available
+/// parallelism, capped at the experiment count.
+fn jobs() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let from_arg = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let from_env = std::env::var("BH_JOBS").ok().and_then(|v| v.parse().ok());
+    from_arg
+        .or(from_env)
+        .unwrap_or_else(bh_fleet::default_jobs)
+        .clamp(1, EXPERIMENTS.len())
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let trace = bh_bench::trace_enabled();
+    let jobs = jobs();
     let me = std::env::current_exe().expect("current exe");
     let bin_dir = me.parent().expect("bin dir").to_path_buf();
-    let mut failures = Vec::new();
-    for name in EXPERIMENTS {
-        println!("\n################ {name} ################");
+    eprintln!(
+        "running {} experiments with {jobs} job(s)",
+        EXPERIMENTS.len()
+    );
+
+    let outcomes = bh_fleet::run_indexed(jobs, EXPERIMENTS.to_vec(), |_, name| {
         let mut cmd = Command::new(bin_dir.join(name));
         if quick {
             cmd.arg("--quick");
@@ -43,8 +70,20 @@ fn main() {
         if trace {
             cmd.arg("--trace");
         }
-        let status = cmd.status().expect("spawn experiment");
-        if !status.success() {
+        let out = cmd.output().expect("spawn experiment");
+        eprintln!(
+            "{name}: {}",
+            if out.status.success() { "ok" } else { "FAILED" }
+        );
+        (out.status.success(), out.stdout, out.stderr)
+    });
+
+    let mut failures = Vec::new();
+    for (name, (ok, stdout, stderr)) in EXPERIMENTS.iter().zip(&outcomes) {
+        println!("\n################ {name} ################");
+        print!("{}", String::from_utf8_lossy(stdout));
+        eprint!("{}", String::from_utf8_lossy(stderr));
+        if !ok {
             failures.push(*name);
         }
     }

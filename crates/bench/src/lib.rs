@@ -59,12 +59,27 @@ fn exe_stem() -> String {
 /// Writes `contents` to `<results_dir>/<exe-stem><suffix>`, creating the
 /// directory. Archival is best-effort: failures are reported, not fatal.
 fn archive(suffix: &str, contents: &str) {
+    archive_named(&format!("{}{suffix}", exe_stem()), contents);
+}
+
+/// Writes `contents` to `<results_dir>/<file>` atomically: the bytes
+/// land in a process-unique temp file first and are renamed into place,
+/// so experiments running in parallel (`run_all --jobs`) can never
+/// interleave or truncate each other's artifacts. Best-effort: failures
+/// are reported, not fatal.
+pub fn archive_named(file: &str, contents: &str) {
     let dir = results_dir();
-    let path = dir.join(format!("{}{suffix}", exe_stem()));
-    let write = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, contents));
+    let path = dir.join(file);
+    let tmp = dir.join(format!(".{file}.{}.tmp", std::process::id()));
+    let write = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(&tmp, contents))
+        .and_then(|()| std::fs::rename(&tmp, &path));
     match write {
         Ok(()) => eprintln!("archived {}", path.display()),
-        Err(e) => eprintln!("could not archive {}: {e}", path.display()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!("could not archive {}: {e}", path.display());
+        }
     }
 }
 

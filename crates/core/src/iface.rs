@@ -31,6 +31,19 @@ pub trait BlockInterface {
     /// Returns a human-readable description on device errors.
     fn write(&mut self, lba: u64, now: Nanos) -> Result<Nanos, String>;
 
+    /// Writes a page carrying a placement stream hint. Stacks that can
+    /// act on application knowledge (§4.1) route the write to the hinted
+    /// stream's zones; block devices have nowhere to put the hint and
+    /// fall back to a plain write — which is the paper's point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description on device errors.
+    fn write_hinted(&mut self, lba: u64, hint: u32, now: Nanos) -> Result<Nanos, String> {
+        let _ = hint;
+        self.write(lba, now)
+    }
+
     /// Deallocates a page.
     ///
     /// # Errors
@@ -125,6 +138,18 @@ impl BlockInterface for BlockEmu {
 
     fn write(&mut self, lba: u64, now: Nanos) -> Result<Nanos, String> {
         BlockEmu::write(self, lba, now).map_err(|e| e.to_string())
+    }
+
+    fn write_hinted(&mut self, lba: u64, hint: u32, now: Nanos) -> Result<Nanos, String> {
+        if !self.is_hinted() {
+            // Hot/cold and region maps classify writes themselves; an
+            // external hint would override their placement.
+            return BlockEmu::write(self, lba, now).map_err(|e| e.to_string());
+        }
+        // Fold fleet-wide tenant hints onto this device's stream count so
+        // any population maps onto any stack configuration.
+        let stream = hint % self.streams();
+        BlockEmu::write_hinted(self, lba, stream, now).map_err(|e| e.to_string())
     }
 
     fn trim(&mut self, lba: u64) -> Result<(), String> {

@@ -17,7 +17,7 @@ use crate::iface::BlockInterface;
 use bh_flash::FlashStats;
 use bh_metrics::{Histogram, Nanos, Series};
 use bh_trace::{RunnerEvent, Tracer};
-use bh_workloads::{Op, OpStream};
+use bh_workloads::{Op, OpSource};
 
 /// How the runner paces operations.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +29,20 @@ pub enum Pacing {
     },
     /// Issue on completion (closed loop).
     Closed,
+    /// Open-loop bursts separated by idle windows. After every
+    /// `burst_ops` operations the runner lets the device quiesce for
+    /// `idle`, then invokes the maintenance hook — the window where a
+    /// ZNS host schedules reclaim (§4.1); the conventional device's
+    /// hook is a no-op, so its GC debt stays in the data path (§2.4).
+    Bursty {
+        /// Operations per burst.
+        burst_ops: u64,
+        /// Gap between arrivals within a burst.
+        interarrival: Nanos,
+        /// Quiet period between a burst's last completion and the
+        /// maintenance hook.
+        idle: Nanos,
+    },
 }
 
 /// Run parameters.
@@ -222,7 +236,7 @@ impl Runner {
     pub fn run(
         &self,
         dev: &mut dyn BlockInterface,
-        stream: &mut OpStream,
+        stream: &mut dyn OpSource,
         start: Nanos,
     ) -> Result<RunResult, String> {
         self.run_inner(dev, stream, start, None)
@@ -234,7 +248,7 @@ impl Runner {
     pub fn run_traced(
         &self,
         dev: &mut dyn BlockInterface,
-        stream: &mut OpStream,
+        stream: &mut dyn OpSource,
         start: Nanos,
         sampler: &mut Sampler,
     ) -> Result<RunResult, String> {
@@ -242,10 +256,41 @@ impl Runner {
         self.run_inner(dev, stream, start, Some(sampler))
     }
 
+    /// Arrival instant of operation `i + 1`, given operation `i` arrived
+    /// at `arrival` and completed at `completion` (equal to `arrival` for
+    /// failed reads). Burst boundaries run the idle-window maintenance
+    /// hook, which may push the next burst out past the reclaim work.
+    fn next_arrival(
+        &self,
+        dev: &mut dyn BlockInterface,
+        i: u64,
+        arrival: Nanos,
+        completion: Nanos,
+        last_done: Nanos,
+    ) -> Result<Nanos, String> {
+        Ok(match self.cfg.pacing {
+            Pacing::Open { interarrival } => arrival + interarrival,
+            Pacing::Closed => completion,
+            Pacing::Bursty {
+                burst_ops,
+                interarrival,
+                idle,
+            } => {
+                if burst_ops > 0 && (i + 1).is_multiple_of(burst_ops) {
+                    let window = last_done.max(arrival + interarrival) + idle;
+                    let done = dev.maintenance(window)?;
+                    done.max(window)
+                } else {
+                    arrival + interarrival
+                }
+            }
+        })
+    }
+
     fn run_inner(
         &self,
         dev: &mut dyn BlockInterface,
-        stream: &mut OpStream,
+        stream: &mut dyn OpSource,
         start: Nanos,
         mut sampler: Option<&mut Sampler>,
     ) -> Result<RunResult, String> {
@@ -260,10 +305,10 @@ impl Runner {
                 // occupies device resources from then on.
                 dev.maintenance(arrival)?;
             }
-            let op = stream.next_op();
+            let (op, hint) = stream.next_hinted();
             let outcome = match op {
                 Op::Read(lba) => dev.read(lba, arrival),
-                Op::Write(lba) => dev.write(lba, arrival),
+                Op::Write(lba) => dev.write_hinted(lba, hint, arrival),
                 Op::Trim(lba) => {
                     dev.trim(lba)?;
                     Ok(arrival)
@@ -278,20 +323,14 @@ impl Runner {
                         Op::Trim(_) => {}
                     }
                     last_done = last_done.max(done);
-                    arrival = match self.cfg.pacing {
-                        Pacing::Open { interarrival } => arrival + interarrival,
-                        Pacing::Closed => done,
-                    };
+                    arrival = self.next_arrival(dev, i, arrival, done, last_done)?;
                 }
                 Err(e) => {
                     if matches!(op, Op::Read(_)) {
                         // Unmapped reads are workload artifacts; count and
                         // move on.
                         errors += 1;
-                        arrival = match self.cfg.pacing {
-                            Pacing::Open { interarrival } => arrival + interarrival,
-                            Pacing::Closed => arrival,
-                        };
+                        arrival = self.next_arrival(dev, i, arrival, arrival, last_done)?;
                     } else {
                         return Err(e);
                     }
@@ -320,7 +359,7 @@ mod tests {
     use super::*;
     use bh_conv::{ConvConfig, ConvSsd};
     use bh_flash::{FlashConfig, Geometry};
-    use bh_workloads::OpMix;
+    use bh_workloads::{OpMix, OpStream};
 
     fn device() -> ConvSsd {
         ConvSsd::new(ConvConfig::new(

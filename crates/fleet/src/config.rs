@@ -1,0 +1,139 @@
+//! Fleet composition: which stacks, how many devices, which tenants.
+
+use bh_core::Pacing;
+use bh_flash::Geometry;
+use bh_host::ReclaimPolicy;
+use bh_workloads::OpMix;
+
+use crate::placement::Placement;
+
+/// Which software/hardware stack a device runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StackKind {
+    /// A conventional SSD: FTL with inline GC behind the block interface.
+    Conv {
+        /// Overprovisioning ratio (spare/logical), e.g. `0.15`.
+        op_ratio: f64,
+    },
+    /// A ZNS device with the host block-emulation layer on top.
+    ZnsEmu {
+        /// Erasure blocks per zone.
+        blocks_per_zone: u32,
+        /// Maximum active zones (MAR); also used as the open limit.
+        mar: u32,
+        /// Zones withheld from the logical capacity as reclaim space.
+        reserve_zones: u32,
+        /// Caller-hinted placement streams; `0` leaves the emulator in
+        /// its single-stream default (hints are then ignored).
+        hinted_streams: u32,
+        /// When the host runs reclaim (the §4.1 scheduling freedom).
+        reclaim: ReclaimPolicy,
+    },
+}
+
+impl StackKind {
+    /// Short label matching [`bh_core::BlockInterface::label`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            StackKind::Conv { .. } => "conventional",
+            StackKind::ZnsEmu { .. } => "zns+blockemu",
+        }
+    }
+}
+
+/// One simulated device in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Flash geometry backing the device.
+    pub geometry: Geometry,
+    /// The stack in front of the flash.
+    pub stack: StackKind,
+}
+
+/// Full fleet-run parameters. All fields are plain data, so a config can
+/// be sent to worker threads and two identical configs always describe
+/// bit-identical runs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The devices, in shard-id order (shard k runs `devices[k]`).
+    pub devices: Vec<DeviceSpec>,
+    /// Fleet-wide tenant count, sharded over the devices by `placement`.
+    pub tenants: u32,
+    /// Zipf exponent of the tenant traffic weights.
+    pub theta: f64,
+    /// Read/write mix every tenant issues.
+    pub mix: OpMix,
+    /// Operations each shard drives after its fill.
+    pub ops_per_shard: u64,
+    /// Arrival pacing within each shard.
+    pub pacing: Pacing,
+    /// Invoke device maintenance every N ops (0 = never).
+    pub maintenance_every: u64,
+    /// How tenants map to shards.
+    pub placement: Placement,
+    /// Fleet master seed; every per-shard and per-tenant stream is
+    /// derived from it via `split_seed`.
+    pub seed: u64,
+    /// Interval-sample period in operations.
+    pub sample_every: u64,
+    /// Record per-shard event traces (costs memory per shard).
+    pub trace: bool,
+    /// Per-shard trace ring capacity in events.
+    pub trace_cap: usize,
+}
+
+impl FleetConfig {
+    /// A fleet of `n` devices alternating conventional and hinted-ZNS
+    /// stacks over the same geometry — the paper's apples-to-apples
+    /// split, at fleet scale.
+    pub fn mixed(n: usize, geometry: Geometry, tenants: u32, seed: u64) -> Self {
+        assert!(n > 0, "a fleet needs at least one device");
+        let conv = StackKind::Conv { op_ratio: 0.15 };
+        let zns = StackKind::ZnsEmu {
+            blocks_per_zone: 4,
+            mar: 14,
+            reserve_zones: 4,
+            hinted_streams: 4,
+            reclaim: ReclaimPolicy::Immediate,
+        };
+        let devices = (0..n)
+            .map(|k| DeviceSpec {
+                geometry,
+                stack: if k % 2 == 0 { conv } else { zns },
+            })
+            .collect();
+        FleetConfig {
+            devices,
+            tenants,
+            theta: 0.9,
+            mix: OpMix::read_heavy(),
+            ops_per_shard: 2000,
+            pacing: Pacing::Closed,
+            maintenance_every: 64,
+            placement: Placement::Hash,
+            seed,
+            sample_every: 250,
+            trace: false,
+            trace_cap: bh_trace::DEFAULT_CAPACITY,
+        }
+    }
+
+    /// Number of shards (= devices).
+    pub fn shards(&self) -> usize {
+        self.devices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_fleet_alternates_stacks() {
+        let cfg = FleetConfig::mixed(4, Geometry::small_test(), 16, 1);
+        assert_eq!(cfg.shards(), 4);
+        assert_eq!(cfg.devices[0].stack.label(), "conventional");
+        assert_eq!(cfg.devices[1].stack.label(), "zns+blockemu");
+        assert_eq!(cfg.devices[2].stack.label(), "conventional");
+    }
+}

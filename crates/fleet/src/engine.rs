@@ -1,0 +1,136 @@
+//! The fleet engine: place tenants, derive shard plans, run them on the
+//! pool, merge in shard order.
+
+use bh_trace::TracedEvent;
+use bh_workloads::{split_seed, TenantPopulation};
+
+use crate::config::FleetConfig;
+use crate::placement::place;
+use crate::pool::run_indexed;
+use crate::report::FleetReport;
+use crate::shard::ShardPlan;
+
+/// Salt mixed into the fleet seed to derive shard seeds, so a shard's
+/// workload stream and a tenant's address stream never collide.
+const SHARD_SALT: u64 = 0x5AAD;
+
+/// A completed fleet run.
+#[derive(Debug)]
+pub struct FleetRun {
+    /// The merged report.
+    pub report: FleetReport,
+    /// Per-shard trace event streams (shard id, events), empty when
+    /// tracing was off — feed to
+    /// [`bh_trace::export::to_chrome_trace_sharded`].
+    pub traces: Vec<(u32, Vec<TracedEvent>)>,
+    /// Trace events dropped across all shards' rings.
+    pub trace_dropped: u64,
+}
+
+/// Derives the per-shard plans from a fleet config. Exposed so callers
+/// can inspect or tweak plans before running.
+pub fn plan_fleet(cfg: &FleetConfig) -> Vec<ShardPlan> {
+    let pop = TenantPopulation::zipf(cfg.tenants, cfg.theta, cfg.seed);
+    let placed = place(cfg.placement, &pop, cfg.shards());
+    cfg.devices
+        .iter()
+        .zip(placed)
+        .enumerate()
+        .map(|(k, (spec, tenants))| ShardPlan {
+            shard: k as u32,
+            spec: *spec,
+            tenants,
+            mix: cfg.mix,
+            ops: cfg.ops_per_shard,
+            pacing: cfg.pacing,
+            maintenance_every: cfg.maintenance_every,
+            seed: split_seed(cfg.seed, SHARD_SALT + k as u64),
+            sample_every: cfg.sample_every,
+            trace: cfg.trace,
+            trace_cap: cfg.trace_cap,
+        })
+        .collect()
+}
+
+/// Runs the whole fleet on up to `jobs` worker threads and merges the
+/// results in shard-id order. The returned report is byte-identical for
+/// any `jobs` value.
+///
+/// # Errors
+///
+/// Returns the first failing shard's error (lowest shard id).
+pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, String> {
+    let plans = plan_fleet(cfg);
+    let outcomes = run_indexed(jobs, plans, |_, plan| {
+        plan.run().map_err(|e| format!("shard {}: {e}", plan.shard))
+    });
+    let mut results = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        results.push(outcome?);
+    }
+    let report = FleetReport::from_shards(&results);
+    let trace_dropped = results.iter().map(|r| r.trace_dropped).sum();
+    let traces = if cfg.trace {
+        results.into_iter().map(|r| (r.shard, r.events)).collect()
+    } else {
+        Vec::new()
+    };
+    Ok(FleetRun {
+        report,
+        traces,
+        trace_dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_flash::Geometry;
+
+    fn quick_cfg() -> FleetConfig {
+        let mut cfg = FleetConfig::mixed(4, Geometry::small_test(), 12, 0xF1EE);
+        cfg.ops_per_shard = 400;
+        cfg.sample_every = 100;
+        cfg
+    }
+
+    #[test]
+    fn fleet_report_is_identical_across_thread_counts() {
+        let cfg = quick_cfg();
+        let a = run_fleet(&cfg, 1).unwrap().report.to_json();
+        let b = run_fleet(&cfg, 4).unwrap().report.to_json();
+        assert_eq!(a, b, "jobs=1 and jobs=4 reports differ");
+    }
+
+    #[test]
+    fn mixed_fleet_produces_both_stack_aggregates() {
+        let run = run_fleet(&quick_cfg(), 2).unwrap();
+        assert_eq!(run.report.shards.len(), 4);
+        assert!(run.report.stack("conventional").is_some());
+        assert!(run.report.stack("zns+blockemu").is_some());
+        assert!(run.report.total_ops_per_sec() > 0.0);
+        assert!(run.traces.is_empty(), "tracing off by default");
+    }
+
+    #[test]
+    fn traced_fleet_collects_per_shard_streams() {
+        let mut cfg = quick_cfg();
+        cfg.trace = true;
+        cfg.trace_cap = 1 << 14;
+        let run = run_fleet(&cfg, 2).unwrap();
+        assert_eq!(run.traces.len(), 4);
+        assert!(run.traces.iter().all(|(_, ev)| !ev.is_empty()));
+        // Shard ids ascend, matching the pid blocks in the export.
+        let ids: Vec<u32> = run.traces.iter().map(|&(s, _)| s).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shard_seeds_differ_between_shards() {
+        let plans = plan_fleet(&quick_cfg());
+        let mut seeds: Vec<u64> = plans.iter().map(|p| p.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4);
+    }
+}

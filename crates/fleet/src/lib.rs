@@ -1,0 +1,42 @@
+//! Sharded multi-device fleet simulation.
+//!
+//! The paper's argument is a *fleet* argument: §2.4's tail-latency
+//! complaint and §4.2's active-zone budgeting both come from operators
+//! running many tenants over many devices, not one benchmark over one
+//! drive. This crate scales the single-device apparatus (`bh-core`'s
+//! runner over either stack) to a population of tenants sharded across
+//! a mixed fleet of simulated devices.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism regardless of parallelism.** Every shard owns an
+//!    independent virtual clock and a seeded RNG stream derived from the
+//!    fleet seed by [`bh_workloads::split_seed`]; shards never share
+//!    mutable state, and results are merged in shard-id order. The same
+//!    [`FleetConfig`] therefore produces a byte-identical
+//!    [`FleetReport`] whether it runs on 1 worker thread or 8.
+//! 2. **Real parallelism.** Shards run on a fixed-size OS thread pool
+//!    ([`pool::run_indexed`]); devices and tracers are constructed *on*
+//!    the worker (they are deliberately not `Send`), and only plain-data
+//!    results cross back.
+//! 3. **One merged view.** Per-shard latency histograms merge exactly
+//!    ([`bh_metrics::Histogram::merge`]), per-shard WA curves align onto
+//!    a common grid ([`bh_metrics::Series::mean_aligned`]), and per-shard
+//!    traces export into a single Chrome trace with shard-tagged pids
+//!    ([`bh_trace::export::to_chrome_trace_sharded`]).
+
+pub mod az;
+pub mod config;
+pub mod engine;
+pub mod placement;
+pub mod pool;
+pub mod report;
+pub mod shard;
+
+pub use az::admission_waits;
+pub use config::{DeviceSpec, FleetConfig, StackKind};
+pub use engine::{run_fleet, FleetRun};
+pub use placement::{place, Placement};
+pub use pool::{default_jobs, run_indexed};
+pub use report::{FleetReport, ShardRow, StackAgg};
+pub use shard::{ShardPlan, ShardResult};

@@ -1,0 +1,164 @@
+//! Tenant→shard placement policies.
+//!
+//! §4.2's operator question — how to multiplex many tenants over devices
+//! with scarce per-device resources — starts with *where each tenant's
+//! data lives*. All three policies here are deterministic functions of
+//! the tenant roster, so placement never depends on execution order.
+
+use bh_workloads::{split_seed, TenantPopulation, TenantSpec};
+
+/// How tenants are assigned to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Hash each tenant id onto a shard — the stateless industry default.
+    Hash,
+    /// Deal tenants out in id order — equal counts, blind to weight.
+    RoundRobin,
+    /// Greedy least-loaded-first over the tenant traffic weights
+    /// (longest-processing-time scheduling): heaviest tenants placed
+    /// first, each onto the currently lightest shard.
+    LoadAware,
+}
+
+impl Placement {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Placement::Hash => "hash",
+            Placement::RoundRobin => "round-robin",
+            Placement::LoadAware => "load-aware",
+        }
+    }
+}
+
+/// Assigns every tenant in `pop` to one of `shards` shards. Each shard's
+/// tenants come back in tenant-id order, and every shard is guaranteed at
+/// least one tenant (a hash policy can leave shards empty; those steal
+/// one tenant from the most-populated shard, deterministically).
+///
+/// # Panics
+///
+/// Panics when `shards` is zero or exceeds the tenant count.
+pub fn place(policy: Placement, pop: &TenantPopulation, shards: usize) -> Vec<Vec<TenantSpec>> {
+    assert!(shards > 0, "need at least one shard");
+    assert!(
+        pop.len() >= shards,
+        "cannot cover {} shards with {} tenants",
+        shards,
+        pop.len()
+    );
+    let mut out: Vec<Vec<TenantSpec>> = vec![Vec::new(); shards];
+    match policy {
+        Placement::Hash => {
+            for t in pop.specs() {
+                let shard = (split_seed(0xF1EE7, t.id as u64 + 1) % shards as u64) as usize;
+                out[shard].push(*t);
+            }
+        }
+        Placement::RoundRobin => {
+            for t in pop.specs() {
+                out[t.id as usize % shards].push(*t);
+            }
+        }
+        Placement::LoadAware => {
+            // Heaviest first; ties broken by id for determinism.
+            let mut order: Vec<&TenantSpec> = pop.specs().iter().collect();
+            order.sort_by(|a, b| {
+                b.weight
+                    .partial_cmp(&a.weight)
+                    .expect("weights are finite")
+                    .then(a.id.cmp(&b.id))
+            });
+            let mut load = vec![0.0f64; shards];
+            for t in order {
+                let lightest = load
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("loads are finite"))
+                    .map(|(i, _)| i)
+                    .expect("shards is non-zero");
+                load[lightest] += t.weight;
+                out[lightest].push(*t);
+            }
+        }
+    }
+    // Rebalance empty shards so every device serves someone.
+    while let Some(empty) = out.iter().position(Vec::is_empty) {
+        let donor = (0..out.len())
+            .max_by_key(|&i| out[i].len())
+            .expect("shards is non-zero");
+        let t = out[donor].pop().expect("donor has more than one tenant");
+        out[empty].push(t);
+    }
+    for shard in &mut out {
+        shard.sort_by_key(|t| t.id);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop() -> TenantPopulation {
+        TenantPopulation::zipf(32, 1.0, 42)
+    }
+
+    #[test]
+    fn every_policy_covers_all_shards_with_all_tenants() {
+        for policy in [Placement::Hash, Placement::RoundRobin, Placement::LoadAware] {
+            let placed = place(policy, &pop(), 5);
+            assert_eq!(placed.len(), 5);
+            assert!(
+                placed.iter().all(|s| !s.is_empty()),
+                "{policy:?} left a shard empty"
+            );
+            let mut ids: Vec<u32> = placed.iter().flatten().map(|t| t.id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..32).collect::<Vec<_>>(), "{policy:?} lost tenants");
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        for policy in [Placement::Hash, Placement::RoundRobin, Placement::LoadAware] {
+            let a = place(policy, &pop(), 4);
+            let b = place(policy, &pop(), 4);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn round_robin_deals_in_id_order() {
+        let placed = place(Placement::RoundRobin, &pop(), 4);
+        for (shard, tenants) in placed.iter().enumerate() {
+            assert!(tenants.iter().all(|t| t.id as usize % 4 == shard));
+        }
+    }
+
+    #[test]
+    fn load_aware_balances_weight_better_than_round_robin() {
+        // Zipf weights front-load rank 0; round-robin dumps the heavy
+        // head tenants onto the low shards while LPT spreads them.
+        let p = pop();
+        let spread = |placed: &[Vec<TenantSpec>]| {
+            let loads: Vec<f64> = placed
+                .iter()
+                .map(|s| s.iter().map(|t| t.weight).sum::<f64>())
+                .collect();
+            let max = loads.iter().cloned().fold(f64::MIN, f64::max);
+            let min = loads.iter().cloned().fold(f64::MAX, f64::min);
+            max - min
+        };
+        let lpt = spread(&place(Placement::LoadAware, &p, 4));
+        let rr = spread(&place(Placement::RoundRobin, &p, 4));
+        assert!(lpt <= rr, "LPT spread {lpt} worse than round-robin {rr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn more_shards_than_tenants_panics() {
+        let p = TenantPopulation::zipf(2, 1.0, 1);
+        place(Placement::Hash, &p, 3);
+    }
+}

@@ -1,0 +1,93 @@
+//! A minimal order-preserving thread pool.
+//!
+//! Workers pull `(index, item)` pairs from a shared queue and write each
+//! result into its own slot, so the returned vector is in input order no
+//! matter which worker ran which item or how they interleaved. That is
+//! the whole trick behind thread-count-independent fleet results: the
+//! *work* is parallel, the *merge* is positional.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Worker threads to use by default: the machine's available
+/// parallelism, floored at 1.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(index, item)` for every item on up to `jobs` OS threads and
+/// returns the results in input order. `jobs` is clamped to `1..=items`.
+/// A panicking `f` propagates the panic to the caller.
+pub fn run_indexed<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, n);
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let Some((i, item)) = queue.lock().expect("queue poisoned").pop_front() else {
+                    return;
+                };
+                let r = f(i, item);
+                *slots[i].lock().expect("slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot poisoned")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        for jobs in [1, 2, 8] {
+            let out = run_indexed(jobs, (0..50u64).collect(), |i, x| {
+                assert_eq!(i as u64, x);
+                x * 2
+            });
+            assert_eq!(out, (0..50u64).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn jobs_beyond_items_and_empty_input_are_fine() {
+        assert_eq!(run_indexed(16, vec![1, 2], |_, x| x), vec![1, 2]);
+        assert_eq!(
+            run_indexed(4, Vec::<u32>::new(), |_, x| x),
+            Vec::<u32>::new()
+        );
+        assert_eq!(run_indexed(0, vec![7], |_, x| x), vec![7]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = run_indexed(3, (0..100).collect::<Vec<u32>>(), |_, x| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(calls.load(Ordering::SeqCst), 100);
+    }
+}

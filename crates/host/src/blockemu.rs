@@ -220,6 +220,17 @@ impl BlockEmu {
         self.map.len() as u64
     }
 
+    /// Number of configured write streams (data frontiers).
+    pub fn streams(&self) -> u32 {
+        self.frontiers.len() as u32
+    }
+
+    /// True when the emulator is in caller-hinted stream mode (writes may
+    /// carry explicit stream ids; see [`BlockEmu::write_hinted`]).
+    pub fn is_hinted(&self) -> bool {
+        matches!(self.streams, StreamMap::Hinted { .. })
+    }
+
     /// Layer counters.
     pub fn stats(&self) -> &EmuStats {
         &self.stats

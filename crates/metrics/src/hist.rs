@@ -329,6 +329,102 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        for us in 1..=100u64 {
+            a.record(Nanos::from_micros(us));
+        }
+        let before = a.summary();
+        a.merge(&Histogram::new());
+        assert_eq!(a.summary(), before, "merging an empty histogram changed a");
+        let mut e = Histogram::new();
+        e.merge(&a);
+        assert_eq!(e.summary(), before, "empty.merge(a) must equal a");
+    }
+
+    #[test]
+    fn merge_of_empties_stays_empty() {
+        let mut a = Histogram::new();
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.quantile(0.5), Nanos::ZERO);
+        assert_eq!(a.min(), Nanos::ZERO);
+        assert_eq!(a.mean(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn merge_disjoint_ranges_matches_sequential_recording() {
+        // Shard A records microseconds, shard B records milliseconds:
+        // completely disjoint bucket ranges.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for us in 1..=500u64 {
+            a.record(Nanos::from_micros(us));
+            all.record(Nanos::from_micros(us));
+        }
+        for ms in 1..=500u64 {
+            b.record(Nanos::from_millis(ms));
+            all.record(Nanos::from_millis(ms));
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), all.summary());
+    }
+
+    #[test]
+    fn merge_overlapping_buckets_matches_sequential_recording() {
+        // Both shards record over the same value range; shared buckets
+        // must add, not replace.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for us in 1..=2000u64 {
+            a.record(Nanos::from_micros(us));
+            all.record(Nanos::from_micros(us));
+            b.record(Nanos::from_micros(us / 2 + 1));
+            all.record(Nanos::from_micros(us / 2 + 1));
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), all.summary());
+        assert_eq!(a.count(), 4000);
+    }
+
+    #[test]
+    fn merge_preserves_percentile_invariants() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(Nanos::from_micros(10), 100);
+        b.record_n(Nanos::from_micros(10_000), 3);
+        let (amax, bmax) = (a.max(), b.max());
+        a.merge(&b);
+        let s = a.summary();
+        // Quantiles stay ordered and bracketed by the merged extrema.
+        assert!(s.min <= s.p50 && s.p50 <= s.p90);
+        assert!(s.p90 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+        assert_eq!(s.max, amax.max(bmax));
+        // The handful of slow samples land beyond p90 but within p99.9.
+        assert!(s.p50 <= Nanos::from_micros(11));
+        assert!(s.p999 >= Nanos::from_micros(9_000));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut ab = Histogram::new();
+        let mut ba = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for us in 1..=300u64 {
+            a.record(Nanos::from_micros(us * 3));
+            b.record(Nanos::from_micros(us * 7));
+        }
+        ab.merge(&a);
+        ab.merge(&b);
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.summary(), ba.summary());
+    }
+
+    #[test]
     fn record_n_matches_repeated_record() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

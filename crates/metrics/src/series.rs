@@ -124,6 +124,48 @@ impl Series {
         })
     }
 
+    /// Aligns several series onto the union of their x grids and reduces
+    /// them pointwise with `reduce` (over the per-series interpolated y
+    /// values). Series sampled at different instants — e.g. per-shard
+    /// interval-WA curves from a fleet run — become one comparable curve.
+    ///
+    /// Empty inputs are skipped; the result is empty when every input is.
+    /// Inputs are assumed x-sorted (as sampled curves are).
+    pub fn aligned(
+        name: impl Into<String>,
+        series: &[Series],
+        reduce: impl Fn(&[f64]) -> f64,
+    ) -> Series {
+        let mut xs: Vec<f64> = series
+            .iter()
+            .flat_map(|s| s.points().iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("sample x must not be NaN"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let mut out = Series::new(name);
+        let mut ys = Vec::with_capacity(series.len());
+        for x in xs {
+            ys.clear();
+            ys.extend(series.iter().filter_map(|s| s.interpolate(x)));
+            if !ys.is_empty() {
+                out.push(x, reduce(&ys));
+            }
+        }
+        out
+    }
+
+    /// [`Series::aligned`] with a mean reducer — the fleet-level view of
+    /// per-shard curves.
+    pub fn mean_aligned(name: impl Into<String>, series: &[Series]) -> Series {
+        Series::aligned(name, series, |ys| ys.iter().sum::<f64>() / ys.len() as f64)
+    }
+
+    /// [`Series::aligned`] with a sum reducer — for additive per-shard
+    /// curves such as queue depth or throughput.
+    pub fn sum_aligned(name: impl Into<String>, series: &[Series]) -> Series {
+        Series::aligned(name, series, |ys| ys.iter().sum())
+    }
+
     /// Renders the series as simple aligned `x y` lines, one per point,
     /// prefixed by a `# name` header — gnuplot-compatible.
     pub fn render(&self) -> String {
@@ -188,5 +230,47 @@ mod tests {
         let r = sample().render();
         assert!(r.starts_with("# t\n"));
         assert_eq!(r.lines().count(), 4);
+    }
+
+    #[test]
+    fn aligned_unions_grids_and_interpolates() {
+        let mut a = Series::new("a");
+        a.push(0.0, 0.0);
+        a.push(2.0, 2.0);
+        let mut b = Series::new("b");
+        b.push(1.0, 3.0);
+        b.push(3.0, 3.0);
+        let m = Series::mean_aligned("m", &[a.clone(), b.clone()]);
+        // Union grid {0, 1, 2, 3}; b clamps to 3 at x=0, a clamps to 2 at x=3.
+        assert_eq!(
+            m.points(),
+            &[(0.0, 1.5), (1.0, 2.0), (2.0, 2.5), (3.0, 2.5)]
+        );
+        let s = Series::sum_aligned("s", &[a, b]);
+        assert_eq!(s.y_at(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn aligned_skips_empty_inputs() {
+        let empty = Series::new("e");
+        let mut a = Series::new("a");
+        a.push(1.0, 7.0);
+        let m = Series::mean_aligned("m", &[empty.clone(), a]);
+        assert_eq!(m.points(), &[(1.0, 7.0)]);
+        assert!(Series::mean_aligned("m", &[empty]).is_empty());
+        assert!(Series::mean_aligned("m", &[]).is_empty());
+    }
+
+    #[test]
+    fn aligned_dedups_shared_grid_points() {
+        let mut a = Series::new("a");
+        a.push(0.0, 1.0);
+        a.push(1.0, 1.0);
+        let mut b = Series::new("b");
+        b.push(0.0, 3.0);
+        b.push(1.0, 3.0);
+        let m = Series::mean_aligned("m", &[a, b]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.y_at(0.0), Some(2.0));
     }
 }

@@ -181,7 +181,11 @@ pub fn to_jsonl(events: &[TracedEvent]) -> String {
     out
 }
 
-/// Process ids used in the Chrome trace, one per subsystem family.
+/// Process-id offsets within one shard's pid block, one per subsystem
+/// family. A single-device trace uses base 0, so pids are 1–5 as they
+/// always were; a fleet trace gives shard `k` the block starting at
+/// `k * PID_STRIDE`, so every shard's five tracks stay grouped in
+/// Perfetto.
 mod pid {
     pub const FLASH: u32 = 1;
     pub const CONV_GC: u32 = 2;
@@ -189,6 +193,10 @@ mod pid {
     pub const HOST: u32 = 4;
     pub const RUNNER: u32 = 5;
 }
+
+/// Pid-space stride between shards in a sharded trace (room for the five
+/// subsystem tracks plus headroom).
+pub const PID_STRIDE: u32 = 8;
 
 fn micros(t: Nanos) -> f64 {
     t.as_nanos() as f64 / 1_000.0
@@ -223,13 +231,55 @@ fn metadata(pid_: u32, name: &str) -> Json {
 /// begin was evicted from the drop-oldest ring are skipped, so the
 /// output always contains well-formed duration spans.
 pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
-    let mut out: Vec<Json> = vec![
-        metadata(pid::FLASH, "flash (per-die ops)"),
-        metadata(pid::CONV_GC, "conv FTL GC (per-plane episodes)"),
-        metadata(pid::ZNS, "zns zone state machine"),
-        metadata(pid::HOST, "host reclaim"),
-        metadata(pid::RUNNER, "runner samples"),
-    ];
+    let mut out = Vec::new();
+    push_shard(&mut out, events, 0, "");
+    finish_doc(out)
+}
+
+/// Exports one Chrome `trace_event` JSON document merging several
+/// shards' event streams. Shard `k` (by the given shard id) occupies the
+/// pid block starting at `k * PID_STRIDE`, with its process names
+/// prefixed `shard<k>: `, so every device's five subsystem tracks stay
+/// grouped and distinguishable in Perfetto. Span closing and orphan-end
+/// skipping apply per shard, exactly as in [`to_chrome_trace`].
+pub fn to_chrome_trace_sharded(shards: &[(u32, Vec<TracedEvent>)]) -> String {
+    let mut out = Vec::new();
+    for (shard, events) in shards {
+        push_shard(
+            &mut out,
+            events,
+            shard * PID_STRIDE,
+            &format!("shard{shard}: "),
+        );
+    }
+    finish_doc(out)
+}
+
+fn finish_doc(out: Vec<Json>) -> String {
+    let mut doc = Json::obj();
+    doc.set("traceEvents", Json::Arr(out))
+        .set("displayTimeUnit", "ms");
+    doc.dump()
+}
+
+fn push_shard(out: &mut Vec<Json>, events: &[TracedEvent], base: u32, prefix: &str) {
+    out.push(metadata(
+        base + pid::FLASH,
+        &format!("{prefix}flash (per-die ops)"),
+    ));
+    out.push(metadata(
+        base + pid::CONV_GC,
+        &format!("{prefix}conv FTL GC (per-plane episodes)"),
+    ));
+    out.push(metadata(
+        base + pid::ZNS,
+        &format!("{prefix}zns zone state machine"),
+    ));
+    out.push(metadata(base + pid::HOST, &format!("{prefix}host reclaim")));
+    out.push(metadata(
+        base + pid::RUNNER,
+        &format!("{prefix}runner samples"),
+    ));
     let last_ts = micros(events.iter().map(|e| e.at).max().unwrap_or(Nanos::ZERO));
     // Open B events awaiting their E: (pid, tid, begin ts).
     let mut open: Vec<(u32, u32, &'static str)> = Vec::new();
@@ -248,7 +298,7 @@ pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
                 done,
                 ..
             }) => {
-                let mut j = chrome_event("X", kind.name(), pid::FLASH, die, micros(start));
+                let mut j = chrome_event("X", kind.name(), base + pid::FLASH, die, micros(start));
                 j.set("dur", micros(done) - micros(start));
                 let mut args = Json::obj();
                 args.set("origin", origin.name())
@@ -264,7 +314,7 @@ pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
                 valid,
                 invalid,
             }) => {
-                let mut j = chrome_event("B", "gc", pid::CONV_GC, plane, ts);
+                let mut j = chrome_event("B", "gc", base + pid::CONV_GC, plane, ts);
                 let mut args = Json::obj();
                 args.set("span", ev.span.0)
                     .set("victim", victim)
@@ -272,7 +322,7 @@ pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
                     .set("invalid", invalid);
                 j.set("args", args);
                 out.push(j);
-                open.push((pid::CONV_GC, plane, "gc"));
+                open.push((base + pid::CONV_GC, plane, "gc"));
             }
             Event::Conv(ConvEvent::GcEnd {
                 plane,
@@ -283,12 +333,12 @@ pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
                 // span to close; emitting it would unbalance the track.
                 let Some(pos) = open
                     .iter()
-                    .position(|&(p, t, _)| p == pid::CONV_GC && t == plane)
+                    .position(|&(p, t, _)| p == base + pid::CONV_GC && t == plane)
                 else {
                     continue;
                 };
                 open.swap_remove(pos);
-                let mut j = chrome_event("E", "gc", pid::CONV_GC, plane, ts);
+                let mut j = chrome_event("E", "gc", base + pid::CONV_GC, plane, ts);
                 let mut args = Json::obj();
                 args.set("span", ev.span.0)
                     .set("pages_copied", pages_copied)
@@ -297,7 +347,7 @@ pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
                 out.push(j);
             }
             Event::Conv(ConvEvent::WearLevel { block, pages_moved }) => {
-                let mut j = chrome_event("i", "wear-level", pid::CONV_GC, 0, ts);
+                let mut j = chrome_event("i", "wear-level", base + pid::CONV_GC, 0, ts);
                 j.set("s", "p");
                 let mut args = Json::obj();
                 args.set("block", block).set("pages_moved", pages_moved);
@@ -308,7 +358,7 @@ pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
                 let mut j = chrome_event(
                     "i",
                     &format!("{}\u{2192}{}", from.name(), to.name()),
-                    pid::ZNS,
+                    base + pid::ZNS,
                     zone,
                     ts,
                 );
@@ -320,7 +370,7 @@ pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
                 // for a timeline.
             }
             Event::Zns(ZnsEvent::LimitStall { zone, kind, .. }) => {
-                let mut j = chrome_event("i", "limit-stall", pid::ZNS, zone, ts);
+                let mut j = chrome_event("i", "limit-stall", base + pid::ZNS, zone, ts);
                 j.set("s", "p");
                 let mut args = Json::obj();
                 args.set("kind", kind);
@@ -328,21 +378,21 @@ pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
                 out.push(j);
             }
             Event::Host(HostEvent::ReclaimBegin { victim, live }) => {
-                let mut j = chrome_event("B", "reclaim", pid::HOST, 0, ts);
+                let mut j = chrome_event("B", "reclaim", base + pid::HOST, 0, ts);
                 let mut args = Json::obj();
                 args.set("span", ev.span.0)
                     .set("victim", victim)
                     .set("live", live);
                 j.set("args", args);
                 out.push(j);
-                open.push((pid::HOST, 0, "reclaim"));
+                open.push((base + pid::HOST, 0, "reclaim"));
             }
             Event::Host(HostEvent::ReclaimEnd { relocated, .. }) => {
-                let Some(pos) = open.iter().position(|&(p, _, _)| p == pid::HOST) else {
+                let Some(pos) = open.iter().position(|&(p, _, _)| p == base + pid::HOST) else {
                     continue;
                 };
                 open.swap_remove(pos);
-                let mut j = chrome_event("E", "reclaim", pid::HOST, 0, ts);
+                let mut j = chrome_event("E", "reclaim", base + pid::HOST, 0, ts);
                 let mut args = Json::obj();
                 args.set("span", ev.span.0).set("relocated", relocated);
                 j.set("args", args);
@@ -360,14 +410,14 @@ pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
                 queue_depth,
                 ..
             }) => {
-                let mut wa = chrome_event("C", "write-amplification", pid::RUNNER, 0, ts);
+                let mut wa = chrome_event("C", "write-amplification", base + pid::RUNNER, 0, ts);
                 let mut args = Json::obj();
                 // Counter tracks cannot draw infinity; clamp for display.
                 args.set("interval", clamp_counter(interval_wa))
                     .set("cumulative", clamp_counter(cumulative_wa));
                 wa.set("args", args);
                 out.push(wa);
-                let mut qd = chrome_event("C", "queue-depth", pid::RUNNER, 0, ts);
+                let mut qd = chrome_event("C", "queue-depth", base + pid::RUNNER, 0, ts);
                 let mut args = Json::obj();
                 args.set("busy_planes", queue_depth);
                 qd.set("args", args);
@@ -380,11 +430,6 @@ pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
     for (p, t, name) in open {
         out.push(chrome_event("E", name, p, t, last_ts));
     }
-
-    let mut doc = Json::obj();
-    doc.set("traceEvents", Json::Arr(out))
-        .set("displayTimeUnit", "ms");
-    doc.dump()
 }
 
 fn clamp_counter(v: f64) -> f64 {
@@ -503,6 +548,40 @@ mod tests {
         let events = doc["traceEvents"].as_arr().unwrap();
         assert!(events.iter().all(|e| e["ph"] != "E"));
         assert!(events.iter().all(|e| e["ph"] != "B"));
+    }
+
+    #[test]
+    fn sharded_trace_separates_pid_blocks() {
+        let shards = vec![(0u32, sample_events()), (2u32, sample_events())];
+        let doc = bh_json::parse(&to_chrome_trace_sharded(&shards)).unwrap();
+        let events = doc["traceEvents"].as_arr().unwrap();
+        // Each shard contributes the same shapes, offset into its block.
+        for (shard, base) in [(0u32, 0u32), (2, 2 * PID_STRIDE)] {
+            let _ = shard;
+            assert!(events
+                .iter()
+                .any(|e| e["ph"] == "X" && e["pid"].as_u64() == Some((base + pid::FLASH) as u64)));
+            let begins = events
+                .iter()
+                .filter(|e| {
+                    e["ph"] == "B" && e["pid"].as_u64() == Some((base + pid::CONV_GC) as u64)
+                })
+                .count();
+            let ends = events
+                .iter()
+                .filter(|e| {
+                    e["ph"] == "E" && e["pid"].as_u64() == Some((base + pid::CONV_GC) as u64)
+                })
+                .count();
+            assert_eq!(begins, 1);
+            assert_eq!(ends, 1);
+        }
+        // Shard 2's process names carry the shard prefix.
+        assert!(events.iter().any(|e| e["ph"] == "M"
+            && e["pid"].as_u64() == Some((2 * PID_STRIDE + pid::FLASH) as u64)
+            && e["args"]["name"]
+                .as_str()
+                .is_some_and(|n| n.starts_with("shard2: "))));
     }
 
     #[test]

@@ -33,4 +33,5 @@ pub use event::{
     CacheEvent, ConvEvent, Event, FlashEvent, FlashOpKind, HostEvent, KvEvent, Origin, RunnerEvent,
     Subsystem, TracedEvent, ZnsEvent, ZoneStateTag,
 };
+pub use export::{to_chrome_trace, to_chrome_trace_sharded, to_jsonl, PID_STRIDE};
 pub use sink::{NullSink, RingSink, SpanId, TraceSink, Tracer, DEFAULT_CAPACITY};

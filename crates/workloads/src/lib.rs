@@ -10,6 +10,7 @@
 //! bit-for-bit.
 
 pub mod objects;
+pub mod population;
 pub mod queues;
 pub mod synthetic;
 pub mod tenants;
@@ -17,8 +18,9 @@ pub mod trace;
 pub mod zipf;
 
 pub use objects::{ObjectEvent, ObjectStream, ObjectStreamConfig};
+pub use population::{split_seed, TenantPopulation, TenantSpec, TenantStream};
 pub use queues::{AppendEvent, MultiWriterQueues};
-pub use synthetic::{AddressDist, Op, OpMix, OpStream};
+pub use synthetic::{AddressDist, Op, OpMix, OpSource, OpStream};
 pub use tenants::{BurstyTenants, TenantEvent};
 pub use trace::Trace;
 pub use zipf::Zipf;

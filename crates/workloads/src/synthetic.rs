@@ -57,6 +57,30 @@ impl OpMix {
     }
 }
 
+/// Anything that produces a deterministic sequence of block operations.
+///
+/// The load runner drives a `dyn OpSource`, so single-stream workloads
+/// ([`OpStream`]) and multiplexed ones (`TenantStream`, which interleaves
+/// a whole tenant population) share one code path. Writes may carry a
+/// *stream hint* — the §4.1 application-knowledge placement signal that
+/// hinted ZNS stacks route to per-stream zones and block devices ignore.
+pub trait OpSource {
+    /// Produces the next operation.
+    fn next_op(&mut self) -> Op;
+
+    /// Produces the next operation plus its placement stream hint.
+    /// Sources without placement knowledge hint stream `0`.
+    fn next_hinted(&mut self) -> (Op, u32) {
+        (self.next_op(), 0)
+    }
+}
+
+impl OpSource for OpStream {
+    fn next_op(&mut self) -> Op {
+        OpStream::next_op(self)
+    }
+}
+
 /// A deterministic stream of block operations.
 ///
 /// # Examples

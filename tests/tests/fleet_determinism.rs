@@ -1,0 +1,85 @@
+//! The fleet engine's headline guarantee, checked end to end: a fleet
+//! run's archived report is a pure function of its config — the worker
+//! thread count, which only changes how shards interleave on the OS,
+//! must never leak into a single byte of the output.
+
+use bh_core::Pacing;
+use bh_flash::Geometry;
+use bh_fleet::{run_fleet, FleetConfig, Placement, StackKind};
+use bh_host::ReclaimPolicy;
+use bh_metrics::Nanos;
+
+fn cfg(devices: usize, seed: u64) -> FleetConfig {
+    let mut cfg = FleetConfig::mixed(devices, Geometry::small_test(), devices as u32 * 3, seed);
+    cfg.ops_per_shard = 800;
+    cfg.sample_every = 200;
+    cfg
+}
+
+#[test]
+fn fleet_report_identical_for_1_and_8_jobs() {
+    let cfg = cfg(6, 0xD57);
+    let sequential = run_fleet(&cfg, 1).unwrap().report.to_json();
+    let parallel = run_fleet(&cfg, 8).unwrap().report.to_json();
+    assert_eq!(
+        sequential, parallel,
+        "thread count leaked into the fleet report"
+    );
+}
+
+#[test]
+fn fleet_traces_identical_for_1_and_4_jobs() {
+    let mut cfg = cfg(4, 0xD58);
+    cfg.trace = true;
+    let a = run_fleet(&cfg, 1).unwrap();
+    let b = run_fleet(&cfg, 4).unwrap();
+    assert_eq!(
+        bh_trace::to_chrome_trace_sharded(&a.traces),
+        bh_trace::to_chrome_trace_sharded(&b.traces),
+        "thread count leaked into the exported trace"
+    );
+}
+
+#[test]
+fn fleet_report_depends_on_seed() {
+    let a = run_fleet(&cfg(4, 1), 2).unwrap().report.to_json();
+    let b = run_fleet(&cfg(4, 2), 2).unwrap().report.to_json();
+    assert_ne!(a, b, "different seeds must drive different fleets");
+}
+
+#[test]
+fn fleet_report_independent_of_placement_iteration_order() {
+    // Same fleet, three placement policies: all must cover every tenant
+    // (shard tenant counts sum to the population) and stay deterministic.
+    for placement in [Placement::Hash, Placement::RoundRobin, Placement::LoadAware] {
+        let mut c = cfg(4, 0xD59);
+        c.placement = placement;
+        let r1 = run_fleet(&c, 1).unwrap().report;
+        let r3 = run_fleet(&c, 3).unwrap().report;
+        assert_eq!(r1.to_json(), r3.to_json());
+        let total: u32 = r1.shards.iter().map(|s| s.tenants).sum();
+        assert_eq!(total, c.tenants, "placement {placement:?} lost tenants");
+    }
+}
+
+#[test]
+fn bursty_pacing_and_idle_reclaim_stay_deterministic() {
+    // The expt_fleet configuration in miniature: bursty arrivals,
+    // idle-window reclaim on the ZNS shards.
+    let mut c = cfg(4, 0xD5A);
+    c.pacing = Pacing::Bursty {
+        burst_ops: 16,
+        interarrival: Nanos::from_millis(5),
+        idle: Nanos::from_millis(20),
+    };
+    for spec in &mut c.devices {
+        if let StackKind::ZnsEmu { reclaim, .. } = &mut spec.stack {
+            *reclaim = ReclaimPolicy::IdleOnly {
+                min_idle: Nanos::from_millis(8),
+            };
+        }
+    }
+    let a = run_fleet(&c, 1).unwrap().report.to_json();
+    let b = run_fleet(&c, 4).unwrap().report.to_json();
+    assert_eq!(a, b);
+}
