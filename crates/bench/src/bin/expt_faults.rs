@@ -1,0 +1,235 @@
+//! E16 — transient faults and who cleans up: the same seeded fault plan
+//! (program failures, mid-life grown bad blocks, read-disturb ECC
+//! retries, scheduled power losses) is driven into both stacks, and the
+//! recovery work surfaces the interface difference the paper argues for.
+//!
+//! The conventional FTL hides faults behind the block interface: it
+//! re-drives burned programs into its spare pool and, after a power
+//! loss, rebuilds its page map by scanning the out-of-band stamps of
+//! every written page. The ZNS emulation recovers in the host, where
+//! append-only zones make recovery metadata cheap: a full zone's summary
+//! is durable (the LFS segment-summary technique), so replay reads one
+//! page per full zone and only scans the few partially-written zones.
+//!
+//! Four runs — {conventional, zns+blockemu} × {clean, faulty} — over
+//! identical op streams. Measured: WA inflation (faulty/clean), read
+//! p99.9 inflation, and recovery work (pages scanned per power loss).
+
+use bh_conv::{ConvConfig, ConvSsd};
+use bh_core::{BlockInterface, ClaimSet, Report};
+use bh_faults::FaultConfig;
+use bh_flash::{FlashConfig, Geometry};
+use bh_host::{BlockEmu, ReclaimPolicy};
+use bh_metrics::{Histogram, Nanos, Series, Table};
+use bh_workloads::{Op, OpMix, OpStream};
+use bh_zns::{ZnsConfig, ZnsDevice};
+
+/// Seed for both the op stream and the fault plan; printed in the report
+/// so a failing run can be replayed exactly.
+const SEED: u64 = 0xE16;
+
+fn geometry() -> Geometry {
+    Geometry::experiment(if bh_bench::quick_mode() { 8 } else { 16 })
+}
+
+fn conv_stack() -> Box<dyn BlockInterface> {
+    let dev = ConvSsd::new(ConvConfig::new(FlashConfig::tlc(geometry()), 0.15)).unwrap();
+    Box::new(dev)
+}
+
+fn zns_stack() -> Box<dyn BlockInterface> {
+    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geometry()), 4);
+    cfg.max_active_zones = 8;
+    cfg.max_open_zones = 8;
+    let dev = ZnsDevice::new(cfg).unwrap();
+    let reserve = (dev.num_zones() / 8).max(4);
+    Box::new(BlockEmu::new(dev, reserve, ReclaimPolicy::Immediate))
+}
+
+struct Outcome {
+    reads: Histogram,
+    wa: f64,
+    /// Pages read to rebuild translation state, per power loss.
+    scans: Vec<(u64, u64)>,
+    /// Virtual time spent in recovery.
+    recovery: Nanos,
+}
+
+impl Outcome {
+    fn scanned(&self) -> u64 {
+        self.scans.iter().map(|&(_, pages)| pages).sum()
+    }
+}
+
+/// Fills the device, then drives `ops` zipfian operations, power-cycling
+/// at the plan's scheduled op indices. Clean runs (`faults: None`) see
+/// the exact same op stream and no fault layer at all.
+fn run(mut dev: Box<dyn BlockInterface>, faults: Option<FaultConfig>, ops: u64) -> Outcome {
+    if let Some(f) = faults {
+        f.validate().unwrap();
+        dev.install_faults(f);
+    }
+    let losses = faults
+        .map(|f| f.power_loss_indices(ops, 3))
+        .unwrap_or_default();
+    let cap = dev.capacity_pages();
+    let mut t = Nanos::ZERO;
+    for lba in 0..cap {
+        t = dev.write(lba, t).unwrap();
+    }
+    let mut stream = OpStream::zipfian(cap, OpMix::read_heavy(), SEED);
+    let mut reads = Histogram::new();
+    let mut scans = Vec::new();
+    let mut recovery = Nanos::ZERO;
+    let mut next_loss = 0usize;
+    for i in 0..ops {
+        if next_loss < losses.len() && i == losses[next_loss] {
+            next_loss += 1;
+            let (done, pages) = dev.power_cycle(t).unwrap();
+            scans.push((i, pages));
+            recovery += done.saturating_sub(t);
+            t = done;
+        }
+        match stream.next_op() {
+            Op::Read(lba) => {
+                let done = dev.read(lba, t).unwrap();
+                reads.record(done.saturating_sub(t));
+                t = done;
+            }
+            Op::Write(lba) => {
+                t = dev.write(lba, t).unwrap();
+            }
+            Op::Trim(lba) => dev.trim(lba).unwrap(),
+        }
+        if i % 64 == 0 {
+            t = dev.maintenance(t).unwrap();
+        }
+    }
+    Outcome {
+        reads,
+        wa: dev.write_amplification(),
+        scans,
+        recovery,
+    }
+}
+
+fn main() {
+    let ops = bh_bench::scaled(60_000, 8_000);
+    let faults = FaultConfig::mid_life(SEED);
+
+    let mut report = Report::new(
+        "E16 / transient faults and recovery work",
+        "Identical seeded fault plans on both stacks: WA and read-tail inflation, \
+         pages scanned to recover from power loss",
+    );
+
+    let mut table = Table::new([
+        "stack",
+        "plan",
+        "WA",
+        "read p99.9",
+        "power losses",
+        "pages scanned",
+        "recovery time",
+    ]);
+    let mut outcomes = Vec::new();
+    for (label, build) in [
+        (
+            "conventional",
+            conv_stack as fn() -> Box<dyn BlockInterface>,
+        ),
+        ("zns+blockemu", zns_stack as fn() -> Box<dyn BlockInterface>),
+    ] {
+        for plan in [None, Some(faults)] {
+            let o = run(build(), plan, ops);
+            table.row([
+                label.to_string(),
+                if plan.is_some() { "mid-life" } else { "clean" }.to_string(),
+                bh_bench::fmt_wa(o.wa),
+                o.reads.summary().p999.to_string(),
+                o.scans.len().to_string(),
+                o.scanned().to_string(),
+                o.recovery.to_string(),
+            ]);
+            outcomes.push((label, plan.is_some(), o));
+        }
+    }
+    report.table(
+        format!("fault sweep (seed {SEED:#x}, rates: {faults:?})"),
+        table,
+    );
+
+    let find = |label: &str, faulty: bool| -> &Outcome {
+        &outcomes
+            .iter()
+            .find(|(l, f, _)| *l == label && *f == faulty)
+            .expect("all four runs present")
+            .2
+    };
+    let conv_clean = find("conventional", false);
+    let conv_faulty = find("conventional", true);
+    let zns_clean = find("zns+blockemu", false);
+    let zns_faulty = find("zns+blockemu", true);
+
+    // Per-loss recovery-work series, for the figure.
+    for (label, o) in [("conventional", conv_faulty), ("zns+blockemu", zns_faulty)] {
+        let mut s = Series::new(format!("{label}: pages scanned per power loss"));
+        for &(op_index, pages) in &o.scans {
+            s.push(op_index as f64, pages as f64);
+        }
+        report.series(s);
+    }
+
+    let tail_ns = |o: &Outcome| o.reads.summary().p999.as_nanos() as f64;
+    let zns_tail_inflation = tail_ns(zns_faulty) / tail_ns(zns_clean).max(1.0);
+
+    let mut claims = ClaimSet::new();
+    claims.check(
+        "E16.recovery-zns-cheap",
+        "explicit zone state makes recovery cheap: conv rebuilds its map by scanning \
+         every written page, ZNS replays durable zone summaries (pages scanned ratio)",
+        conv_faulty.scanned() as f64 / (zns_faulty.scanned() as f64).max(1.0),
+        (4.0, 1e6),
+    );
+    claims.check(
+        "E16.read-tail-under-faults",
+        "under the same fault plan the ZNS read tail stays far below the conventional \
+         one (faulty p99.9 ratio conv/zns)",
+        tail_ns(conv_faulty) / tail_ns(zns_faulty).max(1.0),
+        (5.0, 1e6),
+    );
+    claims.check(
+        "E16.zns-tail-inflation-bounded",
+        "host-driven recovery keeps the fault penalty on the ZNS read tail to a small \
+         constant factor (faulty p99.9 / clean p99.9)",
+        zns_tail_inflation,
+        (1.0, 10.0),
+    );
+    claims.check(
+        "E16.wa-inflation-conv",
+        "faults add device work, never remove it (conv faulty WA / clean WA)",
+        conv_faulty.wa / conv_clean.wa,
+        (0.98, 10.0),
+    );
+    claims.check(
+        "E16.wa-inflation-zns",
+        "faults add host work, never remove it (zns faulty WA / clean WA)",
+        zns_faulty.wa / zns_clean.wa,
+        (0.98, 10.0),
+    );
+    // Determinism is part of the claim surface: the same seed must
+    // reproduce the same faulty run bit-for-bit.
+    let again = run(zns_stack(), Some(faults), ops);
+    let identical = again.scans == zns_faulty.scans
+        && again.wa == zns_faulty.wa
+        && again.recovery == zns_faulty.recovery
+        && again.reads.summary() == zns_faulty.reads.summary();
+    claims.check(
+        "E16.deterministic",
+        "the same seed reproduces the same faulty run exactly",
+        identical as u32 as f64,
+        (1.0, 1.0),
+    );
+    report.claims(claims);
+    bh_bench::finish(report);
+}

@@ -33,6 +33,7 @@ const EXPERIMENTS: &[&str] = &[
     "expt_gc_policy",
     "expt_qlc",
     "expt_fleet",
+    "expt_faults",
 ];
 
 /// `--jobs N` argument or `BH_JOBS` env var; default: available

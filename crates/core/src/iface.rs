@@ -59,6 +59,25 @@ pub trait BlockInterface {
     /// Returns a human-readable description on device errors.
     fn maintenance(&mut self, now: Nanos) -> Result<Nanos, String>;
 
+    /// Installs a deterministic transient-fault plan on the flash beneath
+    /// the stack. The default ignores it, for stacks without fault
+    /// support.
+    fn install_faults(&mut self, cfg: bh_faults::FaultConfig) {
+        let _ = cfg;
+    }
+
+    /// Models a power loss at `now` followed by recovery. Returns the
+    /// instant recovery completes and the number of pages scanned to
+    /// rebuild translation state — the recovery-work metric E16 compares
+    /// across stacks. The default has nothing to recover.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description on device errors.
+    fn power_cycle(&mut self, now: Nanos) -> Result<(Nanos, u64), String> {
+        Ok((now, 0))
+    }
+
     /// Device-level write amplification observed so far.
     fn write_amplification(&self) -> f64;
 
@@ -102,6 +121,14 @@ impl BlockInterface for ConvSsd {
         // its own schedule; the host cannot help it. (§2.4: the timing of
         // GC "was known neither to the OS nor applications".)
         Ok(now)
+    }
+
+    fn install_faults(&mut self, cfg: bh_faults::FaultConfig) {
+        ConvSsd::install_faults(self, cfg);
+    }
+
+    fn power_cycle(&mut self, now: Nanos) -> Result<(Nanos, u64), String> {
+        ConvSsd::power_cycle(self, now).map_err(|e| e.to_string())
     }
 
     fn write_amplification(&self) -> f64 {
@@ -160,6 +187,14 @@ impl BlockInterface for BlockEmu {
         BlockEmu::maybe_reclaim(self, now)
             .map(|(_, done)| done)
             .map_err(|e| e.to_string())
+    }
+
+    fn install_faults(&mut self, cfg: bh_faults::FaultConfig) {
+        BlockEmu::install_faults(self, cfg);
+    }
+
+    fn power_cycle(&mut self, now: Nanos) -> Result<(Nanos, u64), String> {
+        BlockEmu::power_cycle(self, now).map_err(|e| e.to_string())
     }
 
     fn write_amplification(&self) -> f64 {

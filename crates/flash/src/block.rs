@@ -170,16 +170,53 @@ impl Block {
     ///
     /// # Errors
     ///
-    /// Returns [`FlashError::ReadUnwritten`] for free pages. Reading an
-    /// *invalid* page succeeds (the charge persists until erase) but
-    /// returns `None`, mirroring how real firmware can still sense
-    /// logically dead data.
+    /// - [`FlashError::BadBlock`] if the block has been retired — a
+    ///   retired block's pages are gone, and reporting them as merely
+    ///   "unwritten" would hide the retirement from upper layers.
+    /// - [`FlashError::ReadUnwritten`] for free pages. Reading an
+    ///   *invalid* page succeeds (the charge persists until erase) but
+    ///   returns `None`, mirroring how real firmware can still sense
+    ///   logically dead data.
     pub fn read(&self, page: u32) -> Result<Option<u64>, FlashError> {
+        if self.status == BlockStatus::Bad {
+            return Err(FlashError::BadBlock(self.id));
+        }
         match self.pages[page as usize] {
             PageState::Free => Err(FlashError::ReadUnwritten(Ppa::new(self.id, page))),
             PageState::Valid(stamp) => Ok(Some(stamp)),
             PageState::Invalid => Ok(None),
         }
+    }
+
+    /// Burns the next sequential page: the program pulse ran and consumed
+    /// the page, but the data did not take. The page lands `Invalid` and
+    /// the cursor advances — exactly what a failed program leaves behind
+    /// on real NAND (the page can never be re-programmed before an
+    /// erase). Returns the burned page offset.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Block::program_next`].
+    pub fn burn_next(&mut self) -> Result<u32, FlashError> {
+        if self.status == BlockStatus::Bad {
+            return Err(FlashError::BadBlock(self.id));
+        }
+        if self.is_full() {
+            return Err(FlashError::BlockFull(self.id));
+        }
+        let page = self.cursor;
+        self.pages[page as usize] = PageState::Invalid;
+        self.cursor += 1;
+        Ok(page)
+    }
+
+    /// Retires the block immediately (a grown bad block: an erase failed
+    /// mid-life). Contents are destroyed, like a worn-out retirement.
+    pub fn retire(&mut self) {
+        self.pages.fill(PageState::Free);
+        self.cursor = 0;
+        self.valid = 0;
+        self.status = BlockStatus::Bad;
     }
 
     /// Marks a programmed page invalid (logically overwritten/deleted).

@@ -14,14 +14,29 @@ use crate::geometry::{BlockId, Geometry, PlaneId, Ppa};
 use crate::sched::ResourceModel;
 use crate::stats::FlashStats;
 use crate::Result;
+use bh_faults::{FaultConfig, FaultCounters, FaultPlan};
 use bh_metrics::Nanos;
-use bh_trace::{FlashEvent, FlashOpKind, Tracer};
+use bh_trace::{FaultEvent, FlashEvent, FlashOpKind, Tracer};
 
 /// Opaque per-page payload identifier.
 ///
 /// Stamps stand in for page contents: a writer records a stamp, a reader
 /// gets the same stamp back, and integrity tests verify the round trip.
 pub type Stamp = u64;
+
+/// Packs `(seq << 32) | lba` into a stamp — the out-of-band metadata real
+/// devices store beside each page. Recovery scans decode it to rebuild
+/// logical mappings (`lba`) and order duplicate versions (`seq`) after
+/// power loss.
+pub fn encode_oob(seq: u64, lba: u64) -> Stamp {
+    debug_assert!(lba < (1 << 32), "lba {lba} exceeds OOB field");
+    (seq << 32) | lba
+}
+
+/// Inverse of [`encode_oob`]: returns `(seq, lba)`.
+pub fn decode_oob(stamp: Stamp) -> (u64, u64) {
+    (stamp >> 32, stamp & 0xFFFF_FFFF)
+}
 
 /// Who initiated an operation, for write-amplification attribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +107,9 @@ pub struct FlashDevice {
     sched: ResourceModel,
     stats: FlashStats,
     tracer: Tracer,
+    /// Transient-fault decision stream; `None` (the default) is the
+    /// exact pre-fault code path.
+    faults: Option<FaultPlan>,
 }
 
 impl FlashDevice {
@@ -118,7 +136,81 @@ impl FlashDevice {
             sched: ResourceModel::new(&geo),
             stats: FlashStats::default(),
             tracer: Tracer::disabled(),
+            faults: None,
         })
+    }
+
+    /// Installs a transient-fault plan. Every subsequent program, erase,
+    /// and read consults the plan's deterministic decision stream. A
+    /// quiet plan (all rates zero) is behaviourally identical to no plan.
+    pub fn install_faults(&mut self, cfg: FaultConfig) {
+        self.faults = Some(FaultPlan::new(cfg));
+    }
+
+    /// What the installed fault plan has injected so far (`None` when no
+    /// plan is installed).
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        self.faults.as_ref().map(|p| p.counters())
+    }
+
+    fn trace_fault(&mut self, at: Nanos, ev: FaultEvent) {
+        if self.tracer.enabled() {
+            self.tracer.emit(at, ev);
+        }
+    }
+
+    /// Consumes the next program-fault decision. Called only after the
+    /// operation has passed validation, so a plan advances identically
+    /// whether or not callers probe with invalid addresses.
+    fn program_fault_fires(&mut self) -> bool {
+        self.faults.as_mut().is_some_and(|p| p.next_program_fails())
+    }
+
+    fn erase_fault_fires(&mut self) -> bool {
+        self.faults.as_mut().is_some_and(|p| p.next_erase_fails())
+    }
+
+    fn read_retries(&mut self) -> u32 {
+        self.faults.as_mut().map_or(0, |p| p.next_read_retries())
+    }
+
+    /// The burned-program path: the pulse ran, consumed the page and
+    /// plane time, but the data did not take. Always attributed as
+    /// internal work — a failed program delivers no host data, so it
+    /// inflates write amplification no matter who issued it.
+    fn burn_program(&mut self, block: BlockId, now: Nanos, origin: OpOrigin) -> FlashError {
+        let page = match self.blocks[block.0 as usize].burn_next() {
+            Ok(p) => p,
+            Err(e) => return e,
+        };
+        let plane = self.geo.plane_of(block);
+        let done = self
+            .sched
+            .program(plane, &self.timing, self.geo.page_bytes, now);
+        self.stats.internal_programs += 1;
+        self.stats.busy += self.timing.program + self.timing.transfer(self.geo.page_bytes as u64);
+        self.trace_op(
+            FlashOpKind::Program,
+            OpOrigin::Internal,
+            plane,
+            block,
+            page,
+            now,
+            done,
+        );
+        let issuer = match origin {
+            OpOrigin::Host => bh_trace::Origin::Host,
+            OpOrigin::Internal => bh_trace::Origin::Internal,
+        };
+        self.trace_fault(
+            done,
+            FaultEvent::ProgramFail {
+                block: block.0,
+                page,
+                origin: issuer,
+            },
+        );
+        FlashError::ProgramFailed(Ppa::new(block, page))
     }
 
     /// Installs a tracer; flash operations emit [`FlashEvent`]s into it.
@@ -227,8 +319,11 @@ impl FlashDevice {
     ) -> Result<(Option<Stamp>, Nanos)> {
         self.check_ppa(ppa)?;
         let stamp = self.blocks[ppa.block.0 as usize].read(ppa.page)?;
+        // Consumed only after the media read succeeded, so probing bad
+        // addresses never perturbs the decision stream.
+        let retries = self.read_retries();
         let plane = self.geo.plane_of(ppa.block);
-        let done = self
+        let mut done = self
             .sched
             .read(plane, &self.timing, self.geo.page_bytes, now);
         match origin {
@@ -236,6 +331,17 @@ impl FlashDevice {
             OpOrigin::Internal => self.stats.internal_reads += 1,
         }
         self.stats.busy += self.timing.read + self.timing.transfer(self.geo.page_bytes as u64);
+        for _ in 0..retries {
+            // Each ECC retry re-senses the page: it queues behind the
+            // previous attempt on the same plane, so tail latency
+            // inflates through the resource model rather than a fudge
+            // factor.
+            done = self
+                .sched
+                .read(plane, &self.timing, self.geo.page_bytes, now);
+            self.stats.internal_reads += 1;
+            self.stats.busy += self.timing.read + self.timing.transfer(self.geo.page_bytes as u64);
+        }
         self.trace_op(
             FlashOpKind::Read,
             origin,
@@ -245,6 +351,16 @@ impl FlashDevice {
             now,
             done,
         );
+        if retries > 0 {
+            self.trace_fault(
+                done,
+                FaultEvent::ReadRetry {
+                    block: ppa.block.0,
+                    page: ppa.page,
+                    retries,
+                },
+            );
+        }
         Ok((stamp, done))
     }
 
@@ -261,6 +377,18 @@ impl FlashDevice {
         now: Nanos,
         origin: OpOrigin,
     ) -> Result<(u32, Nanos)> {
+        {
+            let b = self.block(block)?;
+            if b.status() == BlockStatus::Bad {
+                return Err(FlashError::BadBlock(block));
+            }
+            if b.is_full() {
+                return Err(FlashError::BlockFull(block));
+            }
+        }
+        if self.program_fault_fires() {
+            return Err(self.burn_program(block, now, origin));
+        }
         let page = self.block_mut(block)?.program_next(stamp)?;
         let plane = self.geo.plane_of(block);
         let done = self
@@ -289,6 +417,24 @@ impl FlashDevice {
         origin: OpOrigin,
     ) -> Result<Nanos> {
         self.check_ppa(ppa)?;
+        {
+            let b = self.block(ppa.block)?;
+            if b.status() == BlockStatus::Bad {
+                return Err(FlashError::BadBlock(ppa.block));
+            }
+            if b.is_full() {
+                return Err(FlashError::BlockFull(ppa.block));
+            }
+            if ppa.page != b.cursor() {
+                return Err(FlashError::NonSequentialProgram {
+                    ppa,
+                    expected: b.cursor(),
+                });
+            }
+        }
+        if self.program_fault_fires() {
+            return Err(self.burn_program(ppa.block, now, origin));
+        }
         self.block_mut(ppa.block)?.program_at(ppa.page, stamp)?;
         let plane = self.geo.plane_of(ppa.block);
         let done = self
@@ -337,9 +483,14 @@ impl FlashDevice {
     ///
     /// Returns [`FlashError::BadBlock`] if the block was already retired.
     pub fn erase(&mut self, block: BlockId, now: Nanos) -> Result<EraseOutcome> {
+        if self.block(block)?.status() == BlockStatus::Bad {
+            return Err(FlashError::BadBlock(block));
+        }
+        // Decision consumed only for erases that will actually run.
+        let erase_fault = self.erase_fault_fires();
         let endurance = self.endurance;
         let now_ns = now.as_nanos();
-        let retired = match self.block_mut(block)?.erase(endurance, now_ns) {
+        let mut retired = match self.block_mut(block)?.erase(endurance, now_ns) {
             Ok(()) => false,
             Err(FlashError::BlockWornOut(_)) => true,
             Err(e) => return Err(e),
@@ -357,6 +508,21 @@ impl FlashDevice {
             now,
             done,
         );
+        if erase_fault && !retired {
+            // The erase pulse failed verification: the block becomes a
+            // mid-life grown bad block, indistinguishable to callers from
+            // a worn-out retirement.
+            let wear = self.blocks[block.0 as usize].wear();
+            self.blocks[block.0 as usize].retire();
+            retired = true;
+            self.trace_fault(
+                done,
+                FaultEvent::EraseFail {
+                    block: block.0,
+                    wear,
+                },
+            );
+        }
         Ok(EraseOutcome { done, retired })
     }
 
@@ -381,6 +547,18 @@ impl FlashDevice {
             Some(s) => s,
             None => return Err(FlashError::ReadUnwritten(src)),
         };
+        {
+            let b = self.block(dst_block)?;
+            if b.status() == BlockStatus::Bad {
+                return Err(FlashError::BadBlock(dst_block));
+            }
+            if b.is_full() {
+                return Err(FlashError::BlockFull(dst_block));
+            }
+        }
+        if self.program_fault_fires() {
+            return Err(self.burn_program(dst_block, now, OpOrigin::Internal));
+        }
         let dst_page = self.block_mut(dst_block)?.program_next(stamp)?;
         let src_plane = self.geo.plane_of(src.block);
         let dst_plane = self.geo.plane_of(dst_block);
@@ -596,6 +774,153 @@ mod tests {
             }
             other => panic!("unexpected event {other:?}"),
         }
+    }
+
+    #[test]
+    fn read_of_retired_block_reports_bad_block() {
+        // Lock-in: reads of a retired block must surface BadBlock, not
+        // ReadUnwritten — retirement destroying the data is information
+        // upper layers need.
+        let mut d = FlashDevice::new(FlashConfig {
+            geometry: Geometry::small_test(),
+            cell: CellKind::Tlc,
+            endurance_override: Some(1),
+        })
+        .unwrap();
+        let (page, _) = d
+            .program_next(BlockId(0), 7, Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        assert!(d.erase(BlockId(0), Nanos::ZERO).unwrap().retired);
+        assert_eq!(
+            d.read(Ppa::new(BlockId(0), page), Nanos::ZERO, OpOrigin::Host),
+            Err(FlashError::BadBlock(BlockId(0)))
+        );
+        assert_eq!(
+            d.copy_page(Ppa::new(BlockId(0), page), BlockId(8), Nanos::ZERO),
+            Err(FlashError::BadBlock(BlockId(0)))
+        );
+    }
+
+    #[test]
+    fn quiet_fault_plan_is_invisible() {
+        // A quiet plan must leave behavior byte-identical to no plan.
+        let mut clean = dev();
+        let mut quiet = dev();
+        quiet.install_faults(bh_faults::FaultConfig::new(0x51E7));
+        for d in [&mut clean, &mut quiet] {
+            for i in 0..8u64 {
+                d.program_next(BlockId(0), i, Nanos::ZERO, OpOrigin::Host)
+                    .unwrap();
+            }
+            for i in 0..8u32 {
+                d.read(Ppa::new(BlockId(0), i), Nanos::ZERO, OpOrigin::Host)
+                    .unwrap();
+            }
+            d.erase(BlockId(0), Nanos::ZERO).unwrap();
+        }
+        assert_eq!(clean.stats(), quiet.stats());
+        assert_eq!(
+            quiet.fault_counters(),
+            Some(bh_faults::FaultCounters::default())
+        );
+    }
+
+    #[test]
+    fn injected_program_failure_burns_page() {
+        let mut d = dev();
+        d.install_faults(bh_faults::FaultConfig::new(7).with_program_fail_ppm(1_000_000));
+        let err = d
+            .program_next(BlockId(0), 5, Nanos::ZERO, OpOrigin::Host)
+            .unwrap_err();
+        assert_eq!(err, FlashError::ProgramFailed(Ppa::new(BlockId(0), 0)));
+        // The page is consumed (cursor advanced, contents invalid) and the
+        // work is charged as internal: no host data was delivered.
+        let b = d.block(BlockId(0)).unwrap();
+        assert_eq!(b.cursor(), 1);
+        assert_eq!(b.valid_pages(), 0);
+        assert_eq!(d.stats().host_programs, 0);
+        assert_eq!(d.stats().internal_programs, 1);
+        assert_eq!(d.fault_counters().unwrap().program_failures, 1);
+        // Reading the burned page succeeds but yields no stamp.
+        let (stamp, _) = d
+            .read(Ppa::new(BlockId(0), 0), Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        assert_eq!(stamp, None);
+    }
+
+    #[test]
+    fn injected_copy_failure_burns_destination() {
+        let mut d = dev();
+        let (page, _) = d
+            .program_next(BlockId(0), 42, Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        d.install_faults(bh_faults::FaultConfig::new(7).with_program_fail_ppm(1_000_000));
+        let err = d
+            .copy_page(Ppa::new(BlockId(0), page), BlockId(8), Nanos::ZERO)
+            .unwrap_err();
+        assert_eq!(err, FlashError::ProgramFailed(Ppa::new(BlockId(8), 0)));
+        // Source is untouched and still copyable once the fault clears.
+        assert_eq!(d.block(BlockId(0)).unwrap().valid_pages(), 1);
+        assert_eq!(d.block(BlockId(8)).unwrap().cursor(), 1);
+    }
+
+    #[test]
+    fn injected_erase_failure_grows_bad_block() {
+        let mut d = dev();
+        d.install_faults(bh_faults::FaultConfig::new(7).with_erase_fail_ppm(1_000_000));
+        let out = d.erase(BlockId(3), Nanos::ZERO).unwrap();
+        assert!(out.retired);
+        assert_eq!(d.bad_blocks(), 1);
+        assert_eq!(d.fault_counters().unwrap().erase_failures, 1);
+        assert_eq!(
+            d.erase(BlockId(3), Nanos::ZERO),
+            Err(FlashError::BadBlock(BlockId(3)))
+        );
+    }
+
+    #[test]
+    fn injected_read_retries_inflate_latency() {
+        let mut clean = dev();
+        let mut noisy = dev();
+        noisy.install_faults(bh_faults::FaultConfig::new(7).with_read_retry_ppm(1_000_000));
+        for d in [&mut clean, &mut noisy] {
+            d.program_next(BlockId(0), 1, Nanos::ZERO, OpOrigin::Host)
+                .unwrap();
+        }
+        let (_, t_clean) = clean
+            .read(Ppa::new(BlockId(0), 0), Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        let (stamp, t_noisy) = noisy
+            .read(Ppa::new(BlockId(0), 0), Nanos::ZERO, OpOrigin::Host)
+            .unwrap();
+        // Data still comes back; the retries only cost time and plane
+        // occupancy.
+        assert_eq!(stamp, Some(1));
+        assert!(t_noisy > t_clean);
+        assert!(noisy.stats().internal_reads > clean.stats().internal_reads);
+        assert!(noisy.fault_counters().unwrap().disturbed_reads == 1);
+    }
+
+    #[test]
+    fn fault_events_are_traced() {
+        let mut d = dev();
+        d.set_tracer(Tracer::ring(64));
+        d.install_faults(
+            bh_faults::FaultConfig::new(7)
+                .with_program_fail_ppm(1_000_000)
+                .with_erase_fail_ppm(1_000_000),
+        );
+        let _ = d.program_next(BlockId(0), 5, Nanos::ZERO, OpOrigin::Host);
+        let _ = d.erase(BlockId(1), Nanos::ZERO);
+        let events = d.tracer().events();
+        assert!(events.iter().any(|e| matches!(
+            &e.event,
+            bh_trace::Event::Fault(bh_trace::FaultEvent::ProgramFail { block: 0, .. })
+        )));
+        assert!(events.iter().any(|e| matches!(
+            &e.event,
+            bh_trace::Event::Fault(bh_trace::FaultEvent::EraseFail { block: 1, .. })
+        )));
     }
 
     #[test]

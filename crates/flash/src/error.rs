@@ -30,6 +30,10 @@ pub enum FlashError {
     BlockWornOut(BlockId),
     /// The block was previously retired (bad) and cannot be used.
     BadBlock(BlockId),
+    /// A program operation failed transiently (injected fault): the page
+    /// is burned — consumed but unreadable — and the caller must re-drive
+    /// the data somewhere else.
+    ProgramFailed(Ppa),
 }
 
 impl std::fmt::Display for FlashError {
@@ -45,6 +49,12 @@ impl std::fmt::Display for FlashError {
             FlashError::ReadUnwritten(ppa) => write!(f, "read of unwritten page {ppa:?}"),
             FlashError::BlockWornOut(b) => write!(f, "block {b:?} exceeded endurance"),
             FlashError::BadBlock(b) => write!(f, "block {b:?} is retired"),
+            FlashError::ProgramFailed(ppa) => {
+                write!(
+                    f,
+                    "program of {ppa:?} failed; page burned, re-drive elsewhere"
+                )
+            }
         }
     }
 }

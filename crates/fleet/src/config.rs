@@ -1,6 +1,7 @@
 //! Fleet composition: which stacks, how many devices, which tenants.
 
 use bh_core::Pacing;
+use bh_faults::FaultConfig;
 use bh_flash::Geometry;
 use bh_host::ReclaimPolicy;
 use bh_workloads::OpMix;
@@ -74,6 +75,12 @@ pub struct FleetConfig {
     /// Fleet master seed; every per-shard and per-tenant stream is
     /// derived from it via `split_seed`.
     pub seed: u64,
+    /// Fault-rate template installed on every device. The template's
+    /// seed is ignored: each shard derives its own fault seed from the
+    /// fleet seed, so shards see independent but deterministic fault
+    /// streams. `None` (and a quiet template) leave the devices
+    /// byte-identical to a fault-free fleet.
+    pub faults: Option<FaultConfig>,
     /// Interval-sample period in operations.
     pub sample_every: u64,
     /// Record per-shard event traces (costs memory per shard).
@@ -112,6 +119,7 @@ impl FleetConfig {
             maintenance_every: 64,
             placement: Placement::Hash,
             seed,
+            faults: None,
             sample_every: 250,
             trace: false,
             trace_cap: bh_trace::DEFAULT_CAPACITY,

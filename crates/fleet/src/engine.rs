@@ -14,6 +14,11 @@ use crate::shard::ShardPlan;
 /// workload stream and a tenant's address stream never collide.
 const SHARD_SALT: u64 = 0x5AAD;
 
+/// Salt mixed into the fleet seed to derive per-shard *fault* seeds —
+/// a separate domain from `SHARD_SALT` so a shard's fault schedule and
+/// its workload stream are independent.
+const FAULT_SALT: u64 = 0xFA17;
+
 /// A completed fleet run.
 #[derive(Debug)]
 pub struct FleetRun {
@@ -45,6 +50,10 @@ pub fn plan_fleet(cfg: &FleetConfig) -> Vec<ShardPlan> {
             pacing: cfg.pacing,
             maintenance_every: cfg.maintenance_every,
             seed: split_seed(cfg.seed, SHARD_SALT + k as u64),
+            faults: cfg.faults.map(|f| bh_faults::FaultConfig {
+                seed: split_seed(cfg.seed, FAULT_SALT + k as u64),
+                ..f
+            }),
             sample_every: cfg.sample_every,
             trace: cfg.trace,
             trace_cap: cfg.trace_cap,
@@ -123,6 +132,31 @@ mod tests {
         // Shard ids ascend, matching the pid blocks in the export.
         let ids: Vec<u32> = run.traces.iter().map(|&(s, _)| s).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn faulty_fleet_derives_distinct_fault_seeds_and_stays_deterministic() {
+        let mut cfg = quick_cfg();
+        cfg.faults = Some(
+            bh_faults::FaultConfig::new(0)
+                .with_program_fail_ppm(2_000)
+                .with_read_retry_ppm(20_000),
+        );
+        let plans = plan_fleet(&cfg);
+        let mut seeds: Vec<u64> = plans
+            .iter()
+            .map(|p| p.faults.expect("template installed").seed)
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4, "each shard needs its own fault stream");
+        // Fault seeds live in a different salt domain than workload seeds.
+        for p in &plans {
+            assert_ne!(p.seed, p.faults.unwrap().seed);
+        }
+        let a = run_fleet(&cfg, 1).unwrap().report.to_json();
+        let b = run_fleet(&cfg, 4).unwrap().report.to_json();
+        assert_eq!(a, b, "faults must not break thread-count determinism");
     }
 
     #[test]

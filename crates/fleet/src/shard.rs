@@ -38,6 +38,9 @@ pub struct ShardPlan {
     pub maintenance_every: u64,
     /// Shard-private seed (derived from the fleet seed).
     pub seed: u64,
+    /// Fault plan for this shard's flash, already carrying the
+    /// shard-private fault seed. `None` installs no plan at all.
+    pub faults: Option<bh_faults::FaultConfig>,
     /// Interval-sample period in ops.
     pub sample_every: u64,
     /// Record an event trace for this shard.
@@ -130,6 +133,10 @@ impl ShardPlan {
     /// Propagates device construction and write-path errors.
     pub fn run(&self) -> Result<ShardResult, String> {
         let mut dev = self.build_device()?;
+        if let Some(faults) = self.faults {
+            faults.validate()?;
+            dev.install_faults(faults);
+        }
         let tracer = if self.trace {
             Tracer::ring(self.trace_cap)
         } else {
@@ -201,6 +208,7 @@ mod tests {
             pacing: Pacing::Closed,
             maintenance_every: 32,
             seed: 11,
+            faults: None,
             sample_every: 100,
             trace: false,
             trace_cap: 1 << 12,

@@ -17,9 +17,10 @@ use crate::error::HostError;
 use crate::sched::ReclaimPolicy;
 use crate::zalloc::ZonedLocation;
 use crate::Result;
+use bh_flash::{decode_oob, encode_oob};
 use bh_metrics::Nanos;
-use bh_trace::{HostEvent, Tracer};
-use bh_zns::{ZnsDevice, ZoneId, ZoneState};
+use bh_trace::{FaultEvent, HostEvent, Tracer};
+use bh_zns::{ZnsDevice, ZnsError, ZoneId, ZoneState};
 
 /// Counters for the emulation layer.
 #[derive(Debug, Clone, Copy, Default)]
@@ -34,6 +35,12 @@ pub struct EmuStats {
     pub resets: u64,
     /// Reclaim passes executed.
     pub reclaim_runs: u64,
+    /// Appends re-driven after transient program failures.
+    pub program_redrives: u64,
+    /// Power-loss replays completed.
+    pub replays: u64,
+    /// Pages scanned (read) across all replays to rebuild the map.
+    pub replay_pages_scanned: u64,
 }
 
 /// How host writes are assigned to zone streams.
@@ -111,6 +118,13 @@ pub struct BlockEmu {
     gc_zone: Option<ZoneId>,
     /// Empty zones available for allocation.
     free: Vec<ZoneId>,
+    /// Per zone, per offset: the `(lba, seq)` pair committed there — the
+    /// contents of the zone summary the host writes out when a zone
+    /// fills (the LFS segment-summary technique append-only zones make
+    /// possible). Entries for *Full* zones model durable metadata and
+    /// survive power loss; partial zones have no summary on media yet and
+    /// must be scanned. Burned slots hold `None`.
+    summary_log: Vec<Vec<Option<(u64, u64)>>>,
     policy: ReclaimPolicy,
     /// Instant of the most recent host I/O, for idle detection.
     last_io: Nanos,
@@ -136,7 +150,11 @@ impl BlockEmu {
         let zone_cap = dev.config().zone_capacity();
         let logical = (zones - reserve_zones) as u64 * zone_cap;
         let free = dev.zones().map(|z| z.id()).collect();
-        let rmap = dev
+        let rmap: Vec<Vec<Option<u64>>> = dev
+            .zones()
+            .map(|z| vec![None; z.capacity() as usize])
+            .collect();
+        let summary_log = dev
             .zones()
             .map(|z| vec![None; z.capacity() as usize])
             .collect();
@@ -159,6 +177,7 @@ impl BlockEmu {
             reserve_zones,
             gc_zone: None,
             free,
+            summary_log,
             policy,
             last_io: Nanos::ZERO,
             stamp_counter: 0,
@@ -177,6 +196,25 @@ impl BlockEmu {
     /// The tracer currently installed (disabled by default).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Installs a transient-fault plan on the flash under the ZNS device.
+    pub fn install_faults(&mut self, cfg: bh_faults::FaultConfig) {
+        self.dev.install_faults(cfg);
+    }
+
+    /// True when the zone can accept another append right now.
+    fn zone_writable(&self, z: ZoneId) -> bool {
+        self.dev
+            .zone(z)
+            .map(|zz| {
+                zz.remaining() > 0
+                    && !matches!(
+                        zz.state(),
+                        ZoneState::Full | ZoneState::ReadOnly | ZoneState::Offline
+                    )
+            })
+            .unwrap_or(false)
     }
 
     /// Enables hot/cold stream separation (§4.1's application-aware
@@ -360,30 +398,69 @@ impl BlockEmu {
                 StreamMap::Hinted { .. } => 0,
             }
         };
-        let zone = match self.frontiers[stream] {
-            Some(z) if self.dev.zone(z)?.remaining() > 0 => z,
-            _ => {
-                let z = self.alloc_zone()?;
-                self.frontiers[stream] = Some(z);
-                if self.tracer.enabled() {
-                    self.tracer.emit(
-                        now,
-                        HostEvent::ZoneAlloc {
-                            class: stream as u32,
-                            zone: z.0,
-                        },
-                    );
+        self.stamp_counter += 1;
+        let seq = self.stamp_counter;
+        let mut redrives = 0u32;
+        let (zone, offset, done) = loop {
+            let zone = match self.frontiers[stream] {
+                Some(z) if self.zone_writable(z) => z,
+                _ => {
+                    let z = match self.alloc_zone() {
+                        Ok(z) => z,
+                        // The emergency step above can itself be cut short
+                        // by burns (its destination degraded mid-copy after
+                        // taking the last free zone). A partially relocated
+                        // victim is still a victim: reclaim again now and
+                        // retry the allocation.
+                        Err(HostError::NoFreeZone) => {
+                            self.reclaim_step(now, 1).map_err(|e| match e {
+                                HostError::Unmapped(_) => HostError::NoFreeZone,
+                                e => e,
+                            })?;
+                            self.alloc_zone()?
+                        }
+                        Err(e) => return Err(e),
+                    };
+                    self.frontiers[stream] = Some(z);
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            now,
+                            HostEvent::ZoneAlloc {
+                                class: stream as u32,
+                                zone: z.0,
+                            },
+                        );
+                    }
+                    z
                 }
-                z
+            };
+            match self.dev.append(zone, encode_oob(seq, lba), now) {
+                Ok((offset, done)) => break (zone, offset, done),
+                // A burned slot: retry at the advanced pointer. If the
+                // burn filled or degraded the zone, the writable() gate
+                // rotates the frontier on the next pass.
+                Err(ZnsError::ProgramFailure { .. }) => redrives += 1,
+                Err(e) => return Err(e.into()),
             }
         };
-        self.stamp_counter += 1;
-        let (offset, done) = self.dev.append(zone, self.stamp_counter, now)?;
+        if redrives > 0 {
+            self.stats.program_redrives += u64::from(redrives);
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    done,
+                    FaultEvent::Redrive {
+                        layer: "blockemu",
+                        attempts: redrives,
+                    },
+                );
+            }
+        }
         let new_loc = ZonedLocation { zone, offset };
         if let Some(old) = self.map[lba as usize].replace(new_loc) {
             self.unbind_reverse(old);
         }
         self.rmap[zone.0 as usize][offset as usize] = Some(lba);
+        self.summary_log[zone.0 as usize][offset as usize] = Some((lba, seq));
         self.live[zone.0 as usize] += 1;
         if self.dev.zone(zone)?.state() == ZoneState::Full {
             self.frontiers[stream] = None;
@@ -543,7 +620,7 @@ impl BlockEmu {
         let mut idx = 0;
         while idx < entries.len() {
             let gc = match self.gc_zone {
-                Some(z) if self.dev.zone(z)?.remaining() > 0 => z,
+                Some(z) if self.zone_writable(z) => z,
                 _ => match self.alloc_zone() {
                     Ok(z) => {
                         self.gc_zone = Some(z);
@@ -553,9 +630,12 @@ impl BlockEmu {
                     // frontier (mixing GC and host data costs placement
                     // quality, not correctness).
                     Err(HostError::NoFreeZone) => {
-                        let fallback = self.frontiers.iter().flatten().copied().find(|&c| {
-                            self.dev.zone(c).map(|z| z.remaining() > 0).unwrap_or(false)
-                        });
+                        let fallback = self
+                            .frontiers
+                            .iter()
+                            .flatten()
+                            .copied()
+                            .find(|&c| self.zone_writable(c));
                         match fallback {
                             Some(c) => c,
                             None => return Err(HostError::NoFreeZone),
@@ -567,12 +647,40 @@ impl BlockEmu {
             let room = self.dev.zone(gc)?.remaining() as usize;
             let chunk = &entries[idx..(idx + room).min(entries.len())];
             let sources: Vec<(ZoneId, u64)> = chunk.iter().map(|&(off, _)| (victim, off)).collect();
-            let (first, done) = self.dev.simple_copy(&sources, gc, t)?;
+            let (placed, done) = match self.dev.simple_copy(&sources, gc, t) {
+                Ok(r) => r,
+                // Burns consumed the destination mid-copy. Pages already
+                // copied stay unreferenced (the map still points at the
+                // victim) and die as garbage in the destination. Rotate
+                // to a fresh destination and redo the chunk.
+                Err(ZnsError::ProgramFailure { .. }) | Err(ZnsError::ZoneFull(_)) => {
+                    if self.gc_zone == Some(gc) {
+                        self.gc_zone = None;
+                    }
+                    for f in &mut self.frontiers {
+                        if *f == Some(gc) {
+                            *f = None;
+                        }
+                    }
+                    self.stats.program_redrives += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            t,
+                            FaultEvent::Redrive {
+                                layer: "blockemu-gc",
+                                attempts: 1,
+                            },
+                        );
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
             t = done;
             for (i, &(off, lba)) in chunk.iter().enumerate() {
                 let new_loc = ZonedLocation {
                     zone: gc,
-                    offset: first + i as u64,
+                    offset: placed[i],
                 };
                 // The old location dies with the victim reset; update maps
                 // chunk by chunk so an interrupted reclaim never leaves a
@@ -583,8 +691,15 @@ impl BlockEmu {
                     Some(victim),
                     "relocated page must have lived in the victim"
                 );
+                // The relocated page keeps its original sequence number:
+                // simple-copy moves the stamp as-is, so replay must see
+                // the same (lba, seq) pair at the new location.
+                let seq = self.summary_log[victim.0 as usize][off as usize]
+                    .map(|(_, s)| s)
+                    .unwrap_or(0);
                 self.rmap[victim.0 as usize][off as usize] = None;
                 self.rmap[gc.0 as usize][new_loc.offset as usize] = Some(lba);
+                self.summary_log[gc.0 as usize][new_loc.offset as usize] = Some((lba, seq));
                 self.live[gc.0 as usize] += 1;
             }
             self.live[victim.0 as usize] -= chunk.len() as u64;
@@ -603,7 +718,12 @@ impl BlockEmu {
         }
         debug_assert_eq!(self.live[victim.0 as usize], 0);
         let done = self.dev.reset(victim, t)?;
-        self.free.push(victim);
+        self.summary_log[victim.0 as usize].fill(None);
+        // A reset that retires the zone's last blocks leaves it Offline;
+        // only a zone that came back Empty returns to the pool.
+        if self.dev.zone(victim)?.state() == ZoneState::Empty {
+            self.free.push(victim);
+        }
         self.stats.resets += 1;
         if self.tracer.enabled() {
             self.tracer.emit_span(
@@ -616,6 +736,164 @@ impl BlockEmu {
             );
         }
         Ok(done)
+    }
+
+    /// Models a power loss and host restart: all volatile host state (the
+    /// LBA map, frontiers, heat counters) is gone and gets rebuilt from
+    /// what is durable.
+    ///
+    /// Zone state and write pointers survive on a ZNS device, and the
+    /// host's append-only placement makes zone summaries possible: when a
+    /// zone fills, its final append carries a listing of every `(lba,
+    /// seq)` committed to the zone, so recovering a Full zone costs one
+    /// page read instead of a scan. Only zones that were still partially
+    /// written at the loss must be scanned below their write pointer
+    /// (burned slots are skipped). The conventional FTL can do neither:
+    /// with in-place-overwrite semantics there is no final write to hang
+    /// a summary on, so it scans every written page (compare
+    /// `ConvSsd::power_cycle`).
+    ///
+    /// Returns the instant recovery completes and the number of pages
+    /// scanned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from the recovery reads.
+    pub fn power_cycle(&mut self, now: Nanos) -> Result<(Nanos, u64)> {
+        let start = self.dev.power_cycle(now);
+        let logical = self.map.len();
+        self.map = vec![None; logical];
+        for row in &mut self.rmap {
+            row.fill(None);
+        }
+        self.live.fill(0);
+        self.frontiers = vec![None; self.frontiers.len()];
+        self.heat.fill(0);
+        self.writes_since_decay = 0;
+        self.hint = None;
+        self.gc_zone = None;
+        self.free.clear();
+        let mut best: Vec<Option<(u64, ZonedLocation)>> = vec![None; logical];
+        let mut consider = |lba: u64, seq: u64, loc: ZonedLocation| {
+            let slot = &mut best[lba as usize];
+            if slot.map(|(s, _)| seq > s).unwrap_or(true) {
+                *slot = Some((seq, loc));
+            }
+        };
+        let mut done = start;
+        let mut scanned = 0u64;
+        let mut max_seq = 0u64;
+        let zone_ids: Vec<ZoneId> = self.dev.zones().map(|z| z.id()).collect();
+        for id in zone_ids {
+            let (state, wp) = {
+                let z = self.dev.zone(id)?;
+                (z.state(), z.write_pointer())
+            };
+            match state {
+                ZoneState::Empty => {
+                    self.summary_log[id.0 as usize].fill(None);
+                    self.free.push(id);
+                }
+                ZoneState::Offline => self.summary_log[id.0 as usize].fill(None),
+                ZoneState::Full => {
+                    // Durable zone summary: one read recovers the listing.
+                    for off in 0..wp {
+                        match self.dev.read(id, off, start) {
+                            Ok((_, d)) => {
+                                done = done.max(d);
+                                break;
+                            }
+                            Err(ZnsError::MediaError { .. }) => continue,
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    scanned += 1;
+                    for (off, entry) in self.summary_log[id.0 as usize].iter().enumerate() {
+                        if let Some((lba, seq)) = *entry {
+                            max_seq = max_seq.max(seq);
+                            consider(
+                                lba,
+                                seq,
+                                ZonedLocation {
+                                    zone: id,
+                                    offset: off as u64,
+                                },
+                            );
+                        }
+                    }
+                }
+                // Closed or ReadOnly: partially written, no summary on
+                // media yet — scan everything below the write pointer.
+                // (Open states cannot appear: the device closed them.)
+                _ => {
+                    self.summary_log[id.0 as usize].fill(None);
+                    for off in 0..wp {
+                        scanned += 1;
+                        match self.dev.read(id, off, start) {
+                            Ok((stamp, d)) => {
+                                done = done.max(d);
+                                let (seq, lba) = decode_oob(stamp);
+                                self.summary_log[id.0 as usize][off as usize] = Some((lba, seq));
+                                max_seq = max_seq.max(seq);
+                                consider(
+                                    lba,
+                                    seq,
+                                    ZonedLocation {
+                                        zone: id,
+                                        offset: off,
+                                    },
+                                );
+                            }
+                            // A burned slot left by a program failure.
+                            Err(ZnsError::MediaError { .. }) => {}
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                }
+            }
+        }
+        let mut recovered = 0u64;
+        for (lba, slot) in best.iter().enumerate() {
+            if let Some((_, loc)) = slot {
+                self.map[lba] = Some(*loc);
+                self.rmap[loc.zone.0 as usize][loc.offset as usize] = Some(lba as u64);
+                self.live[loc.zone.0 as usize] += 1;
+                recovered += 1;
+            }
+        }
+        self.stamp_counter = max_seq;
+        // Re-adopt partial zones as write frontiers; finish the surplus so
+        // their garbage stays reclaimable by victim selection.
+        let closed: Vec<ZoneId> = self
+            .dev
+            .zones()
+            .filter(|z| z.state() == ZoneState::Closed)
+            .map(|z| z.id())
+            .collect();
+        let mut closed = closed.into_iter();
+        for f in &mut self.frontiers {
+            match closed.next() {
+                Some(z) => *f = Some(z),
+                None => break,
+            }
+        }
+        for z in closed {
+            self.dev.finish(z)?;
+        }
+        self.last_io = done;
+        self.stats.replays += 1;
+        self.stats.replay_pages_scanned += scanned;
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                done,
+                FaultEvent::Replay {
+                    layer: "blockemu",
+                    scanned,
+                    recovered,
+                },
+            );
+        }
+        Ok((done, scanned))
     }
 }
 
@@ -645,7 +923,8 @@ mod tests {
         let mut e = emu(ReclaimPolicy::Immediate);
         let done = e.write(42, Nanos::ZERO).unwrap();
         let (stamp, _) = e.read(42, done).unwrap();
-        assert_eq!(stamp, 1);
+        // Stamps carry (seq, lba) out-of-band metadata for replay.
+        assert_eq!(decode_oob(stamp), (1, 42));
         assert_eq!(e.read(43, done).unwrap_err(), HostError::Unmapped(43));
     }
 
@@ -890,6 +1169,114 @@ mod tests {
         assert_eq!(e.write_amplification(), 1.0);
         e.stats.relocated = 5;
         assert!(e.write_amplification().is_infinite());
+    }
+
+    #[test]
+    fn power_loss_replay_restores_acknowledged_writes() {
+        let mut e = emu(ReclaimPolicy::Immediate);
+        let cap = e.capacity_pages();
+        let mut t = Nanos::ZERO;
+        for lba in 0..cap {
+            t = e.write(lba, t).unwrap();
+        }
+        // Churn so zones fill, garbage forms, and reclaim relocates.
+        let mut x = 13u64;
+        for i in 0..2 * cap {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            t = e.write(x % cap, t).unwrap();
+            if i % 64 == 0 {
+                t = e.maybe_reclaim(t).unwrap().1;
+            }
+        }
+        let mut expect = Vec::new();
+        for lba in 0..cap {
+            let (stamp, done) = e.read(lba, t).unwrap();
+            expect.push(stamp);
+            t = done;
+        }
+        let (done, scanned) = e.power_cycle(t).unwrap();
+        assert!(scanned > 0, "partial zones must be scanned");
+        assert_eq!(e.stats().replays, 1);
+        // Every mapping survives with the same content.
+        for lba in 0..cap {
+            let (stamp, d) = e.read(lba, done).unwrap();
+            assert_eq!(stamp, expect[lba as usize], "LBA {lba}");
+            let _ = d;
+        }
+        // The device keeps accepting writes and reclaiming afterwards.
+        let mut t = done;
+        for i in 0..2 * cap {
+            t = e.write(i % cap, t).unwrap();
+            if i % 64 == 0 {
+                t = e.maybe_reclaim(t).unwrap().1;
+            }
+        }
+    }
+
+    #[test]
+    fn full_zone_summaries_make_replay_cheaper_than_a_scan() {
+        let mut e = emu(ReclaimPolicy::Immediate);
+        let cap = e.capacity_pages();
+        let mut t = Nanos::ZERO;
+        // Sequential fill: most zones end Full (summary on media), only
+        // the last frontier stays partial.
+        for lba in 0..cap {
+            t = e.write(lba, t).unwrap();
+        }
+        let (_, scanned) = e.power_cycle(t).unwrap();
+        // Full zones cost one summary read each; a raw scan would cost
+        // `cap` page reads.
+        assert!(
+            scanned < cap / 2,
+            "summaries should beat a full scan: {scanned} vs {cap} pages written"
+        );
+    }
+
+    #[test]
+    fn faulty_appends_redrive_and_data_survives() {
+        let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
+        cfg.max_active_zones = 8;
+        cfg.max_open_zones = 8;
+        let dev = ZnsDevice::new(cfg).unwrap();
+        // A 3-zone reserve: burned slots consume physical headroom, so a
+        // faulty device needs more slack than a clean one.
+        let mut e = BlockEmu::new(dev, 3, ReclaimPolicy::Immediate);
+        // 4%: high enough to exercise redrives constantly, low enough
+        // that zones rarely reach the 8-burn ReadOnly threshold.
+        e.install_faults(bh_faults::FaultConfig::new(3).with_program_fail_ppm(40_000));
+        let cap = e.capacity_pages();
+        let mut t = Nanos::ZERO;
+        for lba in 0..cap {
+            t = e.write(lba, t).unwrap();
+        }
+        let mut x = 99u64;
+        for i in 0..2 * cap {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            t = e.write(x % cap, t).unwrap();
+            if i % 32 == 0 {
+                t = e.maybe_reclaim(t).unwrap().1;
+            }
+        }
+        assert!(
+            e.stats().program_redrives > 0,
+            "a 4% program-fail rate must hit the write path"
+        );
+        // Acknowledged data still reads back (stamps decode to their LBA).
+        for lba in 0..cap {
+            let (stamp, done) = e.read(lba, t).unwrap();
+            assert_eq!(decode_oob(stamp).1, lba, "stamp must belong to LBA {lba}");
+            t = done;
+        }
+        // And the stack still survives a power loss under the same plan.
+        let (done, _) = e.power_cycle(t).unwrap();
+        for lba in 0..cap {
+            let (stamp, _) = e.read(lba, done).unwrap();
+            assert_eq!(decode_oob(stamp).1, lba);
+        }
     }
 
     #[test]

@@ -11,8 +11,8 @@
 use crate::error::HostError;
 use crate::Result;
 use bh_metrics::Nanos;
-use bh_trace::{HostEvent, Tracer};
-use bh_zns::{ZnsDevice, ZoneId, ZoneState};
+use bh_trace::{FaultEvent, HostEvent, Tracer};
+use bh_zns::{ZnsDevice, ZnsError, ZoneId, ZoneState};
 use std::collections::HashMap;
 
 /// An expected-lifetime bucket for written data.
@@ -84,6 +84,10 @@ impl ZoneAllocator {
     /// class when needed. Returns where the page landed and the completion
     /// instant.
     ///
+    /// Transient program failures are absorbed here: a burned slot is
+    /// retried at the advanced write pointer, and a zone the device
+    /// degrades mid-append rolls over to a fresh zone for the class.
+    ///
     /// # Errors
     ///
     /// - [`HostError::NoFreeZone`] when the device has no empty zone left;
@@ -97,40 +101,62 @@ impl ZoneAllocator {
         stamp: u64,
         now: Nanos,
     ) -> Result<(ZonedLocation, Nanos)> {
-        let writable = |z: ZoneId| -> Result<bool> {
-            let zone = dev.zone(z)?;
-            Ok(zone.remaining() > 0
-                && matches!(
-                    zone.state(),
-                    ZoneState::Empty
-                        | ZoneState::ImplicitlyOpened
-                        | ZoneState::ExplicitlyOpened
-                        | ZoneState::Closed
-                ))
-        };
-        let zone = match self.open.get(&class) {
-            Some(&z) if writable(z)? => z,
-            _ => {
-                let z = self.find_empty(dev)?;
-                self.open.insert(class, z);
-                self.owned.push(z);
-                if self.tracer.enabled() {
-                    self.tracer.emit(
-                        now,
-                        HostEvent::ZoneAlloc {
-                            class: class.0,
-                            zone: z.0,
-                        },
-                    );
+        let mut attempts = 0u32;
+        loop {
+            let writable = |z: ZoneId| -> Result<bool> {
+                let zone = dev.zone(z)?;
+                Ok(zone.remaining() > 0
+                    && matches!(
+                        zone.state(),
+                        ZoneState::Empty
+                            | ZoneState::ImplicitlyOpened
+                            | ZoneState::ExplicitlyOpened
+                            | ZoneState::Closed
+                    ))
+            };
+            let zone = match self.open.get(&class) {
+                Some(&z) if writable(z)? => z,
+                _ => {
+                    let z = self.find_empty(dev)?;
+                    self.open.insert(class, z);
+                    self.owned.push(z);
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            now,
+                            HostEvent::ZoneAlloc {
+                                class: class.0,
+                                zone: z.0,
+                            },
+                        );
+                    }
+                    z
                 }
-                z
+            };
+            match dev.append(zone, stamp, now) {
+                Ok((offset, done)) => {
+                    if dev.zone(zone)?.state() == ZoneState::Full {
+                        self.open.remove(&class);
+                    }
+                    if attempts > 0 && self.tracer.enabled() {
+                        self.tracer.emit(
+                            done,
+                            FaultEvent::Redrive {
+                                layer: "zalloc",
+                                attempts,
+                            },
+                        );
+                    }
+                    return Ok((ZonedLocation { zone, offset }, done));
+                }
+                Err(ZnsError::ProgramFailure { .. }) => {
+                    // The slot burned but the pointer advanced; retry in
+                    // place. If the burn filled or degraded the zone, the
+                    // writable() gate above rotates to a fresh zone.
+                    attempts += 1;
+                }
+                Err(e) => return Err(e.into()),
             }
-        };
-        let (offset, done) = dev.append(zone, stamp, now)?;
-        if dev.zone(zone)?.state() == ZoneState::Full {
-            self.open.remove(&class);
         }
-        Ok((ZonedLocation { zone, offset }, done))
     }
 
     /// Finishes every open zone except `keep`'s, freeing their

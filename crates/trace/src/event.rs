@@ -25,6 +25,8 @@ pub enum Subsystem {
     Cache,
     /// Load runner / snapshot sampler.
     Runner,
+    /// Fault injection and recovery machinery.
+    Faults,
 }
 
 impl Subsystem {
@@ -38,6 +40,7 @@ impl Subsystem {
             Subsystem::Kv => "kv",
             Subsystem::Cache => "cache",
             Subsystem::Runner => "runner",
+            Subsystem::Faults => "faults",
         }
     }
 }
@@ -303,6 +306,58 @@ pub enum RunnerEvent {
     },
 }
 
+/// Injected faults and the recovery work they triggered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// A program operation failed; the page is burned (unreadable,
+    /// consumed).
+    ProgramFail {
+        /// Block the burned page lives in.
+        block: u32,
+        /// Page that burned.
+        page: u32,
+        /// Who issued the failed program.
+        origin: Origin,
+    },
+    /// An erase failed; the block retired early (grown bad block).
+    EraseFail {
+        /// The block that retired.
+        block: u32,
+        /// Erase count at retirement (below endurance: mid-life).
+        wear: u32,
+    },
+    /// A read needed ECC retries; each retry occupied the plane.
+    ReadRetry {
+        /// Block read.
+        block: u32,
+        /// Page read.
+        page: u32,
+        /// Extra read passes injected.
+        retries: u32,
+    },
+    /// A scheduled power loss struck the stack.
+    PowerLoss {
+        /// Workload op index the loss was scheduled at.
+        op_index: u64,
+    },
+    /// A layer re-drove a failed program somewhere else.
+    Redrive {
+        /// Which layer recovered: `"conv"`, `"zns-host"`, `"lfs"`.
+        layer: &'static str,
+        /// Attempts it took to land the data.
+        attempts: u32,
+    },
+    /// A layer finished replaying durable state after a power loss.
+    Replay {
+        /// Which layer replayed: `"conv"`, `"zns-host"`.
+        layer: &'static str,
+        /// Pages scanned to rebuild the maps.
+        scanned: u64,
+        /// Logical pages whose mappings were recovered.
+        recovered: u64,
+    },
+}
+
 /// Any event from any layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event {
@@ -320,6 +375,8 @@ pub enum Event {
     Cache(CacheEvent),
     /// Load runner.
     Runner(RunnerEvent),
+    /// Fault injection / recovery.
+    Fault(FaultEvent),
 }
 
 impl Event {
@@ -333,6 +390,7 @@ impl Event {
             Event::Kv(_) => Subsystem::Kv,
             Event::Cache(_) => Subsystem::Cache,
             Event::Runner(_) => Subsystem::Runner,
+            Event::Fault(_) => Subsystem::Faults,
         }
     }
 }
@@ -353,7 +411,8 @@ event_from!(
     Host(HostEvent),
     Kv(KvEvent),
     Cache(CacheEvent),
-    Runner(RunnerEvent)
+    Runner(RunnerEvent),
+    Fault(FaultEvent)
 );
 
 /// One recorded event: the common envelope plus the typed payload.

@@ -17,8 +17,8 @@
 //! run emits one per page and would swamp the timeline view.
 
 use crate::event::{
-    CacheEvent, ConvEvent, Event, FlashEvent, HostEvent, KvEvent, RunnerEvent, TracedEvent,
-    ZnsEvent,
+    CacheEvent, ConvEvent, Event, FaultEvent, FlashEvent, HostEvent, KvEvent, RunnerEvent,
+    TracedEvent, ZnsEvent,
 };
 use bh_json::Json;
 use bh_metrics::Nanos;
@@ -167,6 +167,49 @@ pub fn event_json(ev: &TracedEvent) -> Json {
                 .set("internal_programs", internal_programs)
                 .set("erases", erases);
         }
+        Event::Fault(FaultEvent::ProgramFail {
+            block,
+            page,
+            origin,
+        }) => {
+            j.set("type", "program-fail")
+                .set("block", block)
+                .set("page", page)
+                .set("origin", origin.name());
+        }
+        Event::Fault(FaultEvent::EraseFail { block, wear }) => {
+            j.set("type", "erase-fail")
+                .set("block", block)
+                .set("wear", wear);
+        }
+        Event::Fault(FaultEvent::ReadRetry {
+            block,
+            page,
+            retries,
+        }) => {
+            j.set("type", "read-retry")
+                .set("block", block)
+                .set("page", page)
+                .set("retries", retries);
+        }
+        Event::Fault(FaultEvent::PowerLoss { op_index }) => {
+            j.set("type", "power-loss").set("op_index", op_index);
+        }
+        Event::Fault(FaultEvent::Redrive { layer, attempts }) => {
+            j.set("type", "redrive")
+                .set("layer", layer)
+                .set("attempts", attempts);
+        }
+        Event::Fault(FaultEvent::Replay {
+            layer,
+            scanned,
+            recovered,
+        }) => {
+            j.set("type", "replay")
+                .set("layer", layer)
+                .set("scanned", scanned)
+                .set("recovered", recovered);
+        }
     }
     j
 }
@@ -192,6 +235,7 @@ mod pid {
     pub const ZNS: u32 = 3;
     pub const HOST: u32 = 4;
     pub const RUNNER: u32 = 5;
+    pub const FAULTS: u32 = 6;
 }
 
 /// Pid-space stride between shards in a sharded trace (room for the five
@@ -279,6 +323,10 @@ fn push_shard(out: &mut Vec<Json>, events: &[TracedEvent], base: u32, prefix: &s
     out.push(metadata(
         base + pid::RUNNER,
         &format!("{prefix}runner samples"),
+    ));
+    out.push(metadata(
+        base + pid::FAULTS,
+        &format!("{prefix}faults & recovery"),
     ));
     let last_ts = micros(events.iter().map(|e| e.at).max().unwrap_or(Nanos::ZERO));
     // Open B events awaiting their E: (pid, tid, begin ts).
@@ -422,6 +470,32 @@ fn push_shard(out: &mut Vec<Json>, events: &[TracedEvent], base: u32, prefix: &s
                 args.set("busy_planes", queue_depth);
                 qd.set("args", args);
                 out.push(qd);
+            }
+            Event::Fault(fe) => {
+                let (name, detail) = match fe {
+                    FaultEvent::ProgramFail { block, page, .. } => {
+                        ("program-fail", format!("block {block} page {page}"))
+                    }
+                    FaultEvent::EraseFail { block, wear } => {
+                        ("erase-fail", format!("block {block} wear {wear}"))
+                    }
+                    FaultEvent::ReadRetry { block, retries, .. } => {
+                        ("read-retry", format!("block {block} x{retries}"))
+                    }
+                    FaultEvent::PowerLoss { op_index } => ("power-loss", format!("op {op_index}")),
+                    FaultEvent::Redrive { layer, attempts } => {
+                        ("redrive", format!("{layer} x{attempts}"))
+                    }
+                    FaultEvent::Replay { layer, scanned, .. } => {
+                        ("replay", format!("{layer} scanned {scanned}"))
+                    }
+                };
+                let mut j = chrome_event("i", name, base + pid::FAULTS, 0, ts);
+                j.set("s", "p");
+                let mut args = Json::obj();
+                args.set("detail", detail.as_str());
+                j.set("args", args);
+                out.push(j);
             }
         }
     }

@@ -30,8 +30,8 @@ pub mod replay;
 mod sink;
 
 pub use event::{
-    CacheEvent, ConvEvent, Event, FlashEvent, FlashOpKind, HostEvent, KvEvent, Origin, RunnerEvent,
-    Subsystem, TracedEvent, ZnsEvent, ZoneStateTag,
+    CacheEvent, ConvEvent, Event, FaultEvent, FlashEvent, FlashOpKind, HostEvent, KvEvent, Origin,
+    RunnerEvent, Subsystem, TracedEvent, ZnsEvent, ZoneStateTag,
 };
 pub use export::{to_chrome_trace, to_chrome_trace_sharded, to_jsonl, PID_STRIDE};
 pub use sink::{NullSink, RingSink, SpanId, TraceSink, Tracer, DEFAULT_CAPACITY};

@@ -23,18 +23,31 @@ pub struct ZnsConfig {
     /// size (the spec allows `zone capacity ≤ zone size`). `None` means
     /// the full flash size is writable.
     pub zone_capacity_pages: Option<u64>,
+    /// Transient program failures a zone tolerates between resets before
+    /// the device stops trusting it for writes and transitions it to
+    /// ReadOnly (the spec's zone-degradation path short of Offline).
+    pub burns_to_readonly: u32,
 }
 
 impl ZnsConfig {
     /// A configuration with the paper's reference limits (14 active
     /// zones, [10]) for the given flash device.
     pub fn new(flash: FlashConfig, blocks_per_zone: u32) -> Self {
+        // Degradation tolerance scales with zone size: the threshold
+        // models "too many program failures in one zone lifetime", and a
+        // 1024-page zone sees proportionally more program attempts per
+        // lifetime than a 64-page test zone. An eighth of the zone keeps
+        // spurious degradation vanishingly rare at realistic fault rates
+        // while still letting bursts of burns retire a genuinely bad
+        // zone.
+        let zone_pages = blocks_per_zone as u64 * flash.geometry.pages_per_block as u64;
         ZnsConfig {
             flash,
             blocks_per_zone,
             max_active_zones: 14,
             max_open_zones: 14,
             zone_capacity_pages: None,
+            burns_to_readonly: (zone_pages / 8).clamp(8, u32::MAX as u64) as u32,
         }
     }
 
@@ -65,6 +78,9 @@ impl ZnsConfig {
             if cap == 0 || cap > zone_size {
                 return Err(format!("zone capacity {cap} must be in 1..={zone_size}"));
             }
+        }
+        if self.burns_to_readonly == 0 {
+            return Err("burns_to_readonly must be non-zero".into());
         }
         Ok(())
     }

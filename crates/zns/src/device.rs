@@ -4,7 +4,7 @@ use crate::config::ZnsConfig;
 use crate::error::ZnsError;
 use crate::zone::{Zone, ZoneId, ZoneState};
 use crate::Result;
-use bh_flash::{FlashDevice, FlashStats, OpOrigin, PlaneId, Ppa, Stamp};
+use bh_flash::{FlashDevice, FlashError, FlashStats, OpOrigin, PlaneId, Ppa, Stamp};
 use bh_metrics::Nanos;
 use bh_trace::{Tracer, ZnsEvent, ZoneStateTag};
 
@@ -121,6 +121,11 @@ impl ZnsDevice {
     /// The tracer in use (disabled by default).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Installs a transient-fault plan on the underlying flash device.
+    pub fn install_faults(&mut self, cfg: bh_faults::FaultConfig) {
+        self.dev.install_faults(cfg);
     }
 
     /// Records a zone state transition into the trace.
@@ -478,6 +483,39 @@ impl ZnsDevice {
         Ok(())
     }
 
+    /// Accounts for a transient program failure at `wp`: the slot is
+    /// consumed, the write pointer advances over the burned hole, and a
+    /// zone that burned too many slots since its last reset stops
+    /// accepting writes (ReadOnly). Returns the error the caller
+    /// surfaces; the host re-drives at the new pointer or elsewhere.
+    fn commit_burn(&mut self, id: ZoneId, wp: u64) -> ZnsError {
+        self.zones[id.0 as usize].note_burn();
+        if let Err(e) = self.commit_write(id) {
+            return e;
+        }
+        let zone = &self.zones[id.0 as usize];
+        let (burned, state) = (zone.burned(), zone.state());
+        if burned >= self.cfg.burns_to_readonly
+            && !matches!(
+                state,
+                ZoneState::Full | ZoneState::ReadOnly | ZoneState::Offline
+            )
+        {
+            if state.is_open() {
+                self.open -= 1;
+            }
+            if state.is_active() {
+                self.active -= 1;
+            }
+            self.zones[id.0 as usize].set_state(ZoneState::ReadOnly);
+            self.trace_transition(id, state, ZoneState::ReadOnly, "program-fail");
+        }
+        ZnsError::ProgramFailure {
+            zone: id,
+            offset: wp,
+        }
+    }
+
     /// Writes one page at `offset`, which must equal the zone's write
     /// pointer (the spec's Zone Invalid Write check — the §4.2 contention
     /// hazard). Returns the completion instant.
@@ -485,12 +523,18 @@ impl ZnsDevice {
         self.clock = self.clock.max(now);
         let wp = self.prepare_write(id, Some(offset))?;
         let (block, page) = self.zone(id)?.locate(wp);
-        let done = self
+        match self
             .dev
-            .program_at(Ppa::new(block, page), stamp, now, OpOrigin::Host)?;
-        self.commit_write(id)?;
-        self.stats.writes += 1;
-        Ok(done)
+            .program_at(Ppa::new(block, page), stamp, now, OpOrigin::Host)
+        {
+            Ok(done) => {
+                self.commit_write(id)?;
+                self.stats.writes += 1;
+                Ok(done)
+            }
+            Err(FlashError::ProgramFailed(_)) => Err(self.commit_burn(id, wp)),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Appends one page to the zone, letting the device pick the offset
@@ -500,12 +544,18 @@ impl ZnsDevice {
         self.clock = self.clock.max(now);
         let wp = self.prepare_write(id, None)?;
         let (block, page) = self.zone(id)?.locate(wp);
-        let done = self
+        match self
             .dev
-            .program_at(Ppa::new(block, page), stamp, now, OpOrigin::Host)?;
-        self.commit_write(id)?;
-        self.stats.appends += 1;
-        Ok((wp, done))
+            .program_at(Ppa::new(block, page), stamp, now, OpOrigin::Host)
+        {
+            Ok(done) => {
+                self.commit_write(id)?;
+                self.stats.appends += 1;
+                Ok((wp, done))
+            }
+            Err(FlashError::ProgramFailed(_)) => Err(self.commit_burn(id, wp)),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Reads one page at `offset`, which must be below the write pointer.
@@ -526,17 +576,20 @@ impl ZnsDevice {
         }
         let (block, page) = zone.locate(offset);
         let (stamp, done) = self.dev.read(Ppa::new(block, page), now, OpOrigin::Host)?;
-        // Zones never hold invalidated pages (no in-place overwrite), so
-        // the stamp is always present below the write pointer.
-        let stamp = stamp.expect("page below write pointer must be valid");
+        // Zones hold no invalidated pages (no in-place overwrite), so a
+        // missing stamp below the write pointer is a burned slot left by
+        // a transient program failure.
+        let stamp = stamp.ok_or(ZnsError::MediaError { zone: id, offset })?;
         self.stats.reads += 1;
         Ok((stamp, done))
     }
 
     /// Copies pages from source locations into `dst` at its write pointer
     /// using controller-managed movement (NVMe Simple Copy, §2.3): the
-    /// data never crosses the host bus. Returns the first destination
-    /// offset and the completion instant.
+    /// data never crosses the host bus. Returns the destination offset of
+    /// each source, in order, and the completion instant. The offsets are
+    /// contiguous unless transient program failures burned slots along the
+    /// way.
     ///
     /// # Errors
     ///
@@ -547,7 +600,7 @@ impl ZnsDevice {
         sources: &[(ZoneId, u64)],
         dst: ZoneId,
         now: Nanos,
-    ) -> Result<(u64, Nanos)> {
+    ) -> Result<(Vec<u64>, Nanos)> {
         self.clock = self.clock.max(now);
         // Validate sources up front so the copy is all-or-nothing.
         for &(src_zone, offset) in sources {
@@ -566,22 +619,42 @@ impl ZnsDevice {
         if self.zone(dst)?.remaining() < sources.len() as u64 {
             return Err(ZnsError::ZoneFull(dst));
         }
-        let first = self.zone(dst)?.write_pointer();
+        let mut placed = Vec::with_capacity(sources.len());
         let mut done = now;
         for &(src_zone, offset) in sources {
-            let wp = self.prepare_write(dst, None)?;
-            let src_ppa = {
-                let z = self.zone(src_zone)?;
-                let (b, p) = z.locate(offset);
-                Ppa::new(b, p)
-            };
-            let (dst_block, _dst_page) = self.zone(dst)?.locate(wp);
-            let (_page, _stamp, d) = self.dev.copy_page(src_ppa, dst_block, now)?;
-            done = done.max(d);
-            self.commit_write(dst)?;
-            self.stats.simple_copy_pages += 1;
+            loop {
+                let wp = self.prepare_write(dst, None)?;
+                let src_ppa = {
+                    let z = self.zone(src_zone)?;
+                    let (b, p) = z.locate(offset);
+                    Ppa::new(b, p)
+                };
+                let (dst_block, _dst_page) = self.zone(dst)?.locate(wp);
+                match self.dev.copy_page(src_ppa, dst_block, now) {
+                    Ok((_page, _stamp, d)) => {
+                        done = done.max(d);
+                        self.commit_write(dst)?;
+                        self.stats.simple_copy_pages += 1;
+                        placed.push(wp);
+                        break;
+                    }
+                    Err(FlashError::ProgramFailed(_)) => {
+                        // Burned destination slot: consume it and retry
+                        // this source at the advanced pointer. If the burn
+                        // filled or retired the zone, surface that —
+                        // already-copied pages become garbage the host
+                        // reclaims with the rest of the source zone.
+                        let e = self.commit_burn(dst, wp);
+                        match self.zone(dst)?.state() {
+                            ZoneState::Full | ZoneState::ReadOnly => return Err(e),
+                            _ => {}
+                        }
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
         }
-        Ok((first, done))
+        Ok((placed, done))
     }
 
     /// Failure injection for tests: forces a zone into the ReadOnly state,
@@ -602,6 +675,29 @@ impl ZnsDevice {
         self.zone_mut(id)?.set_state(ZoneState::ReadOnly);
         self.trace_transition(id, state, ZoneState::ReadOnly, "inject");
         Ok(())
+    }
+
+    /// Models a power loss and restart. Zone state and write pointers are
+    /// durable per the ZNS spec, so device-side recovery is trivial: open
+    /// zones lose their transient open resources and come back Closed
+    /// (or Empty if unwritten). No media scan is needed — the contrast
+    /// with the conventional FTL's full out-of-band scan is the point.
+    ///
+    /// Returns the instant recovery completes (immediately: no flash
+    /// operations are issued).
+    pub fn power_cycle(&mut self, now: Nanos) -> Nanos {
+        self.clock = self.clock.max(now);
+        let open: Vec<ZoneId> = self
+            .zones
+            .iter()
+            .filter(|z| z.state().is_open())
+            .map(|z| z.id())
+            .collect();
+        for id in open {
+            // Open zones always index in range; close_to_state cannot fail.
+            let _ = self.close_to_state(id, "power-loss");
+        }
+        self.clock
     }
 }
 
@@ -803,8 +899,8 @@ mod tests {
         }
         let host_reads_before = d.flash_stats().host_reads;
         let sources: Vec<_> = (0..8u64).map(|i| (ZoneId(0), i)).collect();
-        let (first, done) = d.simple_copy(&sources, ZoneId(1), t).unwrap();
-        assert_eq!(first, 0);
+        let (placed, done) = d.simple_copy(&sources, ZoneId(1), t).unwrap();
+        assert_eq!(placed, (0..8).collect::<Vec<_>>());
         assert_eq!(d.flash_stats().host_reads, host_reads_before);
         assert_eq!(d.stats().simple_copy_pages, 8);
         for i in 0..8u64 {
@@ -940,5 +1036,190 @@ mod tests {
         assert_eq!(d.device_dram_bytes(), 32 * 4);
         let per_page = d.device().geometry().total_pages() * 4;
         assert!(d.device_dram_bytes() < per_page);
+    }
+
+    #[test]
+    fn burned_write_advances_wp_and_redrive_succeeds() {
+        let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
+        cfg.burns_to_readonly = 1000; // Never degrade in this test.
+        let mut d = ZnsDevice::new(cfg).unwrap();
+        d.install_faults(bh_faults::FaultConfig::new(42).with_program_fail_ppm(500_000));
+        let mut t = Nanos::ZERO;
+        let mut burned = Vec::new();
+        let mut written = Vec::new();
+        for stamp in 0..16u64 {
+            loop {
+                let wp = d.zone(ZoneId(0)).unwrap().write_pointer();
+                match d.write(ZoneId(0), wp, 1000 + stamp, t) {
+                    Ok(done) => {
+                        t = done;
+                        written.push((wp, 1000 + stamp));
+                        break;
+                    }
+                    Err(ZnsError::ProgramFailure { zone, offset }) => {
+                        assert_eq!(zone, ZoneId(0));
+                        assert_eq!(offset, wp);
+                        // The slot is consumed: wp moved past the hole.
+                        assert_eq!(d.zone(ZoneId(0)).unwrap().write_pointer(), wp + 1);
+                        burned.push(wp);
+                    }
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+        }
+        assert!(!burned.is_empty(), "50% fail rate must burn at least once");
+        assert_eq!(d.zone(ZoneId(0)).unwrap().burned() as usize, burned.len());
+        let counters = d.device().fault_counters().unwrap();
+        assert_eq!(counters.program_failures as usize, burned.len());
+        // Every acknowledged write reads back; every burned hole reports a
+        // media error rather than stale or unwritten data.
+        for (off, stamp) in written {
+            let (got, _) = d.read(ZoneId(0), off, t).unwrap();
+            assert_eq!(got, stamp);
+        }
+        for off in burned {
+            assert_eq!(
+                d.read(ZoneId(0), off, t),
+                Err(ZnsError::MediaError {
+                    zone: ZoneId(0),
+                    offset: off
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_burns_degrade_zone_to_read_only() {
+        let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
+        cfg.burns_to_readonly = 3;
+        let mut d = ZnsDevice::new(cfg).unwrap();
+        d.set_tracer(Tracer::ring(1 << 10));
+        // Two good writes, then every program fails.
+        let mut t = d.write(ZoneId(0), 0, 70, Nanos::ZERO).unwrap();
+        t = d.write(ZoneId(0), 1, 71, t).unwrap();
+        d.install_faults(bh_faults::FaultConfig::new(7).with_program_fail_ppm(1_000_000));
+        for burn in 0..3u64 {
+            let wp = d.zone(ZoneId(0)).unwrap().write_pointer();
+            assert_eq!(wp, 2 + burn);
+            assert!(matches!(
+                d.write(ZoneId(0), wp, 99, t),
+                Err(ZnsError::ProgramFailure { .. })
+            ));
+        }
+        let zone = d.zone(ZoneId(0)).unwrap();
+        assert_eq!(zone.state(), ZoneState::ReadOnly);
+        assert_eq!(zone.burned(), 3);
+        assert_eq!(d.open_zones(), 0);
+        assert_eq!(d.active_zones(), 0);
+        // Data written before degradation stays readable; writes and
+        // resets are refused.
+        let (stamp, _) = d.read(ZoneId(0), 0, t).unwrap();
+        assert_eq!(stamp, 70);
+        assert_eq!(
+            d.write(ZoneId(0), 5, 0, t),
+            Err(ZnsError::ZoneReadOnly(ZoneId(0)))
+        );
+        assert_eq!(
+            d.reset(ZoneId(0), t),
+            Err(ZnsError::ZoneReadOnly(ZoneId(0)))
+        );
+        // The degradation shows in the trace with its cause.
+        let events = d.tracer().events();
+        assert!(events.iter().any(|e| matches!(
+            e.event,
+            bh_trace::Event::Zns(ZnsEvent::Transition {
+                to: ZoneStateTag::ReadOnly,
+                cause: "program-fail",
+                ..
+            })
+        )));
+    }
+
+    #[test]
+    fn reset_clears_burn_count() {
+        let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
+        cfg.burns_to_readonly = 1000;
+        let mut d = ZnsDevice::new(cfg).unwrap();
+        d.install_faults(bh_faults::FaultConfig::new(9).with_program_fail_ppm(1_000_000));
+        assert!(d.write(ZoneId(0), 0, 1, Nanos::ZERO).is_err());
+        assert_eq!(d.zone(ZoneId(0)).unwrap().burned(), 1);
+        d.install_faults(bh_faults::FaultConfig::new(9)); // quiet
+        let t = d.reset(ZoneId(0), Nanos::ZERO).unwrap();
+        assert_eq!(d.zone(ZoneId(0)).unwrap().burned(), 0);
+        // The erased zone accepts writes again from offset 0.
+        d.write(ZoneId(0), 0, 5, t).unwrap();
+    }
+
+    #[test]
+    fn simple_copy_redrives_around_burned_slots() {
+        let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
+        cfg.burns_to_readonly = 1000;
+        let mut d = ZnsDevice::new(cfg).unwrap();
+        let mut t = Nanos::ZERO;
+        for i in 0..8u64 {
+            t = d.write(ZoneId(0), i, 100 + i, t).unwrap();
+        }
+        d.install_faults(bh_faults::FaultConfig::new(11).with_program_fail_ppm(400_000));
+        let sources: Vec<_> = (0..8u64).map(|i| (ZoneId(0), i)).collect();
+        let (placed, done) = d.simple_copy(&sources, ZoneId(1), t).unwrap();
+        assert_eq!(d.stats().simple_copy_pages, 8);
+        // Each source landed at its reported offset; burned slots in
+        // between read as holes.
+        for (i, &off) in placed.iter().enumerate() {
+            let (stamp, _) = d.read(ZoneId(1), off, done).unwrap();
+            assert_eq!(stamp, 100 + i as u64);
+        }
+        let wp = d.zone(ZoneId(1)).unwrap().write_pointer();
+        assert!(wp >= 8, "burns must only lengthen the destination");
+        let mut got = Vec::new();
+        for off in 0..wp {
+            match d.read(ZoneId(1), off, done) {
+                Ok((stamp, _)) => got.push(stamp),
+                Err(ZnsError::MediaError { .. }) => {}
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(got, (100..108).collect::<Vec<_>>());
+        let burns = d.zone(ZoneId(1)).unwrap().burned() as u64;
+        assert_eq!(wp, 8 + burns);
+    }
+
+    #[test]
+    fn power_cycle_closes_open_zones_without_media_work() {
+        let mut d = dev();
+        d.set_tracer(Tracer::ring(1 << 10));
+        let mut t = d.write(ZoneId(0), 0, 1, Nanos::ZERO).unwrap();
+        t = d.write(ZoneId(1), 0, 2, t).unwrap();
+        d.open(ZoneId(2)).unwrap(); // Explicitly open, unwritten.
+        assert_eq!(d.open_zones(), 3);
+        let reads_before = d.flash_stats().internal_reads;
+        let done = d.power_cycle(t);
+        // Recovery is free: zone metadata is durable, no scan happens.
+        assert_eq!(done, t);
+        assert_eq!(d.flash_stats().internal_reads, reads_before);
+        assert_eq!(d.open_zones(), 0);
+        assert_eq!(d.zone(ZoneId(0)).unwrap().state(), ZoneState::Closed);
+        assert_eq!(d.zone(ZoneId(1)).unwrap().state(), ZoneState::Closed);
+        assert_eq!(d.zone(ZoneId(2)).unwrap().state(), ZoneState::Empty);
+        // Write pointers and data survive the cycle.
+        assert_eq!(d.zone(ZoneId(0)).unwrap().write_pointer(), 1);
+        let (stamp, _) = d.read(ZoneId(0), 0, done).unwrap();
+        assert_eq!(stamp, 1);
+        // Writes resume at the preserved pointer.
+        d.write(ZoneId(0), 1, 3, done).unwrap();
+        let events = d.tracer().events();
+        let power_closes = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    bh_trace::Event::Zns(ZnsEvent::Transition {
+                        cause: "power-loss",
+                        ..
+                    })
+                )
+            })
+            .count();
+        assert_eq!(power_closes, 3);
     }
 }

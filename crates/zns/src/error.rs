@@ -57,6 +57,24 @@ pub enum ZnsError {
     ZoneOffline(ZoneId),
     /// The zone is read-only; writes and resets are rejected.
     ZoneReadOnly(ZoneId),
+    /// A transient program failure consumed the slot at `offset` without
+    /// storing data; the write pointer advanced past the burned hole and
+    /// the host must re-drive the write (at the new pointer or in another
+    /// zone).
+    ProgramFailure {
+        /// The zone written.
+        zone: ZoneId,
+        /// The burned zone-relative offset.
+        offset: u64,
+    },
+    /// The page at `offset` is below the write pointer but unreadable — a
+    /// burned slot left behind by a transient program failure.
+    MediaError {
+        /// The zone read.
+        zone: ZoneId,
+        /// The unreadable zone-relative offset.
+        offset: u64,
+    },
     /// An underlying flash constraint was violated — a device-model bug.
     Flash(FlashError),
 }
@@ -89,6 +107,15 @@ impl std::fmt::Display for ZnsError {
             }
             ZnsError::ZoneOffline(z) => write!(f, "zone {z:?} is offline"),
             ZnsError::ZoneReadOnly(z) => write!(f, "zone {z:?} is read-only"),
+            ZnsError::ProgramFailure { zone, offset } => {
+                write!(f, "zone {zone:?}: program at {offset} failed; slot burned")
+            }
+            ZnsError::MediaError { zone, offset } => {
+                write!(
+                    f,
+                    "zone {zone:?}: offset {offset} is an unreadable burned slot"
+                )
+            }
             ZnsError::Flash(e) => write!(f, "flash error: {e}"),
         }
     }

@@ -79,6 +79,8 @@ pub struct Zone {
     blocks: Vec<BlockId>,
     /// Completed resets.
     resets: u64,
+    /// Pages burned by transient program failures since the last reset.
+    burned: u32,
 }
 
 impl Zone {
@@ -94,6 +96,7 @@ impl Zone {
             size,
             blocks,
             resets: 0,
+            burned: 0,
         }
     }
 
@@ -132,6 +135,11 @@ impl Zone {
         self.resets
     }
 
+    /// Pages burned by transient program failures since the last reset.
+    pub fn burned(&self) -> u32 {
+        self.burned
+    }
+
     /// The backing blocks, in stripe order.
     pub fn blocks(&self) -> &[BlockId] {
         &self.blocks
@@ -166,7 +174,16 @@ impl Zone {
     pub(crate) fn note_reset(&mut self) {
         self.wp = 0;
         self.resets += 1;
+        self.burned = 0;
         self.state = ZoneState::Empty;
+    }
+
+    /// Records a transient program failure: the slot at the write pointer
+    /// is consumed but holds no data. The wp still advances (flash pages
+    /// cannot be re-programmed before erase), so the burned slot becomes a
+    /// hole readers must tolerate.
+    pub(crate) fn note_burn(&mut self) {
+        self.burned += 1;
     }
 
     /// Removes a retired block from the stripe and shrinks capacity.

@@ -2,8 +2,9 @@
 //! read-only zones, and crashes.
 
 use bh_conv::{ConvConfig, ConvError, ConvSsd};
+use bh_faults::FaultConfig;
 use bh_flash::{CellKind, FlashConfig, Geometry};
-use bh_host::{BlockEmu, ReclaimPolicy};
+use bh_host::{BlockEmu, HintMode, ReclaimPolicy, ZonedLfs};
 use bh_kv::{ConvBackend, Db, DbConfig};
 use bh_metrics::Nanos;
 use bh_trace::{replay, Tracer, ZoneStateTag};
@@ -228,4 +229,139 @@ fn blockemu_tolerates_wearing_device() {
     // Whatever happened, reads of recently written data must still work.
     let (stamp, _) = emu.read(x % cap, t).unwrap();
     assert!(stamp > 0);
+}
+
+/// Mid-life grown bad blocks: erase faults during GC retire blocks long
+/// before wear-out, and the FTL absorbs them — no data loss, no
+/// premature read-only transition, GC trace still balanced.
+#[test]
+fn conv_grows_bad_blocks_mid_life_without_losing_data() {
+    let mut ssd = ConvSsd::new(ConvConfig::new(
+        FlashConfig::tlc(Geometry::small_test()),
+        0.15,
+    ))
+    .unwrap();
+    let tracer = Tracer::ring(1 << 20);
+    ssd.set_tracer(tracer.clone());
+    // Small device, small spare pool: the rate is tuned so a handful of
+    // blocks retire without exhausting the overprovisioning headroom.
+    ssd.install_faults(FaultConfig::new(0xBAD).with_erase_fail_ppm(8_000));
+    let cap = ssd.capacity_pages();
+    let mut t = Nanos::ZERO;
+    for lba in 0..cap {
+        t = ssd.write(lba, t).unwrap().done;
+    }
+    // Overwrites force GC; every GC erase rolls the fault dice.
+    let mut x = 7u64;
+    for _ in 0..5 * cap {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        t = ssd.write(x % cap, t).unwrap().done;
+    }
+    assert!(
+        ssd.device().bad_blocks() > 0,
+        "erase faults should have retired blocks mid-life"
+    );
+    assert!(
+        !ssd.is_read_only(),
+        "a few grown bad blocks must not end the device's life"
+    );
+    for lba in 0..cap {
+        let (stamp, done) = ssd.read(lba, t).unwrap();
+        assert!(stamp > 0, "lba {lba} lost to a grown bad block");
+        t = done;
+    }
+    let episodes = replay::gc_episodes(&tracer.events())
+        .expect("grown bad blocks must not break GC begin/end pairing");
+    assert!(!episodes.is_empty(), "overwrite pressure involves GC");
+}
+
+/// A cleaning pass that hits program failures while relocating
+/// survivors: the LFS re-drives the burned appends and no file page is
+/// lost. Faults go on the zoned device *before* the file system wraps
+/// it — the LFS itself has no fault hooks, by design.
+#[test]
+fn lfs_cleaning_pass_survives_program_failures() {
+    let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
+    cfg.max_active_zones = 8;
+    cfg.max_open_zones = 8;
+    let mut dev = ZnsDevice::new(cfg).unwrap();
+    let tracer = Tracer::ring(1 << 20);
+    dev.set_tracer(tracer.clone());
+    dev.install_faults(FaultConfig::new(0xF5).with_program_fail_ppm(30_000));
+    let mut lfs = ZonedLfs::new(dev, HintMode::None);
+    let stable = lfs.create("stable", 1).unwrap();
+    let churn = lfs.create("churn", 1).unwrap();
+    let pages = 48u64;
+    let t = Nanos::ZERO;
+    // Interleave a stable file with a churning one, then overwrite only
+    // the churning file: victim zones end up mixed live/garbage, so
+    // cleaning must relocate survivors through the faulty append path.
+    for i in 0..pages {
+        lfs.write(stable, i, 100 + i, t).unwrap();
+        lfs.write(churn, i, 7000 + i, t).unwrap();
+    }
+    let rounds = 8u64;
+    for round in 0..rounds {
+        for i in 0..pages {
+            lfs.write(churn, i, round * 100 + i, t).unwrap();
+        }
+    }
+    let t = lfs.clean(t, 5).unwrap();
+    assert!(
+        lfs.stats().cleaned > 0,
+        "cleaning should have relocated live pages"
+    );
+    for i in 0..pages {
+        let (stamp, _) = lfs.read(stable, i, t).unwrap();
+        assert_eq!(stamp, (100 + i) & 0xFFFF, "stable page {i} corrupted");
+        let (stamp, _) = lfs.read(churn, i, t).unwrap();
+        assert_eq!(
+            stamp,
+            ((rounds - 1) * 100 + i) & 0xFFFF,
+            "churn page {i} corrupted"
+        );
+    }
+    // The zone-state transitions recorded through burns, finishes, and
+    // resets replay to exactly what the device reports.
+    let replayed = replay::zone_states(&tracer.events());
+    assert!(!replayed.is_empty(), "cleaning must leave zone transitions");
+    assert!(
+        !replayed.values().any(|s| *s == ZoneStateTag::Offline),
+        "program failures alone must never take a zone offline"
+    );
+}
+
+/// Power loss between filling a zone and finishing it: per the ZNS spec
+/// zone state and write pointers are durable, open zones come back
+/// Closed, and the interrupted finish can simply be re-driven.
+#[test]
+fn power_loss_during_zone_finish_recovers_cleanly() {
+    let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
+    cfg.max_active_zones = 8;
+    cfg.max_open_zones = 8;
+    let mut dev = ZnsDevice::new(cfg).unwrap();
+    let tracer = Tracer::ring(1 << 20);
+    dev.set_tracer(tracer.clone());
+    let mut t = Nanos::ZERO;
+    t = dev.write(ZoneId(0), 0, 11, t).unwrap();
+    t = dev.write(ZoneId(1), 0, 22, t).unwrap();
+    // Lights out just before the host issues the finish.
+    t = dev.power_cycle(t);
+    assert_eq!(dev.zone(ZoneId(0)).unwrap().state(), ZoneState::Closed);
+    assert_eq!(dev.zone(ZoneId(1)).unwrap().state(), ZoneState::Closed);
+    // Restart: the host re-drives the finish against the Closed zone.
+    dev.finish(ZoneId(0)).unwrap();
+    assert_eq!(dev.zone(ZoneId(0)).unwrap().state(), ZoneState::Full);
+    // Data below the write pointer survived the loss.
+    let (stamp, _) = dev.read(ZoneId(0), 0, t).unwrap();
+    assert_eq!(stamp, 11);
+    let (stamp, _) = dev.read(ZoneId(1), 0, t).unwrap();
+    assert_eq!(stamp, 22);
+    // The trace shows the same story: a balanced transition history
+    // ending Full for the finished zone, Closed for the other.
+    let replayed = replay::zone_states(&tracer.events());
+    assert_eq!(replayed.get(&0), Some(&ZoneStateTag::Full));
+    assert_eq!(replayed.get(&1), Some(&ZoneStateTag::Closed));
 }

@@ -4,6 +4,7 @@
 //! must never leak into a single byte of the output.
 
 use bh_core::Pacing;
+use bh_faults::FaultConfig;
 use bh_flash::Geometry;
 use bh_fleet::{run_fleet, FleetConfig, Placement, StackKind};
 use bh_host::ReclaimPolicy;
@@ -82,4 +83,41 @@ fn bursty_pacing_and_idle_reclaim_stay_deterministic() {
     let a = run_fleet(&c, 1).unwrap().report.to_json();
     let b = run_fleet(&c, 4).unwrap().report.to_json();
     assert_eq!(a, b);
+}
+
+#[test]
+fn quiet_fault_template_matches_fleet_without_fault_layer() {
+    // Differential: a template with every rate at zero must produce the
+    // same bytes as not wiring the fault layer in at all. Guards against
+    // the fault path perturbing timing or RNG state while silent.
+    let without = run_fleet(&cfg(4, 0xD5B), 2).unwrap().report.to_json();
+    let mut c = cfg(4, 0xD5B);
+    c.faults = Some(FaultConfig::new(0));
+    let quiet = run_fleet(&c, 2).unwrap().report.to_json();
+    assert_eq!(
+        quiet, without,
+        "a quiet fault plan changed the fleet report"
+    );
+}
+
+#[test]
+fn faulty_fleet_report_identical_for_1_and_8_jobs() {
+    // The determinism headline must survive the fault layer: per-shard
+    // fault seeds are derived from the fleet seed, never from scheduling.
+    let mut c = cfg(6, 0xD5C);
+    c.faults = Some(
+        FaultConfig::new(0)
+            .with_program_fail_ppm(3_000)
+            .with_read_retry_ppm(25_000),
+    );
+    let sequential = run_fleet(&c, 1).unwrap().report.to_json();
+    let parallel = run_fleet(&c, 8).unwrap().report.to_json();
+    assert_eq!(
+        sequential, parallel,
+        "thread count leaked into the faulty fleet report"
+    );
+    // And the faults must actually be felt: same config minus the
+    // template diverges.
+    let clean = run_fleet(&cfg(6, 0xD5C), 2).unwrap().report.to_json();
+    assert_ne!(sequential, clean, "fault template had no effect");
 }
