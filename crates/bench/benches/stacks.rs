@@ -53,9 +53,7 @@ fn bench_conv_write(c: &mut Criterion) {
 
 fn bench_zns_append(c: &mut Criterion) {
     c.bench_function("zns/append (with zone roll + reset)", |b| {
-        let mut cfg = ZnsConfig::new(flash(), 8);
-        cfg.max_active_zones = 14;
-        cfg.max_open_zones = 14;
+        let cfg = ZnsConfig::new(flash(), 8).with_zone_limits(14);
         let mut dev = ZnsDevice::new(cfg).unwrap();
         let zones = dev.num_zones();
         let mut zone = 0u32;
@@ -78,9 +76,7 @@ fn bench_zns_append(c: &mut Criterion) {
 
 fn bench_blockemu_write(c: &mut Criterion) {
     c.bench_function("blockemu/steady-state write", |b| {
-        let mut cfg = ZnsConfig::new(flash(), 8);
-        cfg.max_active_zones = 14;
-        cfg.max_open_zones = 14;
+        let cfg = ZnsConfig::new(flash(), 8).with_zone_limits(14);
         let mut emu = BlockEmu::new(ZnsDevice::new(cfg).unwrap(), 2, ReclaimPolicy::Immediate);
         let cap = emu.capacity_pages();
         let mut t = Nanos::ZERO;

@@ -19,9 +19,7 @@ fn device() -> ZnsDevice {
     // One big zone striped over many planes: the device has plenty of
     // internal parallelism for appends to exploit.
     let geo = Geometry::experiment(64);
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geo), 32);
-    cfg.max_active_zones = 14;
-    cfg.max_open_zones = 14;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(geo), 32).with_zone_limits(14);
     ZnsDevice::new(cfg).unwrap()
 }
 

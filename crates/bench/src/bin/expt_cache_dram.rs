@@ -31,9 +31,7 @@ fn conv_cache() -> FlashCache<ConvSegmentStore> {
 }
 
 fn zns_cache() -> FlashCache<ZnsSegmentStore> {
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geometry()), 1);
-    cfg.max_active_zones = 14;
-    cfg.max_open_zones = 14;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(geometry()), 1).with_zone_limits(14);
     FlashCache::new(
         ZnsSegmentStore::new(ZnsDevice::new(cfg).unwrap()),
         CacheConfig::default(),

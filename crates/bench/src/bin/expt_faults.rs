@@ -16,7 +16,7 @@
 //! p99.9 inflation, and recovery work (pages scanned per power loss).
 
 use bh_conv::{ConvConfig, ConvSsd};
-use bh_core::{BlockInterface, ClaimSet, Report};
+use bh_core::{ClaimSet, Report, Runner, StackAdmin, WriteReq};
 use bh_faults::FaultConfig;
 use bh_flash::{FlashConfig, Geometry};
 use bh_host::{BlockEmu, ReclaimPolicy};
@@ -32,15 +32,13 @@ fn geometry() -> Geometry {
     Geometry::experiment(if bh_bench::quick_mode() { 8 } else { 16 })
 }
 
-fn conv_stack() -> Box<dyn BlockInterface> {
+fn conv_stack() -> Box<dyn StackAdmin> {
     let dev = ConvSsd::new(ConvConfig::new(FlashConfig::tlc(geometry()), 0.15)).unwrap();
     Box::new(dev)
 }
 
-fn zns_stack() -> Box<dyn BlockInterface> {
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geometry()), 4);
-    cfg.max_active_zones = 8;
-    cfg.max_open_zones = 8;
+fn zns_stack() -> Box<dyn StackAdmin> {
+    let cfg = ZnsConfig::new(FlashConfig::tlc(geometry()), 4).with_zone_limits(8);
     let dev = ZnsDevice::new(cfg).unwrap();
     let reserve = (dev.num_zones() / 8).max(4);
     Box::new(BlockEmu::new(dev, reserve, ReclaimPolicy::Immediate))
@@ -64,7 +62,7 @@ impl Outcome {
 /// Fills the device, then drives `ops` zipfian operations, power-cycling
 /// at the plan's scheduled op indices. Clean runs (`faults: None`) see
 /// the exact same op stream and no fault layer at all.
-fn run(mut dev: Box<dyn BlockInterface>, faults: Option<FaultConfig>, ops: u64) -> Outcome {
+fn run(mut dev: Box<dyn StackAdmin>, faults: Option<FaultConfig>, ops: u64) -> Outcome {
     if let Some(f) = faults {
         f.validate().unwrap();
         dev.install_faults(f);
@@ -73,10 +71,9 @@ fn run(mut dev: Box<dyn BlockInterface>, faults: Option<FaultConfig>, ops: u64) 
         .map(|f| f.power_loss_indices(ops, 3))
         .unwrap_or_default();
     let cap = dev.capacity_pages();
-    let mut t = Nanos::ZERO;
-    for lba in 0..cap {
-        t = dev.write(lba, t).unwrap();
-    }
+    // A failing fill names the LBA and the typed device error instead of
+    // a bare unwrap panic.
+    let mut t = Runner::fill(dev.as_mut(), Nanos::ZERO).unwrap_or_else(|e| panic!("E16 fill: {e}"));
     let mut stream = OpStream::zipfian(cap, OpMix::read_heavy(), SEED);
     let mut reads = Histogram::new();
     let mut scans = Vec::new();
@@ -85,21 +82,29 @@ fn run(mut dev: Box<dyn BlockInterface>, faults: Option<FaultConfig>, ops: u64) 
     for i in 0..ops {
         if next_loss < losses.len() && i == losses[next_loss] {
             next_loss += 1;
-            let (done, pages) = dev.power_cycle(t).unwrap();
+            let (done, pages) = dev
+                .power_cycle(t)
+                .unwrap_or_else(|e| panic!("E16 power cycle at op {i}: {e}"));
             scans.push((i, pages));
             recovery += done.saturating_sub(t);
             t = done;
         }
         match stream.next_op() {
             Op::Read(lba) => {
-                let done = dev.read(lba, t).unwrap();
+                let done = dev
+                    .read(lba, t)
+                    .unwrap_or_else(|e| panic!("E16 read of LBA {lba} at op {i}: {e}"));
                 reads.record(done.saturating_sub(t));
                 t = done;
             }
             Op::Write(lba) => {
-                t = dev.write(lba, t).unwrap();
+                t = dev
+                    .write(WriteReq::new(lba), t)
+                    .unwrap_or_else(|e| panic!("E16 write of LBA {lba} at op {i}: {e}"));
             }
-            Op::Trim(lba) => dev.trim(lba).unwrap(),
+            Op::Trim(lba) => dev
+                .trim(lba)
+                .unwrap_or_else(|e| panic!("E16 trim of LBA {lba} at op {i}: {e}")),
         }
         if i % 64 == 0 {
             t = dev.maintenance(t).unwrap();
@@ -134,11 +139,8 @@ fn main() {
     ]);
     let mut outcomes = Vec::new();
     for (label, build) in [
-        (
-            "conventional",
-            conv_stack as fn() -> Box<dyn BlockInterface>,
-        ),
-        ("zns+blockemu", zns_stack as fn() -> Box<dyn BlockInterface>),
+        ("conventional", conv_stack as fn() -> Box<dyn StackAdmin>),
+        ("zns+blockemu", zns_stack as fn() -> Box<dyn StackAdmin>),
     ] {
         for plan in [None, Some(faults)] {
             let o = run(build(), plan, ops);

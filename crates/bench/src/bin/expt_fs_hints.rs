@@ -22,9 +22,7 @@ fn filesystem(hint: HintMode) -> ZonedLfs {
     // Quick mode shrinks the device so the reduced workload still fills
     // it (cleaning only happens under space pressure).
     let geo = Geometry::experiment(if bh_bench::quick_mode() { 4 } else { 8 });
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geo), 4);
-    cfg.max_active_zones = 14;
-    cfg.max_open_zones = 14;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(geo), 4).with_zone_limits(14);
     ZonedLfs::new(ZnsDevice::new(cfg).unwrap(), hint)
 }
 

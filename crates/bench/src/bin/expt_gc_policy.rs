@@ -54,7 +54,7 @@ fn steady_wa(
         }
         if let Some(s) = sampler.as_deref_mut() {
             if (i + 1) % s.every() == 0 {
-                s.sample(&ssd, i + 1, t);
+                s.sample(&ssd, i + 1, t, 0);
             }
         }
     }

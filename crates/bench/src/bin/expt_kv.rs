@@ -51,9 +51,7 @@ fn conv_db() -> Db<ConvBackend> {
 }
 
 fn zns_db() -> Db<ZnsBackend> {
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geometry()), 4);
-    cfg.max_active_zones = 14;
-    cfg.max_open_zones = 14;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(geometry()), 4).with_zone_limits(14);
     Db::new(ZnsBackend::new(ZnsDevice::new(cfg).unwrap()), db_config()).unwrap()
 }
 

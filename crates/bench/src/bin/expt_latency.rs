@@ -93,9 +93,7 @@ fn conv_device(geo: Geometry) -> ConvSsd {
 }
 
 fn zns_device(geo: Geometry, policy: ReclaimPolicy) -> BlockEmu {
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geo), 8);
-    cfg.max_active_zones = 14;
-    cfg.max_open_zones = 14;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(geo), 8).with_zone_limits(14);
     let dev = ZnsDevice::new(cfg).unwrap();
     let reserve = (dev.num_zones() / 10).max(4);
     BlockEmu::new(dev, reserve, policy).with_hinted_streams(OWNERS as u32)

@@ -18,9 +18,7 @@ use bh_zns::{ZnsConfig, ZnsDevice, ZoneState};
 fn device() -> ZnsDevice {
     // Sized so steady-state live data fills ~80% of the zones.
     let geo = Geometry::experiment(5);
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geo), 4);
-    cfg.max_active_zones = 14;
-    cfg.max_open_zones = 14;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(geo), 4).with_zone_limits(14);
     ZnsDevice::new(cfg).unwrap()
 }
 

@@ -57,9 +57,7 @@ fn zns(cell: CellKind, multiples: u64) -> (f64, f64) {
         cell,
         endurance_override: None,
     };
-    let mut cfg = ZnsConfig::new(flash, 8);
-    cfg.max_active_zones = 14;
-    cfg.max_open_zones = 14;
+    let cfg = ZnsConfig::new(flash, 8).with_zone_limits(14);
     let dev = ZnsDevice::new(cfg).unwrap();
     let reserve = dev.num_zones() / 8;
     // FIFO-log usage (the zone-native application pattern): sequential

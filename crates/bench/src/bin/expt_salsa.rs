@@ -8,7 +8,7 @@
 //! flash underneath.
 
 use bh_conv::{ConvConfig, ConvSsd};
-use bh_core::{BlockInterface, ClaimSet, Report};
+use bh_core::{BlockInterface, ClaimSet, Report, WriteReq};
 use bh_flash::{FlashConfig, Geometry};
 use bh_host::{BlockEmu, ReclaimPolicy};
 use bh_metrics::{ops_per_sec, Histogram, Nanos, Table};
@@ -24,9 +24,7 @@ fn conv_device() -> ConvSsd {
 }
 
 fn zns_emu() -> BlockEmu {
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geometry()), 8);
-    cfg.max_active_zones = 14;
-    cfg.max_open_zones = 14;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(geometry()), 8).with_zone_limits(14);
     let dev = ZnsDevice::new(cfg).unwrap();
     let reserve = (dev.num_zones() * 3 / 20).max(4); // ~15% like SALSA.
     BlockEmu::new(
@@ -42,14 +40,14 @@ fn zns_emu() -> BlockEmu {
 /// Bursty mixed load; returns (read latencies, achieved ops/s).
 fn run(dev: &mut dyn BlockInterface, bursts: u64, burst_ops: u64) -> (Histogram, f64) {
     let cap = dev.capacity_pages();
-    let mut t = Nanos::ZERO;
-    for lba in 0..cap {
-        t = dev.write(lba, t).unwrap();
-    }
+    let mut t = bh_core::Runner::fill(dev, Nanos::ZERO).unwrap_or_else(|e| panic!("E7 fill: {e}"));
     // Churn into GC steady state before measuring (closed loop).
     let mut warm = OpStream::zipfian(cap, OpMix::write_only(), 0x7A);
     for i in 0..cap * 3 / 2 {
-        t = dev.write(warm.next_op().lba(), t).unwrap();
+        let lba = warm.next_op().lba();
+        t = dev
+            .write(WriteReq::new(lba), t)
+            .unwrap_or_else(|e| panic!("E7 warmup write of LBA {lba}: {e}"));
         if i % 4096 == 0 {
             t = dev.maintenance(t).unwrap();
         }
@@ -75,7 +73,9 @@ fn run(dev: &mut dyn BlockInterface, bursts: u64, burst_ops: u64) -> (Histogram,
                     burst_end = burst_end.max(done);
                 }
                 bh_workloads::Op::Write(lba) => {
-                    let done = dev.write(lba, arrival).unwrap();
+                    let done = dev
+                        .write(WriteReq::new(lba), arrival)
+                        .unwrap_or_else(|e| panic!("E7 write of LBA {lba}: {e}"));
                     burst_end = burst_end.max(done);
                 }
                 bh_workloads::Op::Trim(lba) => dev.trim(lba).unwrap(),

@@ -34,6 +34,7 @@ const EXPERIMENTS: &[&str] = &[
     "expt_qlc",
     "expt_fleet",
     "expt_faults",
+    "expt_qd",
 ];
 
 /// `--jobs N` argument or `BH_JOBS` env var; default: available

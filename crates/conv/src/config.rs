@@ -54,6 +54,24 @@ impl ConvConfig {
         }
     }
 
+    /// Sets the garbage-collection victim-selection policy.
+    pub fn with_gc_policy(mut self, policy: GcPolicy) -> Self {
+        self.gc_policy = policy;
+        self
+    }
+
+    /// Sets the free-block watermark at which foreground GC engages.
+    pub fn with_gc_watermark(mut self, watermark: u32) -> Self {
+        self.gc_watermark = watermark;
+        self
+    }
+
+    /// Enables static wear leveling at the given erase-count spread.
+    pub fn with_wear_level_gap(mut self, gap: u32) -> Self {
+        self.wear_level_gap = Some(gap);
+        self
+    }
+
     /// Validates parameter ranges.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=4.0).contains(&self.op_ratio) || !self.op_ratio.is_finite() {
@@ -119,6 +137,18 @@ mod tests {
         let mut c = cfg(0.1);
         c.reserve_blocks_per_plane = c.flash.geometry.blocks_per_plane;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = cfg(0.1)
+            .with_gc_policy(GcPolicy::CostBenefit)
+            .with_gc_watermark(3)
+            .with_wear_level_gap(16);
+        assert!(c.validate().is_ok());
+        assert!(matches!(c.gc_policy, GcPolicy::CostBenefit));
+        assert_eq!(c.gc_watermark, 3);
+        assert_eq!(c.wear_level_gap, Some(16));
     }
 
     #[test]

@@ -10,7 +10,12 @@
 //!   (`bh-host`) — so experiments drive a single code path.
 //! - [`runner`]: open- and closed-loop load generation over a
 //!   [`BlockInterface`], collecting latency histograms and throughput on
-//!   the virtual clock, with hooks for host-scheduled maintenance.
+//!   the virtual clock, with hooks for host-scheduled maintenance. At
+//!   queue depth > 1 the runner drives the device through `bh-queue`'s
+//!   NVMe-style submission/completion engine.
+//! - [`error`]: typed I/O errors ([`IoError`]) shared by every stack, so
+//!   experiments classify failures structurally instead of grepping
+//!   message strings.
 //! - [`claims`]: the paper's quantitative claims as checkable bands —
 //!   each experiment records "paper said X, we measured Y, the shape
 //!   holds/doesn't".
@@ -18,11 +23,14 @@
 //!   series, and JSON for archival.
 
 pub mod claims;
+pub mod error;
 pub mod iface;
 pub mod report;
 pub mod runner;
 
+pub use bh_queue::{IoCompletion, IoKind, IoRequest, PowerCut, QueueEngine};
 pub use claims::{Claim, ClaimSet};
-pub use iface::BlockInterface;
+pub use error::{DeviceError, IoError};
+pub use iface::{BlockInterface, StackAdmin, WriteReq};
 pub use report::{summary_cells, Report, SUMMARY_HEADER};
-pub use runner::{Pacing, RunConfig, RunResult, Runner, Sample, Sampler};
+pub use runner::{OpFailure, Pacing, RunConfig, RunResult, Runner, Sample, Sampler};

@@ -10,12 +10,23 @@
 //! - **closed loop**: the next operation issues when the previous
 //!   completes, measuring sustainable throughput.
 //!
+//! Both modes generalize over queue depth. At [`RunConfig::queue_depth`]
+//! ≤ 1 the runner keeps the original serial dispatch loop (bit-for-bit
+//! identical results to earlier versions); deeper configurations route
+//! every operation through a [`bh_queue::QueueEngine`], which holds up
+//! to QD operations in flight and retires completions in deterministic
+//! `(completion instant, command id)` order. Closed-loop pacing then
+//! means "submit when a window slot frees"; open-loop arrivals stay on
+//! schedule and queue in the submission queue when the window is full.
+//!
 //! A maintenance hook fires between operations so host-scheduled reclaim
 //! (the ZNS stack's prerogative) can run on its policy.
 
-use crate::iface::BlockInterface;
+use crate::error::IoError;
+use crate::iface::{BlockInterface, WriteReq};
 use bh_flash::FlashStats;
 use bh_metrics::{Histogram, Nanos, Series};
+use bh_queue::{IoCompletion, IoKind, IoRequest, QueueEngine};
 use bh_trace::{RunnerEvent, Tracer};
 use bh_workloads::{Op, OpSource};
 
@@ -27,7 +38,9 @@ pub enum Pacing {
         /// Gap between arrivals.
         interarrival: Nanos,
     },
-    /// Issue on completion (closed loop).
+    /// Issue on completion (closed loop). At queue depth > 1 this
+    /// becomes "issue when a window slot frees": QD requests are kept
+    /// in flight.
     Closed,
     /// Open-loop bursts separated by idle windows. After every
     /// `burst_ops` operations the runner lets the device quiesce for
@@ -55,6 +68,85 @@ pub struct RunConfig {
     /// Invoke the device's maintenance hook every N operations (0 =
     /// never).
     pub maintenance_every: u64,
+    /// Operations kept in flight at once. ≤ 1 runs the serial dispatch
+    /// loop; deeper values drive the device through a
+    /// [`bh_queue::QueueEngine`].
+    pub queue_depth: usize,
+}
+
+impl RunConfig {
+    /// `ops` operations, closed-loop, no maintenance, queue depth 1.
+    pub fn new(ops: u64) -> Self {
+        RunConfig {
+            ops,
+            pacing: Pacing::Closed,
+            maintenance_every: 0,
+            queue_depth: 1,
+        }
+    }
+
+    /// Sets the arrival pacing.
+    pub fn with_pacing(mut self, pacing: Pacing) -> Self {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Runs the maintenance hook every `every` operations.
+    pub fn with_maintenance_every(mut self, every: u64) -> Self {
+        self.maintenance_every = every;
+        self
+    }
+
+    /// Keeps up to `depth` operations in flight.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+}
+
+/// A run aborted: which operation failed, where, when, and why.
+///
+/// Failed reads of unmapped pages do *not* produce this (they are
+/// counted in [`RunResult::errors`]); everything else carries the full
+/// context so an experiment log names the failing LBA instead of
+/// swallowing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpFailure {
+    /// What kind of operation failed.
+    pub kind: IoKind,
+    /// The logical address involved, when the operation names one.
+    pub lba: Option<u64>,
+    /// Virtual instant the operation was issued.
+    pub at: Nanos,
+    /// The typed device error.
+    pub error: IoError,
+}
+
+impl OpFailure {
+    fn new(kind: IoKind, lba: Option<u64>, at: Nanos, error: IoError) -> Self {
+        OpFailure {
+            kind,
+            lba,
+            at,
+            error,
+        }
+    }
+}
+
+impl std::fmt::Display for OpFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ", self.kind.name())?;
+        if let Some(lba) = self.lba {
+            write!(f, "of LBA {lba} ")?;
+        }
+        write!(f, "at {}ns failed: {}", self.at.as_nanos(), self.error)
+    }
+}
+
+impl std::error::Error for OpFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
 }
 
 /// Collected results of one run.
@@ -70,6 +162,8 @@ pub struct RunResult {
     pub errors: u64,
     /// Device write amplification at the end of the run.
     pub device_wa: f64,
+    /// Deepest the in-flight window got (1 on the serial path).
+    pub peak_in_flight: usize,
 }
 
 impl RunResult {
@@ -92,6 +186,9 @@ pub struct Sample {
     pub cumulative_wa: f64,
     /// Planes still busy past the sample instant.
     pub queue_depth: u32,
+    /// Host-side operations in flight at the sample instant (0 on the
+    /// serial path, up to QD on the queued path).
+    pub in_flight: u32,
 }
 
 /// Periodically samples `FlashStats` deltas and queue depth during a run,
@@ -132,14 +229,21 @@ impl Sampler {
     /// Resets the interval baseline to the device's current counters.
     /// Call at run start so the first interval excludes pre-run fill
     /// traffic; [`Runner::run_traced`] does this automatically.
-    pub fn prime(&mut self, dev: &dyn BlockInterface) {
+    pub fn prime<D: BlockInterface + ?Sized>(&mut self, dev: &D) {
         let stats = dev.flash_stats();
         self.base = Some(stats);
         self.last = stats;
     }
 
-    /// Takes one sample at `now` after `ops_done` operations.
-    pub fn sample(&mut self, dev: &dyn BlockInterface, ops_done: u64, now: Nanos) {
+    /// Takes one sample at `now` after `ops_done` operations, with
+    /// `in_flight` host-side operations outstanding.
+    pub fn sample<D: BlockInterface + ?Sized>(
+        &mut self,
+        dev: &D,
+        ops_done: u64,
+        now: Nanos,
+        in_flight: u32,
+    ) {
         let stats = dev.flash_stats();
         let base = *self.base.get_or_insert_with(FlashStats::default);
         let interval = stats.delta_since(&self.last);
@@ -151,6 +255,7 @@ impl Sampler {
             interval_wa: interval.write_amplification(),
             cumulative_wa: run_total.write_amplification(),
             queue_depth,
+            in_flight,
         };
         self.samples.push(sample);
         if self.tracer.enabled() {
@@ -161,6 +266,7 @@ impl Sampler {
                     interval_wa: sample.interval_wa,
                     cumulative_wa: sample.cumulative_wa,
                     queue_depth,
+                    in_flight,
                     host_programs: interval.host_programs,
                     internal_programs: interval.internal_programs + interval.copies,
                     erases: interval.erases,
@@ -200,6 +306,16 @@ impl Sampler {
         }
         s
     }
+
+    /// Host-side in-flight operations over virtual time (milliseconds
+    /// on the x-axis).
+    pub fn in_flight_series(&self, name: impl Into<String>) -> Series {
+        let mut s = Series::new(name);
+        for sample in &self.samples {
+            s.push(sample.at.as_millis_f64(), sample.in_flight as f64);
+        }
+        s
+    }
 }
 
 /// Drives operation streams against a device.
@@ -217,10 +333,16 @@ impl Runner {
     /// Pre-writes every page so subsequent reads hit mapped data, and
     /// brings the device to a full, steady state. Returns the instant the
     /// fill completes.
-    pub fn fill(dev: &mut dyn BlockInterface, now: Nanos) -> Result<Nanos, String> {
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OpFailure`] naming the LBA whose write failed.
+    pub fn fill<D: BlockInterface + ?Sized>(dev: &mut D, now: Nanos) -> Result<Nanos, OpFailure> {
         let mut t = now;
         for lba in 0..dev.capacity_pages() {
-            t = dev.write(lba, t)?;
+            t = dev
+                .write(WriteReq::new(lba), t)
+                .map_err(|e| OpFailure::new(IoKind::Write, Some(lba), t, e))?;
         }
         Ok(t)
     }
@@ -230,44 +352,63 @@ impl Runner {
     ///
     /// # Errors
     ///
-    /// Propagates device errors other than failed reads of unmapped pages
-    /// (those are counted in [`RunResult::errors`] — a workload may
-    /// legitimately read a page it never wrote).
-    pub fn run(
+    /// Propagates device errors other than failed reads (those are
+    /// counted in [`RunResult::errors`] — a workload may legitimately
+    /// read a page it never wrote), with the operation kind, LBA, and
+    /// instant attached.
+    pub fn run<D: BlockInterface + ?Sized>(
         &self,
-        dev: &mut dyn BlockInterface,
+        dev: &mut D,
         stream: &mut dyn OpSource,
         start: Nanos,
-    ) -> Result<RunResult, String> {
-        self.run_inner(dev, stream, start, None)
+    ) -> Result<RunResult, OpFailure> {
+        self.dispatch(dev, stream, start, None)
     }
 
     /// Like [`Runner::run`], but takes periodic interval samples through
     /// `sampler` (which also emits them as trace snapshots). The sampler
     /// is primed at `start`, so intervals cover only this run.
-    pub fn run_traced(
+    ///
+    /// # Errors
+    ///
+    /// As for [`Runner::run`].
+    pub fn run_traced<D: BlockInterface + ?Sized>(
         &self,
-        dev: &mut dyn BlockInterface,
+        dev: &mut D,
         stream: &mut dyn OpSource,
         start: Nanos,
         sampler: &mut Sampler,
-    ) -> Result<RunResult, String> {
+    ) -> Result<RunResult, OpFailure> {
         sampler.prime(dev);
-        self.run_inner(dev, stream, start, Some(sampler))
+        self.dispatch(dev, stream, start, Some(sampler))
+    }
+
+    fn dispatch<D: BlockInterface + ?Sized>(
+        &self,
+        dev: &mut D,
+        stream: &mut dyn OpSource,
+        start: Nanos,
+        sampler: Option<&mut Sampler>,
+    ) -> Result<RunResult, OpFailure> {
+        if self.cfg.queue_depth <= 1 {
+            self.run_serial(dev, stream, start, sampler)
+        } else {
+            self.run_queued(dev, stream, start, sampler)
+        }
     }
 
     /// Arrival instant of operation `i + 1`, given operation `i` arrived
     /// at `arrival` and completed at `completion` (equal to `arrival` for
     /// failed reads). Burst boundaries run the idle-window maintenance
     /// hook, which may push the next burst out past the reclaim work.
-    fn next_arrival(
+    fn next_arrival<D: BlockInterface + ?Sized>(
         &self,
-        dev: &mut dyn BlockInterface,
+        dev: &mut D,
         i: u64,
         arrival: Nanos,
         completion: Nanos,
         last_done: Nanos,
-    ) -> Result<Nanos, String> {
+    ) -> Result<Nanos, OpFailure> {
         Ok(match self.cfg.pacing {
             Pacing::Open { interarrival } => arrival + interarrival,
             Pacing::Closed => completion,
@@ -278,7 +419,9 @@ impl Runner {
             } => {
                 if burst_ops > 0 && (i + 1).is_multiple_of(burst_ops) {
                     let window = last_done.max(arrival + interarrival) + idle;
-                    let done = dev.maintenance(window)?;
+                    let done = dev
+                        .maintenance(window)
+                        .map_err(|e| OpFailure::new(IoKind::Maintenance, None, window, e))?;
                     done.max(window)
                 } else {
                     arrival + interarrival
@@ -287,13 +430,15 @@ impl Runner {
         })
     }
 
-    fn run_inner(
+    /// The original one-op-at-a-time loop, preserved verbatim so queue
+    /// depth ≤ 1 stays bit-for-bit identical to earlier versions.
+    fn run_serial<D: BlockInterface + ?Sized>(
         &self,
-        dev: &mut dyn BlockInterface,
+        dev: &mut D,
         stream: &mut dyn OpSource,
         start: Nanos,
         mut sampler: Option<&mut Sampler>,
-    ) -> Result<RunResult, String> {
+    ) -> Result<RunResult, OpFailure> {
         let mut reads = Histogram::new();
         let mut writes = Histogram::new();
         let mut errors = 0u64;
@@ -303,16 +448,14 @@ impl Runner {
             if self.cfg.maintenance_every > 0 && i > 0 && i % self.cfg.maintenance_every == 0 {
                 // Maintenance is issued at the current arrival horizon; it
                 // occupies device resources from then on.
-                dev.maintenance(arrival)?;
+                dev.maintenance(arrival)
+                    .map_err(|e| OpFailure::new(IoKind::Maintenance, None, arrival, e))?;
             }
             let (op, hint) = stream.next_hinted();
             let outcome = match op {
                 Op::Read(lba) => dev.read(lba, arrival),
-                Op::Write(lba) => dev.write_hinted(lba, hint, arrival),
-                Op::Trim(lba) => {
-                    dev.trim(lba)?;
-                    Ok(arrival)
-                }
+                Op::Write(lba) => dev.write(WriteReq::hinted(lba, hint), arrival),
+                Op::Trim(lba) => dev.trim(lba).map(|()| arrival),
             };
             match outcome {
                 Ok(done) => {
@@ -332,7 +475,12 @@ impl Runner {
                         errors += 1;
                         arrival = self.next_arrival(dev, i, arrival, arrival, last_done)?;
                     } else {
-                        return Err(e);
+                        let (kind, lba) = match op {
+                            Op::Write(lba) => (IoKind::Write, lba),
+                            Op::Trim(lba) => (IoKind::Trim, lba),
+                            Op::Read(_) => unreachable!(),
+                        };
+                        return Err(OpFailure::new(kind, Some(lba), arrival, e));
                     }
                 }
             }
@@ -340,7 +488,7 @@ impl Runner {
                 if (i + 1) % s.every() == 0 {
                     // Sample at the arrival horizon: planes busy past this
                     // instant are backlog the next op will queue behind.
-                    s.sample(&*dev, i + 1, arrival);
+                    s.sample(dev, i + 1, arrival, 0);
                 }
             }
         }
@@ -350,7 +498,146 @@ impl Runner {
             elapsed: last_done.saturating_sub(start),
             errors,
             device_wa: dev.write_amplification(),
+            peak_in_flight: if self.cfg.ops > 0 { 1 } else { 0 },
         })
+    }
+
+    /// The queued dispatch loop: every operation goes through a
+    /// [`QueueEngine`] holding up to QD in flight. Completion order —
+    /// and therefore every histogram and trace — is decided solely by
+    /// the device's completion instants with command ids breaking ties,
+    /// so runs are byte-reproducible at any depth.
+    fn run_queued<D: BlockInterface + ?Sized>(
+        &self,
+        dev: &mut D,
+        stream: &mut dyn OpSource,
+        start: Nanos,
+        mut sampler: Option<&mut Sampler>,
+    ) -> Result<RunResult, OpFailure> {
+        let mut engine: QueueEngine<IoError> = QueueEngine::new(self.cfg.queue_depth);
+        let mut reads = Histogram::new();
+        let mut writes = Histogram::new();
+        let mut errors = 0u64;
+        let mut arrival = start;
+        for i in 0..self.cfg.ops {
+            if self.cfg.maintenance_every > 0 && i > 0 && i % self.cfg.maintenance_every == 0 {
+                engine.submit(IoRequest::Maintenance, arrival);
+            }
+            let (op, hint) = stream.next_hinted();
+            let req = match op {
+                Op::Read(lba) => IoRequest::Read { lba },
+                Op::Write(lba) => IoRequest::Write {
+                    lba,
+                    hint: Some(hint),
+                },
+                Op::Trim(lba) => IoRequest::Trim { lba },
+            };
+            engine.submit(req, arrival);
+            engine.pump(|req, t| Self::exec(dev, req, t));
+            arrival = match self.cfg.pacing {
+                Pacing::Open { interarrival } => arrival + interarrival,
+                // The next op arrives when a window slot frees — the
+                // closed loop generalized to depth QD.
+                Pacing::Closed => start.max(engine.slot_free_at()),
+                Pacing::Bursty {
+                    burst_ops,
+                    interarrival,
+                    idle,
+                } => {
+                    if burst_ops > 0 && (i + 1).is_multiple_of(burst_ops) {
+                        // Quiesce, then give the host its idle window to
+                        // schedule reclaim, exactly as the serial loop
+                        // does between bursts.
+                        engine.flush();
+                        let window = engine.last_done().max(arrival + interarrival) + idle;
+                        engine.submit(IoRequest::Maintenance, window);
+                        engine.pump(|req, t| Self::exec(dev, req, t));
+                        engine.flush();
+                        engine.last_done().max(window)
+                    } else {
+                        arrival + interarrival
+                    }
+                }
+            };
+            if let Some(s) = sampler.as_deref_mut() {
+                if (i + 1) % s.every() == 0 {
+                    s.sample(dev, i + 1, arrival, engine.in_flight_at(arrival));
+                }
+            }
+            Self::reap(&mut engine, &mut reads, &mut writes, &mut errors)?;
+        }
+        engine.flush();
+        Self::reap(&mut engine, &mut reads, &mut writes, &mut errors)?;
+        Ok(RunResult {
+            reads,
+            writes,
+            elapsed: engine.last_done().saturating_sub(start),
+            errors,
+            device_wa: dev.write_amplification(),
+            peak_in_flight: engine.peak_in_flight(),
+        })
+    }
+
+    /// The device side of the engine: one typed request against the
+    /// [`BlockInterface`], at the issue instant the arbiter chose.
+    fn exec<D: BlockInterface + ?Sized>(
+        dev: &mut D,
+        req: &IoRequest,
+        now: Nanos,
+    ) -> (Nanos, Result<(), IoError>) {
+        match *req {
+            IoRequest::Read { lba } => match dev.read(lba, now) {
+                Ok(done) => (done, Ok(())),
+                Err(e) => (now, Err(e)),
+            },
+            IoRequest::Write { lba, hint } => match dev.write(WriteReq { lba, hint }, now) {
+                Ok(done) => (done, Ok(())),
+                Err(e) => (now, Err(e)),
+            },
+            IoRequest::Trim { lba } => match dev.trim(lba) {
+                Ok(()) => (now, Ok(())),
+                Err(e) => (now, Err(e)),
+            },
+            IoRequest::Maintenance => match dev.maintenance(now) {
+                Ok(done) => (done, Ok(())),
+                Err(e) => (now, Err(e)),
+            },
+        }
+    }
+
+    /// Drains retired completions into the histograms. Closed-loop
+    /// arrivals equal issue instants, so `latency()` means the same
+    /// thing the serial loop records in every mode.
+    fn reap(
+        engine: &mut QueueEngine<IoError>,
+        reads: &mut Histogram,
+        writes: &mut Histogram,
+        errors: &mut u64,
+    ) -> Result<(), OpFailure> {
+        while let Some(c) = engine.pop_completion() {
+            match c.req.kind() {
+                IoKind::Read => match c.result {
+                    Ok(()) => reads.record(c.latency()),
+                    // Unmapped reads are workload artifacts; count and
+                    // move on.
+                    Err(_) => *errors += 1,
+                },
+                IoKind::Write => match c.result {
+                    Ok(()) => writes.record(c.latency()),
+                    Err(ref e) => return Err(Self::failure(&c, e.clone())),
+                },
+                IoKind::Trim | IoKind::Maintenance => {
+                    if let Err(ref e) = c.result {
+                        return Err(Self::failure(&c, e.clone()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn failure(c: &IoCompletion<IoError>, error: IoError) -> OpFailure {
+        OpFailure::new(c.req.kind(), c.req.lba(), c.issued, error)
     }
 }
 
@@ -374,11 +661,7 @@ mod tests {
         let mut dev = device();
         let t = Runner::fill(&mut dev, Nanos::ZERO).unwrap();
         let mut stream = OpStream::uniform(dev.capacity_pages(), OpMix::read_heavy(), 1);
-        let runner = Runner::new(RunConfig {
-            ops: 2000,
-            pacing: Pacing::Closed,
-            maintenance_every: 0,
-        });
+        let runner = Runner::new(RunConfig::new(2000));
         let r = runner.run(&mut dev, &mut stream, t).unwrap();
         assert_eq!(r.errors, 0, "all pages were filled");
         assert!(r.reads.count() > 1000);
@@ -386,6 +669,7 @@ mod tests {
         assert!(r.elapsed > Nanos::ZERO);
         assert!(r.ops_per_sec() > 0.0);
         assert!(r.device_wa >= 1.0);
+        assert_eq!(r.peak_in_flight, 1);
     }
 
     #[test]
@@ -395,13 +679,9 @@ mod tests {
         let mut dev = device();
         let t = Runner::fill(&mut dev, Nanos::ZERO).unwrap();
         let mut stream = OpStream::uniform(dev.capacity_pages(), OpMix::write_only(), 2);
-        let fast = Runner::new(RunConfig {
-            ops: 500,
-            pacing: Pacing::Open {
-                interarrival: Nanos::from_nanos(100),
-            },
-            maintenance_every: 0,
-        });
+        let fast = Runner::new(RunConfig::new(500).with_pacing(Pacing::Open {
+            interarrival: Nanos::from_nanos(100),
+        }));
         let r = fast.run(&mut dev, &mut stream, t).unwrap();
         assert!(
             r.writes.quantile(0.99) > r.writes.quantile(0.10) * 2,
@@ -418,11 +698,7 @@ mod tests {
         dev.set_tracer(tracer.clone());
         let mut stream =
             OpStream::uniform(BlockInterface::capacity_pages(&dev), OpMix::write_only(), 7);
-        let runner = Runner::new(RunConfig {
-            ops: 1000,
-            pacing: Pacing::Closed,
-            maintenance_every: 0,
-        });
+        let runner = Runner::new(RunConfig::new(1000));
         let mut sampler = Sampler::new(tracer.clone(), 100);
         let r = runner
             .run_traced(&mut dev, &mut stream, t, &mut sampler)
@@ -449,19 +725,108 @@ mod tests {
         // Series render with millisecond x-axes and one point per sample.
         assert_eq!(sampler.interval_wa_series("wa").points().len(), 10);
         assert_eq!(sampler.queue_depth_series("qd").points().len(), 10);
+        assert_eq!(sampler.in_flight_series("if").points().len(), 10);
     }
 
     #[test]
     fn unmapped_reads_count_as_errors() {
         let mut dev = device();
         let mut stream = OpStream::uniform(dev.capacity_pages(), OpMix::read_heavy(), 3);
-        let runner = Runner::new(RunConfig {
-            ops: 100,
-            pacing: Pacing::Closed,
-            maintenance_every: 0,
-        });
+        let runner = Runner::new(RunConfig::new(100));
         // No fill: most reads hit unmapped pages.
         let r = runner.run(&mut dev, &mut stream, Nanos::ZERO).unwrap();
         assert!(r.errors > 0);
+    }
+
+    #[test]
+    fn fill_failure_names_the_lba() {
+        let mut dev = device();
+        let cap = BlockInterface::capacity_pages(&dev);
+        // A device the workload overruns: writing one-past-capacity
+        // fails with the offending LBA attached.
+        let e = BlockInterface::write(&mut dev, WriteReq::new(cap), Nanos::ZERO).unwrap_err();
+        let f = OpFailure::new(IoKind::Write, Some(cap), Nanos::ZERO, e);
+        assert!(f.to_string().contains(&format!("LBA {cap}")));
+        assert!(std::error::Error::source(&f).is_some());
+    }
+
+    #[test]
+    fn queued_closed_loop_matches_serial_at_depth_one_semantics() {
+        // The queued path at QD 2+ must complete every op exactly once
+        // and stay deterministic.
+        let run = |qd: usize| {
+            let mut dev = device();
+            let t = Runner::fill(&mut dev, Nanos::ZERO).unwrap();
+            let mut stream = OpStream::uniform(dev.capacity_pages(), OpMix::read_heavy(), 11);
+            let runner = Runner::new(RunConfig::new(1500).with_queue_depth(qd));
+            runner.run(&mut dev, &mut stream, t).unwrap()
+        };
+        let a = run(4);
+        let b = run(4);
+        assert_eq!(a.reads.count(), b.reads.count());
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(
+            a.reads.quantile(0.999),
+            b.reads.quantile(0.999),
+            "queued runs are reproducible"
+        );
+        let serial = run(1);
+        assert_eq!(
+            serial.reads.count() + serial.writes.count(),
+            a.reads.count() + a.writes.count(),
+            "no op lost or duplicated at depth"
+        );
+        assert!(a.peak_in_flight > 1, "depth was actually used");
+        assert!(
+            a.elapsed <= serial.elapsed,
+            "a deeper closed loop never takes longer than serial"
+        );
+    }
+
+    #[test]
+    fn queued_open_loop_bounds_in_flight_ops() {
+        let mut dev = device();
+        let t = Runner::fill(&mut dev, Nanos::ZERO).unwrap();
+        let mut stream = OpStream::uniform(dev.capacity_pages(), OpMix::write_only(), 5);
+        let runner = Runner::new(
+            RunConfig::new(400)
+                .with_pacing(Pacing::Open {
+                    interarrival: Nanos::from_nanos(50),
+                })
+                .with_queue_depth(8),
+        );
+        let mut sampler = Sampler::new(Tracer::disabled(), 50);
+        let r = runner
+            .run_traced(&mut dev, &mut stream, t, &mut sampler)
+            .unwrap();
+        assert!(r.peak_in_flight <= 8, "admission respects the depth");
+        assert!(
+            sampler.samples().iter().all(|s| s.in_flight <= 8),
+            "sampled in-flight never exceeds QD"
+        );
+        assert!(
+            sampler.samples().iter().any(|s| s.in_flight > 0),
+            "overload keeps the window occupied"
+        );
+    }
+
+    #[test]
+    fn queued_bursty_runs_maintenance_in_idle_windows() {
+        let mut dev = device();
+        let t = Runner::fill(&mut dev, Nanos::ZERO).unwrap();
+        let mut stream = OpStream::uniform(dev.capacity_pages(), OpMix::write_only(), 9);
+        let runner = Runner::new(
+            RunConfig::new(300)
+                .with_pacing(Pacing::Bursty {
+                    burst_ops: 50,
+                    interarrival: Nanos::from_nanos(200),
+                    idle: Nanos::from_micros(50),
+                })
+                .with_queue_depth(4),
+        );
+        let r = runner.run(&mut dev, &mut stream, t).unwrap();
+        assert_eq!(r.writes.count(), 300);
+        // Six bursts with 50 µs idles: elapsed must include the windows.
+        assert!(r.elapsed >= Nanos::from_micros(250));
     }
 }

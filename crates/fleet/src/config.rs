@@ -68,6 +68,10 @@ pub struct FleetConfig {
     pub ops_per_shard: u64,
     /// Arrival pacing within each shard.
     pub pacing: Pacing,
+    /// Operations each shard keeps in flight at once (≤ 1 = the serial
+    /// dispatch loop; deeper values run every shard through the
+    /// submission/completion engine).
+    pub queue_depth: usize,
     /// Invoke device maintenance every N ops (0 = never).
     pub maintenance_every: u64,
     /// How tenants map to shards.
@@ -116,6 +120,7 @@ impl FleetConfig {
             mix: OpMix::read_heavy(),
             ops_per_shard: 2000,
             pacing: Pacing::Closed,
+            queue_depth: 1,
             maintenance_every: 64,
             placement: Placement::Hash,
             seed,
@@ -124,6 +129,37 @@ impl FleetConfig {
             trace: false,
             trace_cap: bh_trace::DEFAULT_CAPACITY,
         }
+    }
+
+    /// Sets the per-shard queue depth.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Installs a fault-rate template on every device.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Sets the arrival pacing within each shard.
+    pub fn with_pacing(mut self, pacing: Pacing) -> Self {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Sets the operations each shard drives after its fill.
+    pub fn with_ops_per_shard(mut self, ops: u64) -> Self {
+        self.ops_per_shard = ops;
+        self
+    }
+
+    /// Enables per-shard event traces with the given ring capacity.
+    pub fn with_tracing(mut self, cap: usize) -> Self {
+        self.trace = true;
+        self.trace_cap = cap;
+        self
     }
 
     /// Number of shards (= devices).

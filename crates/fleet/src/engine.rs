@@ -48,6 +48,7 @@ pub fn plan_fleet(cfg: &FleetConfig) -> Vec<ShardPlan> {
             mix: cfg.mix,
             ops: cfg.ops_per_shard,
             pacing: cfg.pacing,
+            queue_depth: cfg.queue_depth,
             maintenance_every: cfg.maintenance_every,
             seed: split_seed(cfg.seed, SHARD_SALT + k as u64),
             faults: cfg.faults.map(|f| bh_faults::FaultConfig {

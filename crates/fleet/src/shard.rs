@@ -8,7 +8,7 @@
 //! plain-data [`ShardResult`]s come back.
 
 use bh_conv::{ConvConfig, ConvSsd};
-use bh_core::{BlockInterface, Pacing, RunConfig, Runner, Sample, Sampler};
+use bh_core::{Pacing, RunConfig, Runner, Sample, Sampler, StackAdmin};
 use bh_flash::FlashConfig;
 use bh_host::BlockEmu;
 use bh_metrics::{Histogram, Nanos};
@@ -34,6 +34,8 @@ pub struct ShardPlan {
     pub ops: u64,
     /// Arrival pacing.
     pub pacing: Pacing,
+    /// Operations kept in flight at once (≤ 1 = serial dispatch).
+    pub queue_depth: usize,
     /// Maintenance period in ops (0 = never).
     pub maintenance_every: u64,
     /// Shard-private seed (derived from the fleet seed).
@@ -90,7 +92,7 @@ impl ShardPlan {
     /// # Errors
     ///
     /// Returns a message when the spec does not fit the geometry.
-    pub fn build_device(&self) -> Result<Box<dyn BlockInterface>, String> {
+    pub fn build_device(&self) -> Result<Box<dyn StackAdmin>, String> {
         let flash = FlashConfig::tlc(self.spec.geometry);
         match self.spec.stack {
             StackKind::Conv { op_ratio } => {
@@ -104,9 +106,7 @@ impl ShardPlan {
                 hinted_streams,
                 reclaim,
             } => {
-                let mut cfg = ZnsConfig::new(flash, blocks_per_zone);
-                cfg.max_active_zones = mar;
-                cfg.max_open_zones = mar;
+                let cfg = ZnsConfig::new(flash, blocks_per_zone).with_zone_limits(mar);
                 let mut emu = BlockEmu::new(ZnsDevice::new(cfg)?, reserve_zones, reclaim);
                 if hinted_streams > 0 {
                     emu = emu.with_hinted_streams(hinted_streams);
@@ -145,7 +145,7 @@ impl ShardPlan {
         if self.trace {
             dev.set_tracer(tracer.clone());
         }
-        let filled_at = Runner::fill(dev.as_mut(), Nanos::ZERO)?;
+        let filled_at = Runner::fill(dev.as_mut(), Nanos::ZERO).map_err(|e| e.to_string())?;
         let mut stream = TenantStream::new(
             dev.capacity_pages(),
             &self.tenants,
@@ -153,13 +153,16 @@ impl ShardPlan {
             self.seed,
             self.hint_streams(),
         );
-        let runner = Runner::new(RunConfig {
-            ops: self.ops,
-            pacing: self.pacing,
-            maintenance_every: self.maintenance_every,
-        });
+        let runner = Runner::new(
+            RunConfig::new(self.ops)
+                .with_pacing(self.pacing)
+                .with_maintenance_every(self.maintenance_every)
+                .with_queue_depth(self.queue_depth),
+        );
         let mut sampler = Sampler::new(tracer.clone(), self.sample_every);
-        let r = runner.run_traced(dev.as_mut(), &mut stream, filled_at, &mut sampler)?;
+        let r = runner
+            .run_traced(dev.as_mut(), &mut stream, filled_at, &mut sampler)
+            .map_err(|e| e.to_string())?;
         Ok(ShardResult {
             shard: self.shard,
             label: dev.label(),
@@ -206,6 +209,7 @@ mod tests {
             mix: OpMix::read_heavy(),
             ops: 600,
             pacing: Pacing::Closed,
+            queue_depth: 1,
             maintenance_every: 32,
             seed: 11,
             faults: None,

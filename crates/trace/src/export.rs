@@ -154,6 +154,7 @@ pub fn event_json(ev: &TracedEvent) -> Json {
             interval_wa,
             cumulative_wa,
             queue_depth,
+            in_flight,
             host_programs,
             internal_programs,
             erases,
@@ -163,9 +164,22 @@ pub fn event_json(ev: &TracedEvent) -> Json {
                 .set("interval_wa", interval_wa)
                 .set("cumulative_wa", cumulative_wa)
                 .set("queue_depth", queue_depth)
+                .set("in_flight", in_flight)
                 .set("host_programs", host_programs)
                 .set("internal_programs", internal_programs)
                 .set("erases", erases);
+        }
+        Event::Runner(RunnerEvent::QueuedOp {
+            cid,
+            queue_wait_ns,
+            service_ns,
+            ok,
+        }) => {
+            j.set("type", "queued-op")
+                .set("cid", cid)
+                .set("queue_wait_ns", queue_wait_ns)
+                .set("service_ns", service_ns)
+                .set("ok", ok);
         }
         Event::Fault(FaultEvent::ProgramFail {
             block,
@@ -456,6 +470,7 @@ fn push_shard(out: &mut Vec<Json>, events: &[TracedEvent], base: u32, prefix: &s
                 interval_wa,
                 cumulative_wa,
                 queue_depth,
+                in_flight,
                 ..
             }) => {
                 let mut wa = chrome_event("C", "write-amplification", base + pid::RUNNER, 0, ts);
@@ -467,9 +482,13 @@ fn push_shard(out: &mut Vec<Json>, events: &[TracedEvent], base: u32, prefix: &s
                 out.push(wa);
                 let mut qd = chrome_event("C", "queue-depth", base + pid::RUNNER, 0, ts);
                 let mut args = Json::obj();
-                args.set("busy_planes", queue_depth);
+                args.set("busy_planes", queue_depth)
+                    .set("in_flight", in_flight);
                 qd.set("args", args);
                 out.push(qd);
+            }
+            Event::Runner(RunnerEvent::QueuedOp { .. }) => {
+                // Per-op latency decomposition: JSONL-only bookkeeping.
             }
             Event::Fault(fe) => {
                 let (name, detail) = match fe {

@@ -270,6 +270,7 @@ mod tests {
             interval_wa: 1.0,
             cumulative_wa: 1.0,
             queue_depth: 0,
+            in_flight: 0,
             host_programs: 0,
             internal_programs: 0,
             erases: 0,

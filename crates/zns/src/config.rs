@@ -51,6 +51,42 @@ impl ZnsConfig {
         }
     }
 
+    /// Sets the maximum active zones (MAR). Callers raising MAR above
+    /// the current MOR usually want both; pair with
+    /// [`with_open_zones`](Self::with_open_zones).
+    pub fn with_active_zones(mut self, max_active: u32) -> Self {
+        self.max_active_zones = max_active;
+        self
+    }
+
+    /// Sets the maximum open zones (MOR). Must end up ≤ the active-zone
+    /// limit to pass [`validate`](Self::validate).
+    pub fn with_open_zones(mut self, max_open: u32) -> Self {
+        self.max_open_zones = max_open;
+        self
+    }
+
+    /// Sets both zone limits (MAR = MOR = `limit`) — the common case in
+    /// experiments that sweep "how many zones may be live at once".
+    pub fn with_zone_limits(mut self, limit: u32) -> Self {
+        self.max_active_zones = limit;
+        self.max_open_zones = limit;
+        self
+    }
+
+    /// Sets a zone capacity smaller than the zone's flash size.
+    pub fn with_zone_capacity(mut self, pages: u64) -> Self {
+        self.zone_capacity_pages = Some(pages);
+        self
+    }
+
+    /// Sets the program-failure tolerance before a zone degrades to
+    /// read-only.
+    pub fn with_burns_to_readonly(mut self, burns: u32) -> Self {
+        self.burns_to_readonly = burns;
+        self
+    }
+
     /// Validates parameter ranges against the geometry.
     pub fn validate(&self) -> Result<(), String> {
         let geo = &self.flash.geometry;
@@ -134,6 +170,20 @@ mod tests {
         c.max_open_zones = 14;
         c.max_active_zones = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = cfg(4)
+            .with_zone_limits(6)
+            .with_zone_capacity(60)
+            .with_burns_to_readonly(3);
+        assert!(c.validate().is_ok());
+        assert_eq!((c.max_active_zones, c.max_open_zones), (6, 6));
+        assert_eq!(c.zone_capacity(), 60);
+        assert_eq!(c.burns_to_readonly, 3);
+        let c = cfg(4).with_active_zones(10).with_open_zones(4);
+        assert_eq!((c.max_active_zones, c.max_open_zones), (10, 4));
     }
 
     #[test]

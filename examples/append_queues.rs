@@ -15,9 +15,7 @@ use bh_zns::{ZnsConfig, ZnsDevice, ZoneId};
 
 fn main() {
     let geo = Geometry::experiment(64);
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geo), 32);
-    cfg.max_active_zones = 14;
-    cfg.max_open_zones = 14;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(geo), 32).with_zone_limits(14);
 
     let mut schedule = MultiWriterQueues::new(8, 6_000, 42);
     let events = schedule.schedule(500);

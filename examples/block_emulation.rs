@@ -16,9 +16,7 @@ use bh_zns::{ZnsConfig, ZnsDevice};
 
 fn main() {
     let geo = Geometry::experiment(8);
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geo), 8);
-    cfg.max_active_zones = 14;
-    cfg.max_open_zones = 14;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(geo), 8).with_zone_limits(14);
     let dev = ZnsDevice::new(cfg).unwrap();
     let reserve = dev.num_zones() / 8;
     let mut emu = BlockEmu::new(

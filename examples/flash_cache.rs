@@ -50,9 +50,7 @@ fn main() {
     let mut conv = FlashCache::new(ConvSegmentStore::new(ssd, seg), CacheConfig::default());
     drive(&mut conv, "conventional");
 
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geo), 1);
-    cfg.max_active_zones = 14;
-    cfg.max_open_zones = 14;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(geo), 1).with_zone_limits(14);
     let mut zns = FlashCache::new(
         ZnsSegmentStore::new(ZnsDevice::new(cfg).unwrap()),
         CacheConfig::default(),

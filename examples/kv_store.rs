@@ -22,9 +22,7 @@ fn main() {
         pages_per_block: 64,
         page_bytes: 4096,
     };
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geo), 4);
-    cfg.max_active_zones = 14;
-    cfg.max_open_zones = 14;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(geo), 4).with_zone_limits(14);
     let backend = ZnsBackend::new(ZnsDevice::new(cfg).unwrap());
     let mut db = Db::new(backend, DbConfig::default()).unwrap();
 

@@ -46,9 +46,7 @@ fn main() {
     );
 
     // --- ZNS: sequential-only zones, explicit resets, thin FTL.
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(geo), 16);
-    cfg.max_active_zones = 14;
-    cfg.max_open_zones = 14;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(geo), 16).with_zone_limits(14);
     let mut zns = ZnsDevice::new(cfg).unwrap();
     println!(
         "\nzns: {} zones of {} pages, MAR {}",

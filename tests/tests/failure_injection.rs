@@ -80,9 +80,7 @@ fn conv_wearout_keeps_trace_consistent() {
 /// unaffected.
 #[test]
 fn zns_zone_goes_offline_without_collateral() {
-    let mut cfg = ZnsConfig::new(worn_flash(3), 4);
-    cfg.max_active_zones = 8;
-    cfg.max_open_zones = 8;
+    let cfg = ZnsConfig::new(worn_flash(3), 4).with_zone_limits(8);
     let mut dev = ZnsDevice::new(cfg).unwrap();
     let mut t = Nanos::ZERO;
     // Hammer zone 0 with write/reset cycles until it dies.
@@ -109,9 +107,7 @@ fn zns_zone_goes_offline_without_collateral() {
 /// transitions replay to the offline state the device reports.
 #[test]
 fn zns_offline_transition_is_traced() {
-    let mut cfg = ZnsConfig::new(worn_flash(3), 4);
-    cfg.max_active_zones = 8;
-    cfg.max_open_zones = 8;
+    let cfg = ZnsConfig::new(worn_flash(3), 4).with_zone_limits(8);
     let mut dev = ZnsDevice::new(cfg).unwrap();
     let tracer = Tracer::ring(1 << 20);
     dev.set_tracer(tracer.clone());
@@ -137,9 +133,7 @@ fn zns_offline_transition_is_traced() {
 /// block emulation above it keeps running by writing elsewhere.
 #[test]
 fn read_only_zone_keeps_data_available() {
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
-    cfg.max_active_zones = 8;
-    cfg.max_open_zones = 8;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4).with_zone_limits(8);
     let mut dev = ZnsDevice::new(cfg).unwrap();
     let t = dev.write(ZoneId(2), 0, 77, Nanos::ZERO).unwrap();
     dev.inject_read_only(ZoneId(2)).unwrap();
@@ -199,9 +193,7 @@ fn kv_survives_repeated_crashes() {
 /// it, until space genuinely runs out.
 #[test]
 fn blockemu_tolerates_wearing_device() {
-    let mut cfg = ZnsConfig::new(worn_flash(40), 4);
-    cfg.max_active_zones = 8;
-    cfg.max_open_zones = 8;
+    let cfg = ZnsConfig::new(worn_flash(40), 4).with_zone_limits(8);
     let mut emu = BlockEmu::new(ZnsDevice::new(cfg).unwrap(), 2, ReclaimPolicy::Immediate);
     let cap = emu.capacity_pages();
     let mut t = Nanos::ZERO;
@@ -283,9 +275,7 @@ fn conv_grows_bad_blocks_mid_life_without_losing_data() {
 /// it — the LFS itself has no fault hooks, by design.
 #[test]
 fn lfs_cleaning_pass_survives_program_failures() {
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
-    cfg.max_active_zones = 8;
-    cfg.max_open_zones = 8;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4).with_zone_limits(8);
     let mut dev = ZnsDevice::new(cfg).unwrap();
     let tracer = Tracer::ring(1 << 20);
     dev.set_tracer(tracer.clone());
@@ -338,9 +328,7 @@ fn lfs_cleaning_pass_survives_program_failures() {
 /// Closed, and the interrupted finish can simply be re-driven.
 #[test]
 fn power_loss_during_zone_finish_recovers_cleanly() {
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
-    cfg.max_active_zones = 8;
-    cfg.max_open_zones = 8;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4).with_zone_limits(8);
     let mut dev = ZnsDevice::new(cfg).unwrap();
     let tracer = Tracer::ring(1 << 20);
     dev.set_tracer(tracer.clone());

@@ -2,7 +2,7 @@
 //! APIs, with the invariants the experiments rely on.
 
 use bh_conv::{ConvConfig, ConvSsd};
-use bh_core::{BlockInterface, Pacing, RunConfig, Runner};
+use bh_core::{BlockInterface, Pacing, RunConfig, Runner, WriteReq};
 use bh_flash::{FlashConfig, Geometry};
 use bh_host::{BlockEmu, ObjectStore, PlacementPolicy, ReclaimPolicy, ZoneFs};
 use bh_metrics::Nanos;
@@ -18,9 +18,7 @@ fn conv() -> ConvSsd {
 }
 
 fn zns(bpz: u32) -> ZnsDevice {
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), bpz);
-    cfg.max_active_zones = 8;
-    cfg.max_open_zones = 8;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), bpz).with_zone_limits(8);
     ZnsDevice::new(cfg).unwrap()
 }
 
@@ -39,7 +37,9 @@ fn runner_drives_both_stacks_identically() {
         for op in trace.replay() {
             let r = match op {
                 bh_workloads::Op::Read(lba) => dev.read(lba % dev.capacity_pages(), now),
-                bh_workloads::Op::Write(lba) => dev.write(lba % dev.capacity_pages(), now),
+                bh_workloads::Op::Write(lba) => {
+                    dev.write(WriteReq::new(lba % dev.capacity_pages()), now)
+                }
                 bh_workloads::Op::Trim(_) => continue,
             };
             match r {
@@ -68,13 +68,13 @@ fn open_loop_run_has_complete_accounting() {
     let mut dev = conv();
     let t = Runner::fill(&mut dev, Nanos::ZERO).unwrap();
     let mut stream = OpStream::uniform(dev.capacity_pages(), OpMix::read_heavy(), 7);
-    let runner = Runner::new(RunConfig {
-        ops: 1200,
-        pacing: Pacing::Open {
-            interarrival: Nanos::from_micros(400),
-        },
-        maintenance_every: 128,
-    });
+    let runner = Runner::new(
+        RunConfig::new(1200)
+            .with_pacing(Pacing::Open {
+                interarrival: Nanos::from_micros(400),
+            })
+            .with_maintenance_every(128),
+    );
     let r = runner.run(&mut dev, &mut stream, t).unwrap();
     assert_eq!(r.reads.count() + r.writes.count(), 1200);
     assert_eq!(r.errors, 0);

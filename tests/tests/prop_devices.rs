@@ -39,9 +39,7 @@ fn conv_dev() -> ConvSsd {
 }
 
 fn emu_dev() -> BlockEmu {
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
-    cfg.max_active_zones = 8;
-    cfg.max_open_zones = 8;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4).with_zone_limits(8);
     BlockEmu::new(ZnsDevice::new(cfg).unwrap(), 2, ReclaimPolicy::Immediate)
 }
 

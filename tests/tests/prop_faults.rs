@@ -12,7 +12,7 @@
 //!    path costs nothing when silent.
 
 use bh_conv::{ConvConfig, ConvSsd};
-use bh_core::BlockInterface;
+use bh_core::{BlockInterface, WriteReq};
 use bh_faults::{FaultConfig, FaultPlan};
 use bh_flash::{decode_oob, FlashConfig, Geometry};
 use bh_host::{BlockEmu, ReclaimPolicy};
@@ -90,9 +90,7 @@ fn conv(faults: Option<FaultConfig>) -> ConvSsd {
 }
 
 fn emu(faults: Option<FaultConfig>) -> BlockEmu {
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
-    cfg.max_active_zones = 8;
-    cfg.max_open_zones = 8;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4).with_zone_limits(8);
     let mut e = BlockEmu::new(ZnsDevice::new(cfg).unwrap(), 3, ReclaimPolicy::Immediate);
     if let Some(f) = faults {
         e.install_faults(f);
@@ -201,8 +199,8 @@ fn quiet_plan_is_invisible(
     let mut ta = Nanos::ZERO;
     let mut tb = Nanos::ZERO;
     for lba in 0..cap {
-        ta = with_quiet.write(lba, ta).unwrap();
-        tb = without.write(lba, tb).unwrap();
+        ta = with_quiet.write(WriteReq::new(lba), ta).unwrap();
+        tb = without.write(WriteReq::new(lba), tb).unwrap();
         assert_eq!(ta, tb, "fill diverged at lba {lba}");
     }
     let mut x = 9u64;
@@ -215,8 +213,8 @@ fn quiet_plan_is_invisible(
             ta = with_quiet.read(lba, ta).unwrap();
             tb = without.read(lba, tb).unwrap();
         } else {
-            ta = with_quiet.write(lba, ta).unwrap();
-            tb = without.write(lba, tb).unwrap();
+            ta = with_quiet.write(WriteReq::new(lba), ta).unwrap();
+            tb = without.write(WriteReq::new(lba), tb).unwrap();
         }
         assert_eq!(ta, tb, "op {i} diverged");
         if i.is_multiple_of(32) {

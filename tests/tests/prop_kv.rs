@@ -118,9 +118,7 @@ fn zns_backend_matches_btreemap() {
         let mut rng = SmallRng::seed_from_u64(0x4B00_1000 ^ case);
         let n_ops = rng.gen_range(1usize..250);
         let ops: Vec<KvOp> = (0..n_ops).map(|_| gen_op(&mut rng)).collect();
-        let mut cfg = ZnsConfig::new(FlashConfig::tlc(geometry()), 4);
-        cfg.max_active_zones = 14;
-        cfg.max_open_zones = 14;
+        let cfg = ZnsConfig::new(FlashConfig::tlc(geometry()), 4).with_zone_limits(14);
         let mut db = Db::new(ZnsBackend::new(ZnsDevice::new(cfg).unwrap()), tiny_cfg()).unwrap();
         check_model(&mut db, &ops, case);
     }

@@ -38,9 +38,9 @@ fn gen_cmd(rng: &mut SmallRng) -> ZnsCmd {
 }
 
 fn device(mar: u32, mor: u32) -> ZnsDevice {
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
-    cfg.max_active_zones = mar;
-    cfg.max_open_zones = mor;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4)
+        .with_active_zones(mar)
+        .with_open_zones(mor);
     ZnsDevice::new(cfg).unwrap()
 }
 

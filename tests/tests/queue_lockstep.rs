@@ -1,0 +1,199 @@
+//! QD=1 lockstep: the queue engine, driven directly at depth 1 with the
+//! closed-loop arrival rule, must reproduce the legacy serial dispatch
+//! loop *bit for bit* on both stacks — same per-op issue and completion
+//! instants, same device end state. This is the contract that lets the
+//! runner keep the serial loop for queue depth ≤ 1 and the engine for
+//! everything deeper without the two paths drifting apart.
+
+use bh_conv::{ConvConfig, ConvSsd};
+use bh_core::{IoError, IoRequest, Pacing, QueueEngine, RunConfig, Runner, StackAdmin, WriteReq};
+use bh_flash::{FlashConfig, Geometry};
+use bh_host::{BlockEmu, ReclaimPolicy};
+use bh_metrics::Nanos;
+use bh_workloads::{Op, OpMix, OpSource, OpStream};
+use bh_zns::{ZnsConfig, ZnsDevice};
+
+const SEED: u64 = 0x10C5;
+const OPS: u64 = 2_000;
+
+fn conv_stack() -> Box<dyn StackAdmin> {
+    let dev = ConvSsd::new(ConvConfig::new(
+        FlashConfig::tlc(Geometry::small_test()),
+        0.15,
+    ))
+    .unwrap();
+    Box::new(dev)
+}
+
+fn zns_stack() -> Box<dyn StackAdmin> {
+    let cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4).with_zone_limits(8);
+    let dev = ZnsDevice::new(cfg).unwrap();
+    Box::new(BlockEmu::new(dev, 2, ReclaimPolicy::Immediate))
+}
+
+/// One op served the legacy way: directly against the device at its
+/// arrival instant. Returns the completion instant (arrival for trims
+/// and failed reads, exactly as the serial runner treats them).
+fn serial_step(dev: &mut dyn StackAdmin, op: Op, hint: u32, arrival: Nanos) -> Nanos {
+    match op {
+        Op::Read(lba) => dev.read(lba, arrival).unwrap_or(arrival),
+        Op::Write(lba) => dev.write(WriteReq::hinted(lba, hint), arrival).unwrap(),
+        Op::Trim(lba) => {
+            dev.trim(lba).unwrap();
+            arrival
+        }
+    }
+}
+
+fn exec(dev: &mut dyn StackAdmin, req: &IoRequest, now: Nanos) -> (Nanos, Result<(), IoError>) {
+    match *req {
+        IoRequest::Read { lba } => match dev.read(lba, now) {
+            Ok(done) => (done, Ok(())),
+            Err(e) => (now, Err(e)),
+        },
+        IoRequest::Write { lba, hint } => match dev.write(WriteReq { lba, hint }, now) {
+            Ok(done) => (done, Ok(())),
+            Err(e) => (now, Err(e)),
+        },
+        IoRequest::Trim { lba } => match dev.trim(lba) {
+            Ok(()) => (now, Ok(())),
+            Err(e) => (now, Err(e)),
+        },
+        IoRequest::Maintenance => match dev.maintenance(now) {
+            Ok(done) => (done, Ok(())),
+            Err(e) => (now, Err(e)),
+        },
+    }
+}
+
+/// Two identical devices, one op stream: device A takes the legacy
+/// serial closed loop, device B takes the engine at depth 1 with
+/// `slot_free_at` pacing. Every per-op instant must match.
+fn assert_lockstep(mk: fn() -> Box<dyn StackAdmin>) {
+    let mut a = mk();
+    let mut b = mk();
+    let start_a = Runner::fill(a.as_mut(), Nanos::ZERO).unwrap();
+    let start_b = Runner::fill(b.as_mut(), Nanos::ZERO).unwrap();
+    assert_eq!(start_a, start_b, "fills must agree before the run starts");
+
+    let cap = a.capacity_pages();
+    let mut stream_a = OpStream::zipfian(cap, OpMix::read_heavy(), SEED);
+    let mut stream_b = OpStream::zipfian(cap, OpMix::read_heavy(), SEED);
+
+    // Serial side: record (arrival, completion) per op.
+    let mut serial: Vec<(Nanos, Nanos)> = Vec::with_capacity(OPS as usize);
+    let mut arrival = start_a;
+    for _ in 0..OPS {
+        let (op, hint) = stream_a.next_hinted();
+        let done = serial_step(a.as_mut(), op, hint, arrival);
+        serial.push((arrival, done));
+        arrival = done.max(arrival); // closed loop
+    }
+
+    // Engine side: same stream through a depth-1 window.
+    let mut engine: QueueEngine<IoError> = QueueEngine::new(1);
+    let mut arrival = start_b;
+    for _ in 0..OPS {
+        let (op, hint) = stream_b.next_hinted();
+        let req = match op {
+            Op::Read(lba) => IoRequest::Read { lba },
+            Op::Write(lba) => IoRequest::Write {
+                lba,
+                hint: Some(hint),
+            },
+            Op::Trim(lba) => IoRequest::Trim { lba },
+        };
+        engine.submit(req, arrival);
+        engine.pump(|req, t| exec(b.as_mut(), req, t));
+        arrival = start_b.max(engine.slot_free_at());
+    }
+    engine.flush();
+
+    // Per-op identity: at depth 1 the engine retires in submission
+    // order, so completion k is op k.
+    let mut k = 0;
+    while let Some(c) = engine.pop_completion() {
+        let (s_arrival, s_done) = serial[k];
+        assert_eq!(c.cid, k as u64, "depth-1 retirement is submission order");
+        assert_eq!(c.submitted, s_arrival, "op {k}: arrival instants differ");
+        assert_eq!(
+            c.issued, s_arrival,
+            "op {k}: depth-1 closed loop never queues"
+        );
+        assert_eq!(c.completed, s_done, "op {k}: completion instants differ");
+        k += 1;
+    }
+    assert_eq!(k as u64, OPS, "every submission completed exactly once");
+
+    // Device end state is identical too.
+    assert_eq!(
+        a.write_amplification().to_bits(),
+        b.write_amplification().to_bits(),
+        "write amplification diverged"
+    );
+    assert_eq!(a.queue_depth(arrival), b.queue_depth(arrival));
+}
+
+#[test]
+fn engine_depth_one_matches_serial_on_conventional() {
+    assert_lockstep(conv_stack);
+}
+
+#[test]
+fn engine_depth_one_matches_serial_on_zns_emu() {
+    assert_lockstep(zns_stack);
+}
+
+/// The runner's own dispatch routing: queue depth 0 and 1 are the same
+/// serial path, so their results are identical field for field.
+#[test]
+fn runner_depth_zero_and_one_are_the_same_path() {
+    let run_at = |qd: usize| {
+        let mut dev = conv_stack();
+        let t = Runner::fill(dev.as_mut(), Nanos::ZERO).unwrap();
+        let mut stream = OpStream::zipfian(dev.capacity_pages(), OpMix::read_heavy(), SEED);
+        let runner = Runner::new(
+            RunConfig::new(1_500)
+                .with_pacing(Pacing::Closed)
+                .with_maintenance_every(64)
+                .with_queue_depth(qd),
+        );
+        runner.run(dev.as_mut(), &mut stream, t).unwrap()
+    };
+    let r0 = run_at(0);
+    let r1 = run_at(1);
+    assert_eq!(r0.reads.summary(), r1.reads.summary());
+    assert_eq!(r0.writes.summary(), r1.writes.summary());
+    assert_eq!(r0.elapsed, r1.elapsed);
+    assert_eq!(r0.errors, r1.errors);
+    assert_eq!(r0.device_wa.to_bits(), r1.device_wa.to_bits());
+    assert_eq!(r0.peak_in_flight, r1.peak_in_flight);
+}
+
+/// The queued runner path is deterministic at every depth: running the
+/// same config twice gives identical results.
+#[test]
+fn queued_runner_is_deterministic_at_depth() {
+    for qd in [4usize, 16] {
+        let run_once = || {
+            let mut dev = zns_stack();
+            let t = Runner::fill(dev.as_mut(), Nanos::ZERO).unwrap();
+            let mut stream = OpStream::zipfian(dev.capacity_pages(), OpMix::read_heavy(), SEED);
+            let runner = Runner::new(
+                RunConfig::new(1_500)
+                    .with_pacing(Pacing::Closed)
+                    .with_maintenance_every(64)
+                    .with_queue_depth(qd),
+            );
+            runner.run(dev.as_mut(), &mut stream, t).unwrap()
+        };
+        let r1 = run_once();
+        let r2 = run_once();
+        assert_eq!(r1.reads.summary(), r2.reads.summary(), "qd {qd}");
+        assert_eq!(r1.writes.summary(), r2.writes.summary(), "qd {qd}");
+        assert_eq!(r1.elapsed, r2.elapsed, "qd {qd}");
+        assert_eq!(r1.device_wa.to_bits(), r2.device_wa.to_bits(), "qd {qd}");
+        assert_eq!(r1.peak_in_flight, r2.peak_in_flight, "qd {qd}");
+        assert_eq!(r1.peak_in_flight, qd, "closed loop fills the window");
+    }
+}

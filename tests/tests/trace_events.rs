@@ -73,9 +73,7 @@ fn gc_spans_are_balanced_with_monotone_time() {
 /// (b) Replaying recorded zone transitions reproduces the device state.
 #[test]
 fn zns_transitions_replay_to_reported_zone_states() {
-    let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);
-    cfg.max_active_zones = 8;
-    cfg.max_open_zones = 8;
+    let cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4).with_zone_limits(8);
     let mut dev = ZnsDevice::new(cfg).unwrap();
     let tracer = Tracer::ring(1 << 20);
     dev.set_tracer(tracer.clone());
