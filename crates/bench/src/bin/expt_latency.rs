@@ -16,7 +16,7 @@
 //!   into the idle gaps, the FTL schedules GC wherever it likes.
 
 use bh_conv::{ConvConfig, ConvSsd};
-use bh_core::{ClaimSet, Report};
+use bh_core::{BlockInterface, ClaimSet, Report, WriteReq};
 use bh_flash::{FlashConfig, Geometry};
 use bh_host::{BlockEmu, ReclaimPolicy};
 use bh_metrics::{ops_per_sec, Histogram, Nanos, Table};
@@ -42,10 +42,10 @@ impl ChurnDev for ConvSsd {
     fn capacity_pages(&self) -> u64 {
         ConvSsd::capacity_pages(self)
     }
-    fn write_owned(&mut self, lba: u64, _owner: u32, now: Nanos) -> Nanos {
-        // The block interface has nowhere to put the owner hint — that is
+    fn write_owned(&mut self, lba: u64, owner: u32, now: Nanos) -> Nanos {
+        // The block interface drops the owner hint on the floor — that is
         // the paper's point.
-        ConvSsd::write(self, lba, now).unwrap().done
+        BlockInterface::write(self, WriteReq::hinted(lba, owner), now).unwrap()
     }
     fn read(&mut self, lba: u64, now: Nanos) -> Nanos {
         ConvSsd::read(self, lba, now).unwrap().1
@@ -66,7 +66,7 @@ impl ChurnDev for BlockEmu {
         BlockEmu::capacity_pages(self)
     }
     fn write_owned(&mut self, lba: u64, owner: u32, now: Nanos) -> Nanos {
-        BlockEmu::write_hinted(self, lba, owner, now).unwrap()
+        BlockInterface::write(self, WriteReq::hinted(lba, owner), now).unwrap()
     }
     fn read(&mut self, lba: u64, now: Nanos) -> Nanos {
         BlockEmu::read(self, lba, now).unwrap().1

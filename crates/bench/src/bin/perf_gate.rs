@@ -1,0 +1,288 @@
+//! Wall-clock performance gate for the simulator hot path.
+//!
+//! Every other binary in this harness measures *virtual* time; this one
+//! measures *wall-clock* time, because the ROADMAP's "as fast as the
+//! hardware allows" goal is about how quickly the simulator itself
+//! executes. It drives a fixed set of deterministic workloads — the
+//! conventional FTL under 0%-OP GC pressure (where victim selection
+//! dominates), both stacks through the queue engine at QD 1 and 16, and
+//! a 16-shard fleet — and reports simulated operations per wall-clock
+//! second for each.
+//!
+//! Output lands in `BENCH_perf.json` (working directory) and is also
+//! archived to the results directory:
+//!
+//! ```text
+//! { "workloads": [{name, sim_ops, wall_ms, sim_ops_per_sec}, ...],
+//!   "sim_ops_per_sec": <total>, "wall_ms": <total>, "peak_rss_kb": n }
+//! ```
+//!
+//! With `--check <baseline.json>` the run fails (exit 1) when any
+//! workload regresses by more than `--max-regress` (default 0.25) in
+//! sim_ops_per_sec against the checked-in baseline. Wall-clock numbers
+//! vary across machines; the gate compares ratios on the *same* machine
+//! (CI runner class), which is why the tolerance is generous.
+
+use bh_conv::{ConvConfig, ConvSsd, GcPolicy};
+use bh_core::{Pacing, RunConfig, Runner, StackAdmin};
+use bh_flash::{FlashConfig, Geometry};
+use bh_fleet::{run_fleet, FleetConfig};
+use bh_host::{BlockEmu, ReclaimPolicy};
+use bh_json::Json;
+use bh_metrics::Nanos;
+use bh_workloads::{Op, OpMix, OpStream};
+use bh_zns::{ZnsConfig, ZnsDevice};
+use std::time::Instant;
+
+/// One timed workload result.
+struct Measurement {
+    name: &'static str,
+    sim_ops: u64,
+    wall_ms: f64,
+}
+
+impl Measurement {
+    fn ops_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.sim_ops as f64 / (self.wall_ms / 1000.0)
+        }
+    }
+}
+
+fn timed(name: &'static str, run: impl FnOnce() -> u64) -> Measurement {
+    let start = Instant::now();
+    let sim_ops = run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    eprintln!(
+        "{name}: {sim_ops} ops in {wall_ms:.0} ms ({:.0} ops/s)",
+        sim_ops as f64 / (wall_ms / 1000.0).max(1e-9)
+    );
+    Measurement {
+        name,
+        sim_ops,
+        wall_ms,
+    }
+}
+
+/// The conventional FTL with zero overprovisioning: every steady-state
+/// write triggers GC, so victim selection and free-list maintenance
+/// dominate the simulator's own cost. Many small blocks per plane put
+/// the old O(sealed) scans in the worst light a realistic device shape
+/// allows (thousands of blocks, small spare pool).
+fn conv_gc_heavy() -> u64 {
+    let geo = Geometry {
+        channels: 4,
+        dies_per_channel: 2,
+        planes_per_die: 2,
+        blocks_per_plane: bh_bench::scaled(1024, 160) as u32,
+        pages_per_block: 32,
+        page_bytes: 4096,
+    };
+    let mut cfg = ConvConfig::new(FlashConfig::tlc(geo), 0.0);
+    cfg.gc_policy = GcPolicy::Greedy;
+    let mut ssd = ConvSsd::new(cfg).expect("conv 0%-OP device");
+    let cap = ssd.capacity_pages();
+    let mut t = Nanos::ZERO;
+    for lba in 0..cap {
+        t = ssd.write(lba, t).expect("fill").done;
+    }
+    let mut stream = OpStream::uniform(cap, OpMix::write_only(), 0x9E4F);
+    let overwrites = 2 * cap;
+    for _ in 0..overwrites {
+        if let Op::Write(lba) = stream.next_op() {
+            t = ssd.write(lba, t).expect("overwrite").done;
+        }
+    }
+    cap + overwrites
+}
+
+fn qd_geometry() -> Geometry {
+    Geometry::experiment(if bh_bench::quick_mode() { 8 } else { 16 })
+}
+
+fn conv_stack() -> Box<dyn StackAdmin> {
+    let dev = ConvSsd::new(ConvConfig::new(FlashConfig::tlc(qd_geometry()), 0.15)).unwrap();
+    Box::new(dev)
+}
+
+fn zns_stack() -> Box<dyn StackAdmin> {
+    let cfg = ZnsConfig::new(FlashConfig::tlc(qd_geometry()), 4).with_zone_limits(8);
+    let dev = ZnsDevice::new(cfg).unwrap();
+    let reserve = (dev.num_zones() / 8).max(4);
+    Box::new(BlockEmu::new(dev, reserve, ReclaimPolicy::Immediate))
+}
+
+/// Fill, then drive a zipfian closed loop through the queue engine.
+fn queued(mut dev: Box<dyn StackAdmin>, qd: usize) -> u64 {
+    let ops = bh_bench::scaled(1_000_000, 400_000);
+    let cap = dev.capacity_pages();
+    let t = Runner::fill(dev.as_mut(), Nanos::ZERO).expect("fill");
+    let mut stream = OpStream::zipfian(cap, OpMix::read_heavy(), 0x9E17);
+    let runner = Runner::new(
+        RunConfig::new(ops)
+            .with_pacing(Pacing::Closed)
+            .with_maintenance_every(64)
+            .with_queue_depth(qd),
+    );
+    runner
+        .run(dev.as_mut(), &mut stream, t)
+        .expect("queued run");
+    cap + ops
+}
+
+/// A 16-shard mixed fleet on the in-process pool: the op loop, queue
+/// engine, and victim paths all at once.
+fn fleet_16() -> u64 {
+    let shards = 16;
+    let ops_per_shard = bh_bench::scaled(40_000, 15_000);
+    let geo = Geometry::experiment(if bh_bench::quick_mode() { 8 } else { 12 });
+    let cfg = FleetConfig::mixed(shards, geo, shards as u32 * 4, 0x9F16)
+        .with_ops_per_shard(ops_per_shard)
+        .with_queue_depth(4);
+    run_fleet(&cfg, 4).expect("fleet run");
+    shards as u64 * ops_per_shard
+}
+
+/// Peak resident set size in KiB, from `/proc/self/status` (0 when
+/// unavailable).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn to_json(measurements: &[Measurement], quick: bool) -> Json {
+    let mut doc = Json::obj();
+    doc.set("schema", "bh-perf/1");
+    doc.set("quick", quick);
+    let mut rows = Json::arr();
+    let mut total_ops = 0u64;
+    let mut total_ms = 0.0;
+    for m in measurements {
+        let mut row = Json::obj();
+        row.set("name", m.name);
+        row.set("sim_ops", m.sim_ops);
+        row.set("wall_ms", m.wall_ms);
+        row.set("sim_ops_per_sec", m.ops_per_sec());
+        rows.push(row);
+        total_ops += m.sim_ops;
+        total_ms += m.wall_ms;
+    }
+    doc.set("workloads", rows);
+    doc.set("sim_ops", total_ops);
+    doc.set("wall_ms", total_ms);
+    doc.set(
+        "sim_ops_per_sec",
+        if total_ms > 0.0 {
+            total_ops as f64 / (total_ms / 1000.0)
+        } else {
+            0.0
+        },
+    );
+    doc.set("peak_rss_kb", peak_rss_kb());
+    doc
+}
+
+/// Compares against a baseline document; returns the failure messages.
+fn check(doc: &Json, baseline: &Json, max_regress: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    let base_rows = baseline
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    let cur_rows = doc.get("workloads").and_then(Json::as_arr).unwrap_or(&[]);
+    for base in base_rows {
+        let name = base.get("name").and_then(Json::as_str).unwrap_or("");
+        let base_ops = base
+            .get("sim_ops_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let Some(cur) = cur_rows
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            failures.push(format!("workload `{name}` missing from this run"));
+            continue;
+        };
+        let cur_ops = cur
+            .get("sim_ops_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let floor = base_ops * (1.0 - max_regress);
+        if cur_ops < floor {
+            failures.push(format!(
+                "{name}: {cur_ops:.0} ops/s is below the regression floor \
+                 {floor:.0} (baseline {base_ops:.0}, tolerance {:.0}%)",
+                max_regress * 100.0
+            ));
+        } else {
+            eprintln!(
+                "{name}: {cur_ops:.0} ops/s vs baseline {base_ops:.0} ({:+.1}%)",
+                (cur_ops / base_ops.max(1e-9) - 1.0) * 100.0
+            );
+        }
+    }
+    failures
+}
+
+type Workload = (&'static str, Box<dyn FnOnce() -> u64>);
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let baseline_path = flag_value("--check");
+    let max_regress: f64 = flag_value("--max-regress")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let only = flag_value("--only");
+    let quick = bh_bench::quick_mode();
+
+    let workloads: Vec<Workload> = vec![
+        ("conv_gc_heavy_0op", Box::new(conv_gc_heavy)),
+        ("conv_qd1", Box::new(|| queued(conv_stack(), 1))),
+        ("conv_qd16", Box::new(|| queued(conv_stack(), 16))),
+        ("zns_qd1", Box::new(|| queued(zns_stack(), 1))),
+        ("zns_qd16", Box::new(|| queued(zns_stack(), 16))),
+        ("fleet_16shard", Box::new(fleet_16)),
+    ];
+    let measurements: Vec<Measurement> = workloads
+        .into_iter()
+        .filter(|(name, _)| only.as_deref().is_none_or(|o| o == *name))
+        .map(|(name, run)| timed(name, run))
+        .collect();
+
+    let doc = to_json(&measurements, quick);
+    let rendered = doc.pretty();
+    println!("{rendered}");
+    if let Err(e) = std::fs::write("BENCH_perf.json", &rendered) {
+        eprintln!("could not write BENCH_perf.json: {e}");
+    }
+    bh_bench::archive_named("BENCH_perf.json", &rendered);
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = bh_json::parse(&text).expect("baseline parses as JSON");
+        let failures = check(&doc, &baseline, max_regress);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("PERF REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("perf gate passed ({} workloads)", measurements.len());
+    }
+}

@@ -1,0 +1,44 @@
+//! Lockstep determinism gate for the experiment reports the victim-index
+//! rewrite must not perturb: run a quick-mode experiment twice and
+//! require byte-identical stdout. Any change to GC victim selection
+//! order, tie-breaking, or op scheduling shows up here immediately.
+
+use std::process::Command;
+
+fn quick_stdout(bin: &str, results_dir: &str) -> Vec<u8> {
+    let out = Command::new(bin)
+        .arg("--quick")
+        .env("BH_RESULTS_DIR", results_dir)
+        .env_remove("BH_QUICK")
+        .env_remove("BH_TRACE")
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} --quick failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn assert_lockstep(bin: &str, name: &str) {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir = dir.to_str().unwrap();
+    let first = quick_stdout(bin, dir);
+    let second = quick_stdout(bin, dir);
+    assert_eq!(
+        first, second,
+        "{name} quick report is not byte-deterministic across runs"
+    );
+}
+
+#[test]
+fn expt_wa_op_quick_report_is_byte_identical() {
+    assert_lockstep(env!("CARGO_BIN_EXE_expt_wa_op"), "expt_wa_op");
+}
+
+#[test]
+fn expt_gc_policy_quick_report_is_byte_identical() {
+    assert_lockstep(env!("CARGO_BIN_EXE_expt_gc_policy"), "expt_gc_policy");
+}

@@ -21,6 +21,7 @@
 
 pub mod config;
 pub mod error;
+pub(crate) mod hotpath;
 pub mod mapping;
 pub mod policy;
 pub mod ssd;

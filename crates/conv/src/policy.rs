@@ -87,7 +87,7 @@ impl BlockSnapshot {
 
 /// Kawaguchi-style cost-benefit score: `age · (1 − u) / 2u`, with a block
 /// full of invalid pages scoring infinitely well.
-fn cost_benefit_score(snap: &BlockSnapshot, now: Nanos) -> f64 {
+pub(crate) fn cost_benefit_score(snap: &BlockSnapshot, now: Nanos) -> f64 {
     let u = snap.valid_pages as f64 / snap.total_pages as f64;
     let age = now.as_nanos().saturating_sub(snap.erased_at_ns) as f64 + 1.0;
     if u == 0.0 {

@@ -13,19 +13,18 @@
 
 use crate::config::ConvConfig;
 use crate::error::ConvError;
+use crate::hotpath::{FreeList, SealedEntry, VictimIndex};
 use crate::mapping::MappingTable;
-use crate::policy::BlockSnapshot;
 #[cfg(test)]
 use crate::policy::GcPolicy;
 use crate::wear::WearLeveler;
 use crate::Result;
 use bh_flash::{
-    decode_oob, encode_oob, BlockId, BlockStatus, FlashDevice, FlashError, FlashStats, OpOrigin,
-    PlaneId, Ppa, Stamp,
+    decode_oob, encode_oob, Block, BlockId, BlockStatus, FlashDevice, FlashError, FlashStats,
+    OpOrigin, PlaneId, Ppa, Stamp,
 };
 use bh_metrics::Nanos;
 use bh_trace::{ConvEvent, FaultEvent, SpanId, Tracer};
-use std::collections::VecDeque;
 
 /// Upper bound on re-drives of a single host write or GC copy before the
 /// FTL gives up and surfaces the program failure; transient-failure rates
@@ -35,17 +34,23 @@ const MAX_REDRIVES: u32 = 8;
 /// Per-plane allocation state.
 #[derive(Debug)]
 struct PlaneState {
-    /// Erased blocks, kept least-worn-last so `pop` implements dynamic
-    /// wear leveling.
-    free: Vec<BlockId>,
+    /// Erased blocks, ordered by wear so allocation implements dynamic
+    /// wear leveling without scanning.
+    free: FreeList,
     /// Block currently receiving host writes.
     host_frontier: Option<BlockId>,
     /// Block currently receiving GC relocations.
     gc_frontier: Option<BlockId>,
-    /// Fully written blocks, in seal order (GC victim candidates).
-    sealed: VecDeque<BlockId>,
+    /// Sealed blocks (GC victim candidates), indexed for the configured
+    /// policy's selection order plus the plane garbage total.
+    victims: VictimIndex,
     /// Victim currently being relocated incrementally, if any.
     gc_victim: Option<BlockId>,
+    /// Resume point for the in-flight victim's valid-page scan. Pages
+    /// never return to valid while a block is a victim, so the scan is
+    /// monotone and each page is visited once per episode instead of
+    /// rescanning from page 0 on every copy.
+    gc_scan: u32,
     /// Trace span covering the in-flight GC episode.
     gc_span: SpanId,
     /// Valid pages copied out of the in-flight victim so far.
@@ -99,8 +104,22 @@ pub struct ConvSsd {
     gc_next_plane: u32,
     /// Monotone counter driving plane-allocation dither.
     dither: u32,
+    /// Monotone seal counter; per-plane ordering of sealed blocks (the
+    /// old candidate-list order) is the order of these values.
+    seal_seq: u64,
     read_only: bool,
     tracer: Tracer,
+}
+
+/// Captures the victim-index entry for a block being sealed.
+fn sealed_entry(blk: &Block, seq: u64) -> SealedEntry {
+    SealedEntry {
+        seq,
+        valid: blk.valid_pages(),
+        invalid: blk.invalid_pages(),
+        wear: blk.wear(),
+        erased_at: blk.erased_at_ns(),
+    }
 }
 
 /// Result of a host write.
@@ -126,17 +145,26 @@ impl ConvSsd {
         let geo = *dev.geometry();
         let map = MappingTable::new(cfg.logical_pages(), geo);
         let planes = (0..geo.total_planes())
-            .map(|p| PlaneState {
+            .map(|p| {
                 // All blocks start erased with wear 0; order is arbitrary.
-                free: (0..geo.blocks_per_plane)
-                    .map(|i| geo.block_in_plane(PlaneId(p), i))
-                    .collect(),
-                host_frontier: None,
-                gc_frontier: None,
-                sealed: VecDeque::new(),
-                gc_victim: None,
-                gc_span: SpanId::NONE,
-                gc_copied: 0,
+                let mut free = FreeList::new();
+                for i in 0..geo.blocks_per_plane {
+                    free.push(geo.block_in_plane(PlaneId(p), i), 0);
+                }
+                PlaneState {
+                    free,
+                    host_frontier: None,
+                    gc_frontier: None,
+                    victims: VictimIndex::new(
+                        geo.block_in_plane(PlaneId(p), 0).0,
+                        geo.blocks_per_plane,
+                        cfg.gc_policy,
+                    ),
+                    gc_victim: None,
+                    gc_scan: 0,
+                    gc_span: SpanId::NONE,
+                    gc_copied: 0,
+                }
             })
             .collect();
         Ok(ConvSsd {
@@ -150,6 +178,7 @@ impl ConvSsd {
             next_plane: 0,
             gc_next_plane: 0,
             dither: 0,
+            seal_seq: 0,
             read_only: false,
             tracer: Tracer::disabled(),
         })
@@ -223,7 +252,7 @@ impl ConvSsd {
     /// Total blocks currently tracked as sealed GC candidates, for
     /// invariant checks: every full block must be sealed or a frontier.
     pub fn sealed_blocks(&self) -> usize {
-        self.planes.iter().map(|p| p.sealed.len()).sum()
+        self.planes.iter().map(|p| p.victims.len()).sum()
     }
 
     /// Per-plane snapshot `(free, sealed, valid_pages)` for diagnostics.
@@ -241,7 +270,7 @@ impl ConvSsd {
                             .unwrap_or(0)
                     })
                     .sum();
-                (st.free.len(), st.sealed.len(), valid)
+                (st.free.len(), st.victims.len(), valid)
             })
             .collect()
     }
@@ -283,13 +312,11 @@ impl ConvSsd {
         // If the plane has no writable frontier, space must be made
         // before the program; otherwise GC runs after it, so the host
         // write does not wait behind its own collection traffic (real
-        // FTLs run GC at lower priority than host I/O).
-        let frontier_ready = self.planes[plane.0 as usize]
-            .host_frontier
-            .and_then(|b| self.dev.block(b).ok())
-            .map(|blk| !blk.is_full())
-            .unwrap_or(false)
-            || !self.planes[plane.0 as usize].free.is_empty();
+        // FTLs run GC at lower priority than host I/O). An open frontier
+        // is never full: `seal_if_full` closes it the moment the last
+        // page programs.
+        let st = &self.planes[plane.0 as usize];
+        let frontier_ready = st.host_frontier.is_some() || !st.free.is_empty();
         if !frontier_ready {
             self.ensure_space(plane, now)?;
         }
@@ -297,7 +324,7 @@ impl ConvSsd {
         let stamp = encode_oob(self.stamp_counter, lba);
         let (ppa, done) = self.program_host(plane, stamp, now)?;
         if let Some(old) = self.map.bind(lba, ppa) {
-            self.dev.invalidate(old)?;
+            self.invalidate_page(old)?;
         }
         if frontier_ready {
             self.ensure_space(plane, now)?;
@@ -346,8 +373,20 @@ impl ConvSsd {
     pub fn trim(&mut self, lba: u64) -> Result<()> {
         self.check_lba(lba)?;
         if let Some(old) = self.map.unbind(lba) {
-            self.dev.invalidate(old)?;
+            self.invalidate_page(old)?;
         }
+        Ok(())
+    }
+
+    /// Marks `ppa` invalid on flash and propagates the transition into
+    /// the owning plane's victim index (a no-op for blocks that are not
+    /// sealed: open frontiers and in-flight GC victims).
+    fn invalidate_page(&mut self, ppa: Ppa) -> Result<()> {
+        self.dev.invalidate(ppa)?;
+        let plane = self.dev.geometry().plane_of(ppa.block);
+        self.planes[plane.0 as usize]
+            .victims
+            .on_invalidate(ppa.block);
         Ok(())
     }
 
@@ -392,18 +431,10 @@ impl ConvSsd {
         Ok(reclaimed)
     }
 
-    /// Total invalid (garbage) pages in sealed blocks of `plane`.
+    /// Total invalid (garbage) pages in sealed blocks of `plane`,
+    /// maintained incrementally by the victim index.
     fn plane_garbage_pages(&self, plane: PlaneId) -> u64 {
-        self.planes[plane.0 as usize]
-            .sealed
-            .iter()
-            .map(|&b| {
-                self.dev
-                    .block(b)
-                    .map(|blk| blk.invalid_pages() as u64)
-                    .unwrap_or(0)
-            })
-            .sum()
+        self.planes[plane.0 as usize].victims.garbage()
     }
 
     /// Chooses the plane for the next host write: strict round-robin, so
@@ -435,17 +466,9 @@ impl ConvSsd {
         for off in 0..n {
             let p = (start + off) % n;
             let st = &self.planes[p as usize];
-            let frontier_open = st
-                .host_frontier
-                .and_then(|b| self.dev.block(b).ok())
-                .map(|blk| !blk.is_full())
-                .unwrap_or(false);
-            let has_garbage = st.sealed.iter().any(|&b| {
-                self.dev
-                    .block(b)
-                    .map(|blk| blk.invalid_pages() > 0)
-                    .unwrap_or(false)
-            });
+            // Open frontiers are never full (see `host_frontier`).
+            let frontier_open = st.host_frontier.is_some();
+            let has_garbage = st.victims.garbage() > 0;
             if frontier_open || !st.free.is_empty() || has_garbage {
                 return PlaneId(p);
             }
@@ -453,27 +476,17 @@ impl ConvSsd {
         PlaneId(start)
     }
 
-    /// Pops the least-worn free block of `plane`.
+    /// Pops the least-worn free block of `plane` (dynamic wear
+    /// leveling), straight off the wear-ordered free list.
     fn alloc_block(&mut self, plane: PlaneId) -> Option<BlockId> {
-        let free = &self.planes[plane.0 as usize].free;
-        if free.is_empty() {
-            return None;
-        }
-        // Dynamic wear leveling: hand out the least-worn block. The free
-        // list is small (≤ blocks_per_plane), so a scan is fine.
-        let dev = &self.dev;
-        let (idx, _) = free
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &b)| dev.block(b).map(|blk| blk.wear()).unwrap_or(u32::MAX))?;
-        Some(self.planes[plane.0 as usize].free.swap_remove(idx))
+        self.planes[plane.0 as usize].free.pop_least_worn()
     }
 
     fn host_frontier(&mut self, plane: PlaneId) -> Result<BlockId> {
+        // An open frontier is never full (`seal_if_full` closes it as
+        // soon as its last page programs), so no flash lookup is needed.
         if let Some(b) = self.planes[plane.0 as usize].host_frontier {
-            if !self.dev.block(b)?.is_full() {
-                return Ok(b);
-            }
+            return Ok(b);
         }
         let b = match self.alloc_block(plane) {
             Some(b) => b,
@@ -490,10 +503,9 @@ impl ConvSsd {
     /// open frontier nor a free block. Does not flag the device
     /// read-only: GC falls back to other planes.
     fn gc_frontier(&mut self, plane: PlaneId) -> Result<Option<BlockId>> {
+        // Same invariant as `host_frontier`: open implies not full.
         if let Some(b) = self.planes[plane.0 as usize].gc_frontier {
-            if !self.dev.block(b)?.is_full() {
-                return Ok(Some(b));
-            }
+            return Ok(Some(b));
         }
         let b = match self.alloc_block(plane) {
             Some(b) => b,
@@ -504,14 +516,22 @@ impl ConvSsd {
     }
 
     fn seal_if_full(&mut self, plane: PlaneId, block: BlockId, kind: FrontierKind) {
-        if self.dev.block(block).map(|b| b.is_full()).unwrap_or(false) {
-            let st = &mut self.planes[plane.0 as usize];
-            match kind {
-                FrontierKind::Host => st.host_frontier = None,
-                FrontierKind::Gc => st.gc_frontier = None,
-            }
-            st.sealed.push_back(block);
+        let Some(entry) = self
+            .dev
+            .block(block)
+            .ok()
+            .filter(|b| b.is_full())
+            .map(|b| sealed_entry(b, self.seal_seq + 1))
+        else {
+            return;
+        };
+        self.seal_seq += 1;
+        let st = &mut self.planes[plane.0 as usize];
+        match kind {
+            FrontierKind::Host => st.host_frontier = None,
+            FrontierKind::Gc => st.gc_frontier = None,
         }
+        st.victims.insert(block, entry);
     }
 
     /// Runs foreground GC for `plane` as real FTLs do: *paced*. At or
@@ -575,6 +595,7 @@ impl ConvSsd {
                         let st = &mut self.planes[plane.0 as usize];
                         st.gc_victim = Some(v);
                         st.gc_copied = 0;
+                        st.gc_scan = 0;
                         if self.tracer.enabled() {
                             let span = self.tracer.begin_span();
                             self.planes[plane.0 as usize].gc_span = span;
@@ -596,10 +617,17 @@ impl ConvSsd {
                     None => return Ok((progress, done)),
                 },
             };
-            // Relocate the victim's next valid page, if any.
-            let next = self.dev.block(victim)?.valid_entries().next();
+            // Relocate the victim's next valid page, if any. The scan
+            // resumes from the last position handled: earlier pages can
+            // only have left the valid state (copied out or overwritten
+            // by the host), never re-entered it, so skipping them is
+            // exact. A burned copy leaves the cursor in place and the
+            // same source page is found again on the re-drive.
+            let scan = self.planes[plane.0 as usize].gc_scan;
+            let next = self.dev.block(victim)?.first_valid_from(scan);
             match next {
                 Some((page, _stamp)) => {
+                    self.planes[plane.0 as usize].gc_scan = page;
                     let src = Ppa::new(victim, page);
                     let lba = self
                         .map
@@ -633,7 +661,7 @@ impl ConvSsd {
                     done = done.max(copy_done);
                     let dst = Ppa::new(dst_block, dst_page);
                     self.map.relocate(lba, src, dst);
-                    self.dev.invalidate(src)?;
+                    self.invalidate_page(src)?;
                     self.seal_if_full(dst_plane, dst_block, FrontierKind::Gc);
                     self.stats.gc_pages_copied += 1;
                     self.planes[plane.0 as usize].gc_copied += 1;
@@ -645,7 +673,8 @@ impl ConvSsd {
                     let outcome = self.dev.erase(victim, now)?;
                     done = done.max(outcome.done);
                     if !outcome.retired {
-                        self.planes[plane.0 as usize].free.push(victim);
+                        let wear = self.dev.block(victim)?.wear();
+                        self.planes[plane.0 as usize].free.push(victim, wear);
                     }
                     let st = &mut self.planes[plane.0 as usize];
                     st.gc_victim = None;
@@ -691,38 +720,28 @@ impl ConvSsd {
     /// Declines victims with no invalid pages — erasing those moves data
     /// without reclaiming anything, so GC could not make progress.
     fn select_victim(&mut self, plane: PlaneId, now: Nanos) -> Option<BlockId> {
-        let st = &self.planes[plane.0 as usize];
-        let candidates: Vec<BlockId> = st.sealed.iter().copied().collect();
-        let dev = &self.dev;
-        let idx = self.cfg.gc_policy.select(
-            &candidates,
-            |id| BlockSnapshot::of(dev.block(id).expect("sealed block exists")),
-            now,
-        )?;
-        let victim = candidates[idx];
-        if self.dev.block(victim).ok()?.invalid_pages() == 0 {
+        let pages_per_block = self.dev.geometry().pages_per_block;
+        let victims = &mut self.planes[plane.0 as usize].victims;
+        let victim = Self::peek_victim(victims, now, pages_per_block)?;
+        victims.remove(victim);
+        Some(victim)
+    }
+
+    /// The block [`select_victim`](Self::select_victim) would take,
+    /// without removing it from the index.
+    fn peek_victim(victims: &mut VictimIndex, now: Nanos, pages_per_block: u32) -> Option<BlockId> {
+        let victim = victims.peek_policy(now, pages_per_block)?;
+        if victims.invalid_of(victim) == 0 {
             // The policy's best choice still reclaims nothing; for greedy
             // this means *no* victim reclaims anything. For FIFO and
             // cost-benefit, fall back to the greediest victim before
             // giving up.
-            let (gi, _) = candidates.iter().enumerate().max_by_key(|(_, &b)| {
-                self.dev
-                    .block(b)
-                    .map(|blk| blk.invalid_pages())
-                    .unwrap_or(0)
-            })?;
-            let greedy_victim = candidates[gi];
-            if self.dev.block(greedy_victim).ok()?.invalid_pages() == 0 {
+            let (greedy_victim, invalid) = victims.peek_max_invalid()?;
+            if invalid == 0 {
                 return None;
             }
-            self.planes[plane.0 as usize]
-                .sealed
-                .retain(|&b| b != greedy_victim);
             return Some(greedy_victim);
         }
-        self.planes[plane.0 as usize]
-            .sealed
-            .retain(|&b| b != victim);
         Some(victim)
     }
 
@@ -782,7 +801,7 @@ impl ConvSsd {
             };
             let dst = Ppa::new(dst_block, dst_page);
             self.map.relocate(lba, src, dst);
-            self.dev.invalidate(src)?;
+            self.invalidate_page(src)?;
             self.seal_if_full(dst_plane, dst_block, FrontierKind::Gc);
             moved += 1;
         }
@@ -791,7 +810,8 @@ impl ConvSsd {
             // Block is gone; capacity shrinks. Losing too many blocks in a
             // plane eventually surfaces as ReadOnly from ensure_space.
         } else {
-            self.planes[plane.0 as usize].free.push(victim);
+            let wear = self.dev.block(victim)?.wear();
+            self.planes[plane.0 as usize].free.push(victim, wear);
         }
         if count_as_gc {
             self.stats.gc_pages_copied += moved;
@@ -814,15 +834,14 @@ impl ConvSsd {
         // low-wear block back into rotation.
         let mut coldest: Option<(PlaneId, BlockId, u32)> = None;
         for (p, st) in self.planes.iter().enumerate() {
-            for &b in &st.sealed {
-                let wear = self.dev.block(b)?.wear();
+            if let Some((b, wear)) = st.victims.peek_min_wear() {
                 if coldest.map(|(_, _, w)| wear < w).unwrap_or(true) {
                     coldest = Some((PlaneId(p as u32), b, wear));
                 }
             }
         }
         if let Some((plane, block, _)) = coldest {
-            self.planes[plane.0 as usize].sealed.retain(|&b| b != block);
+            self.planes[plane.0 as usize].victims.remove(block);
             let pages = self.dev.block(block)?.valid_pages() as u64;
             self.relocate_and_erase(plane, block, now, false)?;
             self.stats.wl_migrations += 1;
@@ -921,10 +940,12 @@ impl ConvSsd {
         }
         // Rebuild the allocator: empty good blocks are free, every
         // non-empty block is sealed — the FTL does not resume a mid-block
-        // frontier after an unclean shutdown.
+        // frontier after an unclean shutdown. Re-sealing in ascending
+        // block order reproduces the candidate order the pre-index
+        // rebuild produced.
         for st in &mut self.planes {
             st.free.clear();
-            st.sealed.clear();
+            st.victims.clear();
             st.host_frontier = None;
             st.gc_frontier = None;
         }
@@ -935,9 +956,12 @@ impl ConvSsd {
             }
             let plane = geo.plane_of(block);
             if blk.is_empty() {
-                self.planes[plane.0 as usize].free.push(block);
+                let wear = blk.wear();
+                self.planes[plane.0 as usize].free.push(block, wear);
             } else {
-                self.planes[plane.0 as usize].sealed.push_back(block);
+                let entry = sealed_entry(blk, self.seal_seq + 1);
+                self.seal_seq += 1;
+                self.planes[plane.0 as usize].victims.insert(block, entry);
             }
         }
         self.stamp_counter = max_seq;
@@ -953,6 +977,43 @@ impl ConvSsd {
             },
         );
         Ok((done, scanned))
+    }
+
+    /// Cross-checks the incremental hot-path indexes against the flash
+    /// state they mirror: entry counters, set/heap memberships, garbage
+    /// totals, free-list wear ordering, and that indexed victim
+    /// selection agrees with a naive full scan over the seal-order
+    /// candidate list (including the invalid-page fallback). Takes
+    /// `&mut` because peeking settles lazily-deleted heap keys.
+    /// Test-support API.
+    #[doc(hidden)]
+    pub fn verify_hotpath_invariants(&mut self, now: Nanos) -> std::result::Result<(), String> {
+        let pages_per_block = self.dev.geometry().pages_per_block;
+        let dev = &self.dev;
+        for (p, st) in self.planes.iter_mut().enumerate() {
+            st.victims
+                .check(|b| {
+                    let blk = dev.block(b).expect("tracked block exists");
+                    (
+                        blk.valid_pages(),
+                        blk.invalid_pages(),
+                        blk.wear(),
+                        blk.erased_at_ns(),
+                    )
+                })
+                .map_err(|e| format!("plane {p} victim index: {e}"))?;
+            st.free
+                .check(|b| dev.block(b).map(|blk| blk.wear()).unwrap_or(u32::MAX))
+                .map_err(|e| format!("plane {p} free list: {e}"))?;
+            let fast = Self::peek_victim(&mut st.victims, now, pages_per_block);
+            let oracle = st.victims.oracle_select(now, pages_per_block);
+            if fast != oracle {
+                return Err(format!(
+                    "plane {p}: indexed victim {fast:?} != oracle {oracle:?}"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -98,6 +98,7 @@ pub trait BlockInterface {
     fn label(&self) -> &'static str;
 
     /// Deprecated shim for the pre-[`WriteReq`] write signature.
+    #[doc(hidden)]
     #[deprecated(since = "0.1.0", note = "use write(WriteReq::new(lba), now)")]
     fn write_lba(&mut self, lba: u64, now: Nanos) -> Result<Nanos, IoError> {
         self.write(WriteReq::new(lba), now)
@@ -105,6 +106,7 @@ pub trait BlockInterface {
 
     /// Deprecated shim for the pre-[`WriteReq`] hinted-write entry
     /// point.
+    #[doc(hidden)]
     #[deprecated(since = "0.1.0", note = "use write(WriteReq::hinted(lba, hint), now)")]
     fn write_hinted(&mut self, lba: u64, hint: u32, now: Nanos) -> Result<Nanos, IoError> {
         self.write(WriteReq::hinted(lba, hint), now)

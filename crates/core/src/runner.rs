@@ -286,7 +286,7 @@ impl Sampler {
             .map(|s| s.interval_wa)
             .filter(|w| w.is_finite())
             .fold(1.0f64, f64::max);
-        let mut s = Series::new(name);
+        let mut s = Series::with_capacity(name, self.samples.len());
         for sample in &self.samples {
             let wa = if sample.interval_wa.is_finite() {
                 sample.interval_wa
@@ -300,7 +300,7 @@ impl Sampler {
 
     /// Queue depth over virtual time (milliseconds on the x-axis).
     pub fn queue_depth_series(&self, name: impl Into<String>) -> Series {
-        let mut s = Series::new(name);
+        let mut s = Series::with_capacity(name, self.samples.len());
         for sample in &self.samples {
             s.push(sample.at.as_millis_f64(), sample.queue_depth as f64);
         }
@@ -310,7 +310,7 @@ impl Sampler {
     /// Host-side in-flight operations over virtual time (milliseconds
     /// on the x-axis).
     pub fn in_flight_series(&self, name: impl Into<String>) -> Series {
-        let mut s = Series::new(name);
+        let mut s = Series::with_capacity(name, self.samples.len());
         for sample in &self.samples {
             s.push(sample.at.as_millis_f64(), sample.in_flight as f64);
         }

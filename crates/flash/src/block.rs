@@ -273,6 +273,20 @@ impl Block {
             _ => None,
         })
     }
+
+    /// The first valid page at or after `start`, with its stamp. Lets
+    /// incremental GC resume a valid-page scan where it left off instead
+    /// of rescanning the block front on every copy.
+    pub fn first_valid_from(&self, start: u32) -> Option<(u32, u64)> {
+        self.pages
+            .get(start as usize..)?
+            .iter()
+            .enumerate()
+            .find_map(|(i, p)| match p {
+                PageState::Valid(s) => Some((start + i as u32, *s)),
+                _ => None,
+            })
+    }
 }
 
 #[cfg(test)]

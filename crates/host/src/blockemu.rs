@@ -21,6 +21,78 @@ use bh_flash::{decode_oob, encode_oob};
 use bh_metrics::Nanos;
 use bh_trace::{FaultEvent, HostEvent, Tracer};
 use bh_zns::{ZnsDevice, ZnsError, ZoneId, ZoneState};
+use std::collections::BTreeSet;
+
+/// The free-zone pool, ordered for host-side wear leveling without a
+/// per-allocation scan.
+///
+/// Replays the historical `min_by_key(resets)` + `swap_remove` selection
+/// exactly: `by_reset` keys are `(resets, position)`, so the first
+/// element names the first pool position holding the minimum reset
+/// count, and `pop_least_reset` re-keys the element `swap_remove` moves
+/// into the vacated position.
+#[derive(Debug, Default)]
+struct ZoneFreeList {
+    /// Pool contents with each zone's reset count at insertion. A pooled
+    /// zone is Empty and is never reset again while pooled, so the
+    /// recorded key stays correct.
+    slots: Vec<(ZoneId, u64)>,
+    /// `(resets, position)` for every slot.
+    by_reset: BTreeSet<(u64, u32)>,
+}
+
+impl ZoneFreeList {
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.by_reset.clear();
+    }
+
+    fn push(&mut self, zone: ZoneId, resets: u64) {
+        self.by_reset.insert((resets, self.slots.len() as u32));
+        self.slots.push((zone, resets));
+    }
+
+    fn pop_least_reset(&mut self) -> Option<ZoneId> {
+        let &(resets, pos) = self.by_reset.first()?;
+        self.by_reset.remove(&(resets, pos));
+        let (zone, _) = self.slots.swap_remove(pos as usize);
+        if (pos as usize) < self.slots.len() {
+            let (_, moved) = self.slots[pos as usize];
+            self.by_reset.remove(&(moved, self.slots.len() as u32));
+            self.by_reset.insert((moved, pos));
+        }
+        Some(zone)
+    }
+
+    /// Validates the index against its own slots and against the device,
+    /// and that the indexed pick equals the linear scan's.
+    fn check(&self, dev: &ZnsDevice) {
+        assert_eq!(self.slots.len(), self.by_reset.len(), "free index size");
+        for (pos, &(zone, resets)) in self.slots.iter().enumerate() {
+            assert!(
+                self.by_reset.contains(&(resets, pos as u32)),
+                "free slot {pos} (zone {zone:?}) missing from index"
+            );
+            assert_eq!(
+                dev.zone(zone).map(|z| z.resets()).unwrap_or(u64::MAX),
+                resets,
+                "recorded resets stale for pooled zone {zone:?}"
+            );
+        }
+        let linear = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(_, resets))| resets)
+            .map(|(pos, _)| pos as u32);
+        let indexed = self.by_reset.first().map(|&(_, pos)| pos);
+        assert_eq!(linear, indexed, "indexed pick diverges from scan");
+    }
+}
 
 /// Counters for the emulation layer.
 #[derive(Debug, Clone, Copy, Default)]
@@ -116,8 +188,20 @@ pub struct BlockEmu {
     reserve_zones: u32,
     /// Current relocation frontier.
     gc_zone: Option<ZoneId>,
-    /// Empty zones available for allocation.
-    free: Vec<ZoneId>,
+    /// Empty zones available for allocation, ordered for wear leveling.
+    free: ZoneFreeList,
+    /// Full zones keyed `(garbage, zone)`: victim selection walks this
+    /// set from the top instead of scanning every zone. Kept in sync by
+    /// [`BlockEmu::sync_victim_index`] at every transition that changes a
+    /// zone's Full-ness or garbage count.
+    full_by_garbage: BTreeSet<(u64, u32)>,
+    /// Per zone, the garbage key currently in `full_by_garbage` (`None`
+    /// when the zone is not indexed, i.e. not Full).
+    full_key: Vec<Option<u64>>,
+    /// Reusable scratch for [`BlockEmu::reclaim_step`]'s live listing.
+    reloc_entries: Vec<(u64, u64)>,
+    /// Reusable scratch for the per-chunk simple-copy source list.
+    reloc_sources: Vec<(ZoneId, u64)>,
     /// Per zone, per offset: the `(lba, seq)` pair committed there — the
     /// contents of the zone summary the host writes out when a zone
     /// fills (the LFS segment-summary technique append-only zones make
@@ -149,7 +233,10 @@ impl BlockEmu {
         );
         let zone_cap = dev.config().zone_capacity();
         let logical = (zones - reserve_zones) as u64 * zone_cap;
-        let free = dev.zones().map(|z| z.id()).collect();
+        let mut free = ZoneFreeList::default();
+        for z in dev.zones() {
+            free.push(z.id(), z.resets());
+        }
         let rmap: Vec<Vec<Option<u64>>> = dev
             .zones()
             .map(|z| vec![None; z.capacity() as usize])
@@ -177,6 +264,10 @@ impl BlockEmu {
             reserve_zones,
             gc_zone: None,
             free,
+            full_by_garbage: BTreeSet::new(),
+            full_key: vec![None; zones as usize],
+            reloc_entries: Vec::new(),
+            reloc_sources: Vec::new(),
             summary_log,
             policy,
             last_io: Nanos::ZERO,
@@ -314,18 +405,32 @@ impl BlockEmu {
     }
 
     fn alloc_zone(&mut self) -> Result<ZoneId> {
-        if self.free.is_empty() {
-            return Err(HostError::NoFreeZone);
-        }
         // Host-side zone wear leveling: hand out the least-reset zone.
         // (On ZNS, balancing erases across zones is host responsibility.)
-        let (idx, _) = self
-            .free
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &z)| self.dev.zone(z).map(|zz| zz.resets()).unwrap_or(u64::MAX))
-            .expect("non-empty");
-        Ok(self.free.swap_remove(idx))
+        self.free.pop_least_reset().ok_or(HostError::NoFreeZone)
+    }
+
+    /// Re-derives zone `z`'s entry in the victim index from device state.
+    /// Must run after every transition that can change the zone's
+    /// Full-ness or its garbage count: appends, burned slots, relocation
+    /// chunks, unmapping, finish, and reset.
+    fn sync_victim_index(&mut self, z: ZoneId) {
+        let zi = z.0 as usize;
+        let fresh = match self.dev.zone(z) {
+            Ok(zone) if zone.state() == ZoneState::Full => {
+                Some(zone.write_pointer() - self.live[zi])
+            }
+            _ => None,
+        };
+        if self.full_key[zi] != fresh {
+            if let Some(old) = self.full_key[zi] {
+                self.full_by_garbage.remove(&(old, z.0));
+            }
+            if let Some(garbage) = fresh {
+                self.full_by_garbage.insert((garbage, z.0));
+            }
+            self.full_key[zi] = fresh;
+        }
     }
 
     /// Reads logical page `lba`, issued at `now`.
@@ -438,8 +543,12 @@ impl BlockEmu {
                 Ok((offset, done)) => break (zone, offset, done),
                 // A burned slot: retry at the advanced pointer. If the
                 // burn filled or degraded the zone, the writable() gate
-                // rotates the frontier on the next pass.
-                Err(ZnsError::ProgramFailure { .. }) => redrives += 1,
+                // rotates the frontier on the next pass (and the burn may
+                // have made the zone Full, so re-index it).
+                Err(ZnsError::ProgramFailure { .. }) => {
+                    redrives += 1;
+                    self.sync_victim_index(zone);
+                }
                 Err(e) => return Err(e.into()),
             }
         };
@@ -465,6 +574,7 @@ impl BlockEmu {
         if self.dev.zone(zone)?.state() == ZoneState::Full {
             self.frontiers[stream] = None;
         }
+        self.sync_victim_index(zone);
         self.last_io = now;
         self.stats.host_writes += 1;
         Ok(done)
@@ -482,6 +592,8 @@ impl BlockEmu {
     fn unbind_reverse(&mut self, loc: ZonedLocation) {
         self.rmap[loc.zone.0 as usize][loc.offset as usize] = None;
         self.live[loc.zone.0 as usize] -= 1;
+        // One more dead page in that zone: more garbage if it is Full.
+        self.sync_victim_index(loc.zone);
     }
 
     /// Writable space remaining across the data frontiers.
@@ -553,6 +665,53 @@ impl BlockEmu {
         self.victim(min_garbage).is_some()
     }
 
+    /// Cross-checks the incremental hot-path indexes against from-scratch
+    /// scans of device state, and the indexed victim pick against the
+    /// historical full-scan selection. Test/diagnostic hook for the
+    /// oracle property tests; O(zones), so keep it off hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any divergence.
+    pub fn verify_hotpath_invariants(&self) {
+        let mut expect = BTreeSet::new();
+        for z in self.dev.zones() {
+            let live = self.live[z.id().0 as usize];
+            let row_live = self.rmap[z.id().0 as usize].iter().flatten().count() as u64;
+            assert_eq!(live, row_live, "live count for zone {:?}", z.id());
+            if z.state() == ZoneState::Full {
+                expect.insert((z.write_pointer() - live, z.id().0));
+            }
+        }
+        assert_eq!(
+            expect, self.full_by_garbage,
+            "victim index diverged from a device scan"
+        );
+        self.free.check(&self.dev);
+        // The indexed pick must equal the historical scan's for both the
+        // policy threshold and the emergency threshold.
+        for min_garbage in [self.policy_min_garbage(), 1] {
+            let room = self.relocation_room() + self.current_remaining();
+            let scan = self
+                .dev
+                .zones()
+                .filter(|z| z.state() == ZoneState::Full)
+                .filter(|z| !self.frontiers.contains(&Some(z.id())) && Some(z.id()) != self.gc_zone)
+                .map(|z| {
+                    let live = self.live[z.id().0 as usize];
+                    (z.id(), z.write_pointer() - live, live)
+                })
+                .filter(|&(_, garbage, live)| garbage >= min_garbage && live <= room)
+                .max_by_key(|&(_, garbage, _)| garbage)
+                .map(|(id, _, _)| id);
+            assert_eq!(
+                scan,
+                self.victim(min_garbage),
+                "victim pick diverged at min_garbage {min_garbage}"
+            );
+        }
+    }
+
     /// Minimum garbage for non-emergency reclaim: an eighth of a zone.
     /// Compacting nearly-full-live zones burns erase cycles and copies
     /// for almost no space, so the policy path refuses them.
@@ -576,17 +735,25 @@ impl BlockEmu {
     /// frontier's remainder in a pinch).
     fn victim(&self, min_garbage: u64) -> Option<ZoneId> {
         let room = self.relocation_room() + self.current_remaining();
-        self.dev
-            .zones()
-            .filter(|z| z.state() == ZoneState::Full)
-            .filter(|z| !self.frontiers.contains(&Some(z.id())) && Some(z.id()) != self.gc_zone)
-            .map(|z| {
-                let live = self.live[z.id().0 as usize];
-                (z.id(), z.write_pointer() - live, live)
-            })
-            .filter(|&(_, garbage, live)| garbage >= min_garbage && live <= room)
-            .max_by_key(|&(_, garbage, _)| garbage)
-            .map(|(id, _, _)| id)
+        // Walk Full zones from most garbage down. `(garbage, zone)` in
+        // descending order replays the historical full scan's
+        // `max_by_key(garbage)` exactly — the last maximum in zone-id
+        // order — and the first feasible zone it meets is that maximum.
+        // Infeasible zones (a current frontier, or survivors exceeding
+        // the relocation room) are skipped as the scan's filters did.
+        for &(garbage, id) in self.full_by_garbage.iter().rev() {
+            if garbage < min_garbage {
+                break;
+            }
+            let z = ZoneId(id);
+            if self.frontiers.contains(&Some(z)) || Some(z) == self.gc_zone {
+                continue;
+            }
+            if self.live[id as usize] <= room {
+                return Some(z);
+            }
+        }
+        None
     }
 
     /// Reclaims one victim zone: simple-copies its live pages to the GC
@@ -598,12 +765,18 @@ impl BlockEmu {
     /// with garbage exists (mapped to "nothing to do" by callers).
     fn reclaim_step(&mut self, now: Nanos, min_garbage: u64) -> Result<Nanos> {
         let victim = self.victim(min_garbage).ok_or(HostError::Unmapped(0))?;
-        // Collect live (offset, lba) pairs in offset order.
-        let entries: Vec<(u64, u64)> = self.rmap[victim.0 as usize]
-            .iter()
-            .enumerate()
-            .filter_map(|(off, lba)| lba.map(|l| (off as u64, l)))
-            .collect();
+        // Collect live (offset, lba) pairs in offset order, reusing the
+        // scratch buffers so steady-state reclaim allocates nothing.
+        // (Early error returns drop them; the next call re-takes empties.)
+        let mut entries = std::mem::take(&mut self.reloc_entries);
+        let mut sources = std::mem::take(&mut self.reloc_sources);
+        entries.clear();
+        entries.extend(
+            self.rmap[victim.0 as usize]
+                .iter()
+                .enumerate()
+                .filter_map(|(off, lba)| lba.map(|l| (off as u64, l))),
+        );
         let span = self.tracer.begin_span();
         if self.tracer.enabled() {
             self.tracer.emit_span(
@@ -646,7 +819,8 @@ impl BlockEmu {
             };
             let room = self.dev.zone(gc)?.remaining() as usize;
             let chunk = &entries[idx..(idx + room).min(entries.len())];
-            let sources: Vec<(ZoneId, u64)> = chunk.iter().map(|&(off, _)| (victim, off)).collect();
+            sources.clear();
+            sources.extend(chunk.iter().map(|&(off, _)| (victim, off)));
             let (placed, done) = match self.dev.simple_copy(&sources, gc, t) {
                 Ok(r) => r,
                 // Burns consumed the destination mid-copy. Pages already
@@ -662,6 +836,8 @@ impl BlockEmu {
                             *f = None;
                         }
                     }
+                    // Burns may have filled the destination; re-index it.
+                    self.sync_victim_index(gc);
                     self.stats.program_redrives += 1;
                     if self.tracer.enabled() {
                         self.tracer.emit(
@@ -715,14 +891,20 @@ impl BlockEmu {
             }
             idx += chunk.len();
             self.stats.relocated += chunk.len() as u64;
+            // The destination gained live pages (and may now be Full);
+            // the victim lost them.
+            self.sync_victim_index(gc);
+            self.sync_victim_index(victim);
         }
         debug_assert_eq!(self.live[victim.0 as usize], 0);
         let done = self.dev.reset(victim, t)?;
         self.summary_log[victim.0 as usize].fill(None);
+        self.sync_victim_index(victim);
         // A reset that retires the zone's last blocks leaves it Offline;
         // only a zone that came back Empty returns to the pool.
+        let resets = self.dev.zone(victim)?.resets();
         if self.dev.zone(victim)?.state() == ZoneState::Empty {
-            self.free.push(victim);
+            self.free.push(victim, resets);
         }
         self.stats.resets += 1;
         if self.tracer.enabled() {
@@ -735,6 +917,8 @@ impl BlockEmu {
                 },
             );
         }
+        self.reloc_entries = entries;
+        self.reloc_sources = sources;
         Ok(done)
     }
 
@@ -785,14 +969,14 @@ impl BlockEmu {
         let mut max_seq = 0u64;
         let zone_ids: Vec<ZoneId> = self.dev.zones().map(|z| z.id()).collect();
         for id in zone_ids {
-            let (state, wp) = {
+            let (state, wp, resets) = {
                 let z = self.dev.zone(id)?;
-                (z.state(), z.write_pointer())
+                (z.state(), z.write_pointer(), z.resets())
             };
             match state {
                 ZoneState::Empty => {
                     self.summary_log[id.0 as usize].fill(None);
-                    self.free.push(id);
+                    self.free.push(id, resets);
                 }
                 ZoneState::Offline => self.summary_log[id.0 as usize].fill(None),
                 ZoneState::Full => {
@@ -879,6 +1063,14 @@ impl BlockEmu {
         }
         for z in closed {
             self.dev.finish(z)?;
+        }
+        // Rebuild the victim index last: `finish` above turns surplus
+        // partial zones Full, and the live counters are now final.
+        self.full_by_garbage.clear();
+        self.full_key.fill(None);
+        let all: Vec<ZoneId> = self.dev.zones().map(|z| z.id()).collect();
+        for z in all {
+            self.sync_victim_index(z);
         }
         self.last_io = done;
         self.stats.replays += 1;

@@ -273,10 +273,9 @@ impl ZonedLfs {
     }
 
     fn empty_zones(&self) -> u32 {
-        self.dev
-            .zones()
-            .filter(|z| z.state() == ZoneState::Empty)
-            .count() as u32
+        // O(1): the device maintains the count across transitions, so
+        // the per-write headroom check in `write` does not scan zones.
+        self.dev.empty_zones()
     }
 
     /// Cleans zones until `target_free` are empty: migrates live pages of

@@ -43,6 +43,9 @@ pub struct ZoneAllocator {
     open: HashMap<LifetimeClass, ZoneId>,
     /// Zones this allocator has handed out and not yet seen reset.
     owned: Vec<ZoneId>,
+    /// Membership bitmap over `owned`, indexed by zone id, so the
+    /// empty-zone search costs O(zones) instead of O(zones × owned).
+    owned_mask: Vec<bool>,
     /// Records class→zone allocation events; disabled by default.
     tracer: Tracer,
 }
@@ -75,7 +78,14 @@ impl ZoneAllocator {
     /// already own.
     fn find_empty(&self, dev: &ZnsDevice) -> Result<ZoneId> {
         dev.zones()
-            .find(|z| z.state() == ZoneState::Empty && !self.owned.contains(&z.id()))
+            .find(|z| {
+                z.state() == ZoneState::Empty
+                    && !self
+                        .owned_mask
+                        .get(z.id().0 as usize)
+                        .copied()
+                        .unwrap_or(false)
+            })
             .map(|z| z.id())
             .ok_or(HostError::NoFreeZone)
     }
@@ -120,6 +130,10 @@ impl ZoneAllocator {
                     let z = self.find_empty(dev)?;
                     self.open.insert(class, z);
                     self.owned.push(z);
+                    if self.owned_mask.len() <= z.0 as usize {
+                        self.owned_mask.resize(z.0 as usize + 1, false);
+                    }
+                    self.owned_mask[z.0 as usize] = true;
                     if self.tracer.enabled() {
                         self.tracer.emit(
                             now,
@@ -189,6 +203,9 @@ impl ZoneAllocator {
     /// it). The allocator will consider it for future allocation.
     pub fn release(&mut self, zone: ZoneId) {
         self.owned.retain(|&z| z != zone);
+        if let Some(bit) = self.owned_mask.get_mut(zone.0 as usize) {
+            *bit = false;
+        }
         self.open.retain(|_, &mut z| z != zone);
     }
 

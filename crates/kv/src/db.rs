@@ -108,6 +108,9 @@ pub struct Db<B: StorageBackend> {
     seq: u64,
     stats: DbStats,
     tracer: Tracer,
+    /// Reusable WAL-record encode buffer, so each put/delete serializes
+    /// without allocating.
+    record: Vec<u8>,
 }
 
 impl<B: StorageBackend> Db<B> {
@@ -124,6 +127,7 @@ impl<B: StorageBackend> Db<B> {
             seq: 0,
             stats: DbStats::default(),
             tracer: Tracer::disabled(),
+            record: Vec::new(),
         })
     }
 
@@ -158,9 +162,12 @@ impl<B: StorageBackend> Db<B> {
         self.seq += 1;
         self.stats.writes += 1;
         self.stats.app_bytes += (key.len() + mutation.as_ref().map(Vec::len).unwrap_or(0)) as u64;
-        let mut record = Vec::new();
+        let mut record = std::mem::take(&mut self.record);
+        record.clear();
         encode_entry(&mut record, &key, self.seq, &mutation);
-        let mut t = self.backend.append(self.wal, &record, now)?;
+        let append = self.backend.append(self.wal, &record, now);
+        self.record = record;
+        let mut t = append?;
         self.puts_since_sync += 1;
         if self.puts_since_sync >= self.cfg.sync_every {
             t = self.backend.sync(self.wal, t)?;
@@ -309,12 +316,12 @@ impl<B: StorageBackend> Db<B> {
         };
         let smallest = upper
             .iter()
-            .map(|s| s.smallest.clone())
+            .map(|s| s.smallest.as_slice())
             .min()
             .expect("inputs");
         let largest = upper
             .iter()
-            .map(|s| s.largest.clone())
+            .map(|s| s.largest.as_slice())
             .max()
             .expect("inputs");
         // Overlapping files in the level below.
@@ -322,7 +329,7 @@ impl<B: StorageBackend> Db<B> {
         let mut lower = Vec::new();
         let mut i = 0;
         while i < lower_level.len() {
-            if lower_level[i].overlaps(&smallest, &largest) {
+            if lower_level[i].overlaps(smallest, largest) {
                 lower.push(lower_level.remove(i));
             } else {
                 i += 1;

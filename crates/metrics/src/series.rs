@@ -32,6 +32,15 @@ impl Series {
         }
     }
 
+    /// Creates an empty series sized for `points` pushes, so callers
+    /// that know the sample count up front avoid regrowth.
+    pub fn with_capacity(name: impl Into<String>, points: usize) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::with_capacity(points),
+        }
+    }
+
     /// Returns the series name.
     pub fn name(&self) -> &str {
         &self.name

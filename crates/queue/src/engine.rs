@@ -137,7 +137,12 @@ pub struct QueueEngine<E> {
     depth: usize,
     sq: SubmissionQueue,
     cq: CompletionQueue<E>,
-    inflight: Vec<IoCompletion<E>>,
+    /// In-flight ops keyed by `(completed, cid)` — the retirement order
+    /// itself, so retiring is popping the first entry and the window
+    /// arithmetic in [`QueueEngine::slot_free_at`] reads sorted keys
+    /// instead of sorting a scratch vector per dispatch. Keys are unique
+    /// because command ids are.
+    inflight: std::collections::BTreeMap<(Nanos, u64), IoCompletion<E>>,
     tracer: Tracer,
     last_done: Nanos,
     peak_inflight: usize,
@@ -150,7 +155,7 @@ impl<E> QueueEngine<E> {
             depth: depth.max(1),
             sq: SubmissionQueue::new(),
             cq: CompletionQueue::default(),
-            inflight: Vec::new(),
+            inflight: std::collections::BTreeMap::new(),
             tracer: Tracer::disabled(),
             last_done: Nanos::ZERO,
             peak_inflight: 0,
@@ -194,7 +199,7 @@ impl<E> QueueEngine<E> {
     /// then, completing after it.
     pub fn in_flight_at(&self, t: Nanos) -> u32 {
         self.inflight
-            .iter()
+            .values()
             .filter(|c| c.issued <= t && c.completed > t)
             .count() as u32
     }
@@ -214,24 +219,16 @@ impl<E> QueueEngine<E> {
         self.cq.pop()
     }
 
-    /// Index of the earliest-completing in-flight op, by `(completed,
-    /// cid)` — the deterministic retirement order.
-    fn earliest_inflight(&self) -> Option<usize> {
-        self.inflight
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, c)| (c.completed, c.cid))
-            .map(|(i, _)| i)
-    }
-
     /// Retires every in-flight op whose completion instant is at or
-    /// before `horizon`, in `(completed, cid)` order.
+    /// before `horizon`, in `(completed, cid)` order — the key order, so
+    /// each retirement is a first-entry pop.
     fn retire_through(&mut self, horizon: Nanos) {
-        while let Some(i) = self.earliest_inflight() {
-            if self.inflight[i].completed > horizon {
-                break;
-            }
-            let c = self.inflight.swap_remove(i);
+        while self
+            .inflight
+            .first_key_value()
+            .is_some_and(|(&(completed, _), _)| completed <= horizon)
+        {
+            let (_, c) = self.inflight.pop_first().expect("checked non-empty");
             self.cq.push(c);
         }
     }
@@ -281,15 +278,19 @@ impl<E> QueueEngine<E> {
             // Peak concurrency is temporal, not bookkeeping: ops whose
             // completion instant has passed the issue instant no longer
             // occupy the device, even if the arrival frontier has not
-            // caught up to retire them yet.
+            // caught up to retire them yet. Keys past `(issued, MAX)`
+            // are exactly the ops with `completed > issued`.
             let concurrent = self
                 .inflight
-                .iter()
-                .filter(|c| c.completed > issued)
+                .range((
+                    std::ops::Bound::Excluded((issued, u64::MAX)),
+                    std::ops::Bound::Unbounded,
+                ))
                 .count()
                 + 1;
             self.peak_inflight = self.peak_inflight.max(concurrent);
-            self.inflight.push(completion);
+            self.inflight
+                .insert((completed, completion.cid), completion);
         }
     }
 
@@ -306,7 +307,8 @@ impl<E> QueueEngine<E> {
     /// the [`PowerCut`].
     pub fn cut(&mut self, at: Nanos) -> PowerCut<E> {
         self.retire_through(at);
-        let mut unacked = std::mem::take(&mut self.inflight);
+        let mut unacked: Vec<IoCompletion<E>> =
+            std::mem::take(&mut self.inflight).into_values().collect();
         // The bookkeeping may have retired completions whose instant
         // lies past the cut (the arrival frontier ran ahead of `at`);
         // the host never saw those either.
@@ -341,9 +343,15 @@ impl<E> QueueEngine<E> {
         if self.inflight.len() < self.depth {
             return Nanos::ZERO;
         }
-        let mut done: Vec<Nanos> = self.inflight.iter().map(|c| c.completed).collect();
-        done.sort_unstable();
-        done[done.len() - self.depth]
+        // The `(len - depth)`-th smallest completion instant is the
+        // `depth`-th largest key — a short walk from the sorted map's
+        // tail, with no scratch vector and no sort.
+        self.inflight
+            .keys()
+            .rev()
+            .nth(self.depth - 1)
+            .expect("len >= depth")
+            .0
     }
 
     /// True when dispatching a full window would stall past `horizon`.

@@ -5,7 +5,6 @@
 use crate::event::{Event, TracedEvent};
 use bh_metrics::Nanos;
 use std::cell::RefCell;
-use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// Identifies one episode (e.g. a GC run) across its begin/end events.
@@ -47,9 +46,17 @@ pub trait TraceSink {
 
 /// Bounded recorder: keeps the most recent `capacity` events, dropping
 /// the oldest and counting the drops.
+///
+/// Implemented as a flat ring over a `Vec` (grown lazily up to
+/// capacity): once the buffer is warm, every `record` is one slot store
+/// and a head bump — no element shuffling and no allocation on the hot
+/// path.
 #[derive(Debug)]
 pub struct RingSink {
-    buf: VecDeque<TracedEvent>,
+    buf: Vec<TracedEvent>,
+    /// Index of the oldest retained event once the buffer is full;
+    /// always 0 while it is still filling.
+    head: usize,
     capacity: usize,
     dropped: u64,
 }
@@ -58,7 +65,8 @@ impl RingSink {
     /// Creates a ring retaining at most `capacity` events (min 1).
     pub fn new(capacity: usize) -> Self {
         RingSink {
-            buf: VecDeque::new(),
+            buf: Vec::new(),
+            head: 0,
             capacity: capacity.max(1),
             dropped: 0,
         }
@@ -72,11 +80,13 @@ impl RingSink {
 
 impl TraceSink for RingSink {
     fn record(&mut self, event: TracedEvent) {
-        if self.buf.len() == self.capacity {
-            self.buf.pop_front();
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
         }
-        self.buf.push_back(event);
     }
 
     fn len(&self) -> usize {
@@ -88,7 +98,10 @@ impl TraceSink for RingSink {
     }
 
     fn events(&self) -> Vec<TracedEvent> {
-        self.buf.iter().copied().collect()
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
     }
 }
 

@@ -47,6 +47,9 @@ pub struct ZnsDevice {
     zones: Vec<Zone>,
     active: u32,
     open: u32,
+    /// Zones currently Empty, maintained across every state transition so
+    /// host-side allocators can poll free headroom in O(1) per write.
+    empty: u32,
     stats: ZnsStats,
     tracer: Tracer,
     /// Latest issue instant seen; stamps transitions from untimed zone
@@ -98,12 +101,14 @@ impl ZnsDevice {
                 )
             })
             .collect();
+        let empty = cfg.num_zones();
         Ok(ZnsDevice {
             dev,
             cfg,
             zones,
             active: 0,
             open: 0,
+            empty,
             stats: ZnsStats::default(),
             tracer: Tracer::disabled(),
             clock: Nanos::ZERO,
@@ -214,6 +219,28 @@ impl ZnsDevice {
             .ok_or(ZnsError::ZoneOutOfRange(id))
     }
 
+    /// Zones currently Empty. O(1): host allocators poll this before
+    /// every write to decide when to reclaim, so it must not scan.
+    pub fn empty_zones(&self) -> u32 {
+        self.empty
+    }
+
+    /// Applies a zone state transition while keeping the empty-zone
+    /// count in sync. Every state change must route through here (or
+    /// adjust `self.empty` by hand, as `reset` does around
+    /// `note_reset`).
+    fn set_state_counted(&mut self, id: ZoneId, target: ZoneState) -> Result<()> {
+        let zone = self.zone_mut(id)?;
+        let was_empty = zone.state() == ZoneState::Empty;
+        zone.set_state(target);
+        match (was_empty, target == ZoneState::Empty) {
+            (true, false) => self.empty -= 1,
+            (false, true) => self.empty += 1,
+            _ => {}
+        }
+        Ok(())
+    }
+
     /// Transitions `id` into an opened state, enforcing MAR/MOR. With
     /// `explicit` false this is the implicit open a write performs.
     fn open_internal(&mut self, id: ZoneId, explicit: bool) -> Result<()> {
@@ -227,7 +254,7 @@ impl ZnsDevice {
             ZoneState::Empty | ZoneState::Closed => {}
             ZoneState::ImplicitlyOpened if explicit => {
                 // Promote implicit -> explicit; open count unchanged.
-                self.zone_mut(id)?.set_state(ZoneState::ExplicitlyOpened);
+                self.set_state_counted(id, ZoneState::ExplicitlyOpened)?;
                 self.trace_transition(id, state, ZoneState::ExplicitlyOpened, "promote");
                 return Ok(());
             }
@@ -268,7 +295,7 @@ impl ZnsDevice {
             self.active += 1;
         }
         self.open += 1;
-        self.zone_mut(id)?.set_state(target);
+        self.set_state_counted(id, target)?;
         self.trace_transition(id, state, target, if explicit { "open" } else { "write" });
         Ok(())
     }
@@ -304,7 +331,7 @@ impl ZnsDevice {
         } else {
             ZoneState::Closed
         };
-        self.zone_mut(id)?.set_state(target);
+        self.set_state_counted(id, target)?;
         self.trace_transition(id, state, target, cause);
         Ok(())
     }
@@ -350,20 +377,20 @@ impl ZnsDevice {
         match state {
             ZoneState::Full => Ok(()),
             ZoneState::Empty => {
-                self.zone_mut(id)?.set_state(ZoneState::Full);
+                self.set_state_counted(id, ZoneState::Full)?;
                 self.trace_transition(id, state, ZoneState::Full, "finish");
                 Ok(())
             }
             ZoneState::ImplicitlyOpened | ZoneState::ExplicitlyOpened => {
                 self.open -= 1;
                 self.active -= 1;
-                self.zone_mut(id)?.set_state(ZoneState::Full);
+                self.set_state_counted(id, ZoneState::Full)?;
                 self.trace_transition(id, state, ZoneState::Full, "finish");
                 Ok(())
             }
             ZoneState::Closed => {
                 self.active -= 1;
-                self.zone_mut(id)?.set_state(ZoneState::Full);
+                self.set_state_counted(id, ZoneState::Full)?;
                 self.trace_transition(id, state, ZoneState::Full, "finish");
                 Ok(())
             }
@@ -419,12 +446,15 @@ impl ZnsDevice {
             for b in retired {
                 zone.retire_block(b, pages_per_block);
             }
-            let dead = zone.blocks().is_empty();
-            if dead {
-                zone.set_state(ZoneState::Offline);
-            }
-            dead
+            zone.blocks().is_empty()
         };
+        // note_reset left the zone Empty.
+        if state != ZoneState::Empty {
+            self.empty += 1;
+        }
+        if offlined {
+            self.set_state_counted(id, ZoneState::Offline)?;
+        }
         self.clock = self.clock.max(done);
         self.trace_transition(id, state, ZoneState::Empty, "reset");
         if offlined {
@@ -477,7 +507,7 @@ impl ZnsDevice {
             if state.is_active() {
                 self.active -= 1;
             }
-            self.zone_mut(id)?.set_state(ZoneState::Full);
+            self.set_state_counted(id, ZoneState::Full)?;
             self.trace_transition(id, state, ZoneState::Full, "write-full");
         }
         Ok(())
@@ -507,7 +537,8 @@ impl ZnsDevice {
             if state.is_active() {
                 self.active -= 1;
             }
-            self.zones[id.0 as usize].set_state(ZoneState::ReadOnly);
+            self.set_state_counted(id, ZoneState::ReadOnly)
+                .expect("zone indexed above");
             self.trace_transition(id, state, ZoneState::ReadOnly, "program-fail");
         }
         ZnsError::ProgramFailure {
@@ -672,7 +703,7 @@ impl ZnsDevice {
         if state.is_active() {
             self.active -= 1;
         }
-        self.zone_mut(id)?.set_state(ZoneState::ReadOnly);
+        self.set_state_counted(id, ZoneState::ReadOnly)?;
         self.trace_transition(id, state, ZoneState::ReadOnly, "inject");
         Ok(())
     }
@@ -1221,5 +1252,33 @@ mod tests {
             })
             .count();
         assert_eq!(power_closes, 3);
+    }
+
+    #[test]
+    fn empty_zone_count_tracks_every_transition() {
+        let scan =
+            |d: &ZnsDevice| d.zones().filter(|z| z.state() == ZoneState::Empty).count() as u32;
+        let mut d = dev();
+        assert_eq!(d.empty_zones(), scan(&d));
+        let mut t = Nanos::ZERO;
+        // Open/write/full/finish/reset/close/inject across several zones.
+        t = d.write(ZoneId(0), 0, 1, t).unwrap();
+        assert_eq!(d.empty_zones(), scan(&d));
+        for i in 1..64 {
+            t = d.write(ZoneId(0), i, 1, t).unwrap();
+        }
+        assert_eq!(d.empty_zones(), scan(&d));
+        d.open(ZoneId(1)).unwrap();
+        d.close(ZoneId(1)).unwrap(); // wp == 0: back to Empty
+        assert_eq!(d.empty_zones(), scan(&d));
+        d.finish(ZoneId(2)).unwrap(); // Empty -> Full directly
+        assert_eq!(d.empty_zones(), scan(&d));
+        t = d.reset(ZoneId(0), t).unwrap();
+        assert_eq!(d.empty_zones(), scan(&d));
+        d.inject_read_only(ZoneId(3)).unwrap();
+        assert_eq!(d.empty_zones(), scan(&d));
+        t = d.append(ZoneId(4), 9, t).unwrap().1;
+        d.power_cycle(t);
+        assert_eq!(d.empty_zones(), scan(&d));
     }
 }

@@ -1,0 +1,171 @@
+//! Property tests for the incrementally-maintained GC victim indexes:
+//! after every operation the indexed state must agree with a naive
+//! full-scan oracle derived from device state, and indexed victim
+//! selection must reproduce the old linear scan's pick exactly
+//! (including tie-break order).
+//!
+//! Seeded-loop style (the offline build vendors no proptest); each case
+//! prints its seed on failure for replay. `BH_PROP_SEED` pins one seed.
+
+use bh_conv::{ConvConfig, ConvError, ConvSsd, GcPolicy};
+use bh_faults::FaultConfig;
+use bh_flash::{FlashConfig, Geometry};
+use bh_host::{BlockEmu, HostError, ReclaimPolicy};
+use bh_metrics::Nanos;
+use bh_zns::{ZnsConfig, ZnsDevice};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn seeds(base: u64, cases: u64) -> Vec<u64> {
+    match std::env::var("BH_PROP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        Some(seed) => vec![seed],
+        None => (0..cases).map(|c| base ^ c).collect(),
+    }
+}
+
+fn small_geo() -> Geometry {
+    Geometry {
+        channels: 2,
+        dies_per_channel: 1,
+        planes_per_die: 2,
+        blocks_per_plane: 24,
+        pages_per_block: 8,
+        page_bytes: 4096,
+    }
+}
+
+fn conv_case(seed: u64, policy: GcPolicy, faults: bool) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cfg = ConvConfig::new(FlashConfig::tlc(small_geo()), 0.12);
+    cfg.gc_policy = policy;
+    let mut ssd = ConvSsd::new(cfg).unwrap();
+    if faults {
+        ssd.install_faults(
+            FaultConfig::new(seed)
+                .with_program_fail_ppm(10_000)
+                .with_erase_fail_ppm(20_000),
+        );
+    }
+    let cap = ssd.capacity_pages();
+    let mut t = Nanos::ZERO;
+    for lba in 0..cap {
+        t = ssd.write(lba, t).unwrap().done;
+    }
+    let ops = rng.gen_range(200..1200);
+    for i in 0..ops {
+        match rng.gen_range(0u32..10) {
+            0..=6 => match ssd.write(rng.gen_range(0..cap), t) {
+                Ok(w) => t = w.done,
+                // Tiny geometries (plus fault-driven block retirement)
+                // can hit legitimate end-of-life mid-sequence; every op
+                // up to that point was verified.
+                Err(ConvError::ReadOnly) => break,
+                Err(e) => panic!("seed {seed:#x} op {i}: {e}"),
+            },
+            7 => {
+                ssd.trim(rng.gen_range(0..cap)).unwrap();
+            }
+            8 => {
+                ssd.maintenance(t, t + Nanos::from_millis(2)).unwrap();
+            }
+            _ => {
+                let (done, _) = ssd.power_cycle(t).unwrap();
+                t = done;
+            }
+        }
+        if let Err(e) = ssd.verify_hotpath_invariants(t) {
+            panic!("seed {seed:#x} policy {policy:?} faults {faults} op {i}: {e}");
+        }
+    }
+}
+
+#[test]
+fn conv_index_matches_full_scan_oracle_greedy() {
+    for seed in seeds(0x407_0100, 12) {
+        conv_case(seed, GcPolicy::Greedy, false);
+    }
+}
+
+#[test]
+fn conv_index_matches_full_scan_oracle_cost_benefit() {
+    for seed in seeds(0x407_0200, 12) {
+        conv_case(seed, GcPolicy::CostBenefit, false);
+    }
+}
+
+#[test]
+fn conv_index_matches_full_scan_oracle_fifo() {
+    for seed in seeds(0x407_0300, 12) {
+        conv_case(seed, GcPolicy::Fifo, false);
+    }
+}
+
+#[test]
+fn conv_index_survives_fault_retirement() {
+    for seed in seeds(0x407_0400, 12) {
+        conv_case(seed, GcPolicy::Greedy, true);
+    }
+}
+
+fn emu_case(seed: u64, policy: ReclaimPolicy, faults: bool) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cfg = ZnsConfig::new(FlashConfig::tlc(small_geo()), 4).with_zone_limits(8);
+    let mut dev = ZnsDevice::new(cfg).unwrap();
+    if faults {
+        dev.install_faults(
+            FaultConfig::new(seed)
+                .with_program_fail_ppm(10_000)
+                .with_erase_fail_ppm(20_000),
+        );
+    }
+    let mut emu = BlockEmu::new(dev, 2, policy);
+    let cap = emu.capacity_pages();
+    let mut t = Nanos::ZERO;
+    let ops = rng.gen_range(200..1200);
+    for i in 0..ops {
+        match rng.gen_range(0u32..10) {
+            0..=6 => match emu.write(rng.gen_range(0..cap), t) {
+                Ok(done) => t = done,
+                Err(HostError::NoFreeZone) => {
+                    t = emu.maybe_reclaim(t).unwrap().1;
+                }
+                Err(e) => panic!("seed {seed:#x} op {i}: {e:?}"),
+            },
+            7 => {
+                emu.trim(rng.gen_range(0..cap)).unwrap();
+            }
+            8 => {
+                t = emu.maybe_reclaim(t).unwrap().1;
+            }
+            _ => {
+                t = emu.power_cycle(t).unwrap().0;
+            }
+        }
+        emu.verify_hotpath_invariants();
+    }
+}
+
+#[test]
+fn emu_index_matches_full_scan_oracle() {
+    for policy in [
+        ReclaimPolicy::Immediate,
+        ReclaimPolicy::Watermark {
+            low_zones: 2,
+            high_zones: 4,
+        },
+    ] {
+        for seed in seeds(0x407_0500, 8) {
+            emu_case(seed, policy, false);
+        }
+    }
+}
+
+#[test]
+fn emu_index_survives_fault_retirement() {
+    for seed in seeds(0x407_0600, 8) {
+        emu_case(seed, ReclaimPolicy::Immediate, true);
+    }
+}
