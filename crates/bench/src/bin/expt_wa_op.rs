@@ -15,9 +15,12 @@ use bh_metrics::{Nanos, Series, Table};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn steady_state_wa(geo: Geometry, op: f64, multiples: u64) -> (f64, f64) {
+fn steady_state_wa(geo: Geometry, op: f64, multiples: u64, obs: bh_obs::Obs) -> (f64, f64) {
     let cfg = ConvConfig::new(FlashConfig::tlc(geo), op);
     let mut ssd = ConvSsd::new(cfg).unwrap();
+    // Live counters (observation-only; report_lockstep proves stdout is
+    // byte-identical with BH_OBS=0).
+    ssd.set_obs(obs);
     let cap = ssd.capacity_pages();
     let mut rng = SmallRng::seed_from_u64(0xE2);
     let mut t = Nanos::ZERO;
@@ -45,11 +48,12 @@ fn main() {
     let multiples = bh_bench::scaled(2, 1);
 
     let ops = [0.0, 0.05, 0.07, 0.10, 0.15, 0.20, 0.25, 0.28];
+    let obs = bh_bench::obs();
     let mut series = Series::new("write-amplification vs overprovisioning");
     let mut table = Table::new(["OP ratio", "spare fraction", "steady-state WA"]);
     let mut wa_at = std::collections::BTreeMap::new();
     for &op in &ops {
-        let (wa, spare) = steady_state_wa(geo, op, multiples);
+        let (wa, spare) = steady_state_wa(geo, op, multiples, obs.clone());
         series.push(op, wa);
         table.row([
             format!("{op:.2}"),
@@ -96,5 +100,15 @@ fn main() {
         if quick { (3.0, 40.0) } else { (3.0, 12.0) },
     );
     report.claims(claims);
+    if obs.enabled_handle() {
+        // Stderr only: stdout must stay byte-identical with BH_OBS=0.
+        let snap = obs.snapshot();
+        eprintln!(
+            "obs: {} host programs, {} GC-migrated pages, {} erases across the sweep",
+            snap.counter(bh_obs::Ctr::FlashHostPrograms),
+            snap.counter(bh_obs::Ctr::ConvGcPagesMigrated),
+            snap.counter(bh_obs::Ctr::FlashErases),
+        );
+    }
     bh_bench::finish(report);
 }

@@ -35,6 +35,7 @@ const EXPERIMENTS: &[&str] = &[
     "expt_fleet",
     "expt_faults",
     "expt_qd",
+    "expt_obs",
 ];
 
 /// `--jobs N` argument or `BH_JOBS` env var; default: available

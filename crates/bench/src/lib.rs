@@ -10,6 +10,8 @@
 //!   scriptable.
 
 use bh_core::Report;
+use bh_json::Json;
+use bh_obs::{Obs, PhaseGuard, RunManifest};
 use bh_trace::Tracer;
 use std::path::PathBuf;
 
@@ -38,6 +40,35 @@ pub fn tracer() -> Tracer {
         .and_then(|c| c.parse().ok())
         .unwrap_or(bh_trace::DEFAULT_CAPACITY);
     Tracer::ring(cap)
+}
+
+/// True unless live counters were switched off with `BH_OBS=0`.
+///
+/// Counters default to *on* because they are observation-only (the
+/// transparency property test proves every report is byte-identical
+/// either way) and cost one branch plus one `u64` add per bump.
+pub fn obs_enabled() -> bool {
+    std::env::var("BH_OBS").map(|v| v != "0").unwrap_or(true)
+}
+
+/// A live counter registry honoring `BH_OBS` (`BH_OBS=0` returns the
+/// inert disabled handle). Install it on a device stack with
+/// `set_obs` and snapshot it after the run.
+pub fn obs() -> Obs {
+    if obs_enabled() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    }
+}
+
+/// The run manifest for this invocation: binary name, scale, a digest
+/// of the full argv, crate version, and the git revision when the
+/// working directory is a checkout. Experiments add their seeds and
+/// schema ids before exporting.
+pub fn manifest() -> RunManifest {
+    let argv: Vec<String> = std::env::args().collect();
+    RunManifest::collect(&exe_stem(), quick_mode(), &argv.join(" "))
 }
 
 /// Where experiment artifacts land: `$BH_RESULTS_DIR`, default
@@ -90,6 +121,8 @@ pub fn export_trace(tracer: &Tracer) {
     if !tracer.enabled() {
         return;
     }
+    // Rare and long: measured exactly, not sampled.
+    let _p = PhaseGuard::enter_exact("trace_flush");
     let events = tracer.events();
     if tracer.dropped() > 0 {
         eprintln!(
@@ -100,11 +133,31 @@ pub fn export_trace(tracer: &Tracer) {
     archive(".trace.json", &bh_trace::export::to_chrome_trace(&events));
 }
 
-/// Prints the report, archives its JSON to `<results_dir>/<exe-stem>.json`,
-/// and exits non-zero when a claim band failed.
+/// Attaches this invocation's [`RunManifest`] to a rendered report
+/// JSON. The manifest rides only on the *archived* artifact — stdout
+/// stays byte-identical across checkouts and argv orderings, which the
+/// lockstep tests depend on. Unparseable documents pass through
+/// unchanged.
+fn with_run_manifest(json_text: &str) -> String {
+    match bh_json::parse(json_text) {
+        Ok(mut doc) => {
+            let mut m = manifest();
+            if let Some(schema) = doc.get("schema").and_then(Json::as_str) {
+                m = m.with_schema(schema);
+            }
+            doc.set("manifest", m.to_json());
+            doc.pretty()
+        }
+        Err(_) => json_text.to_string(),
+    }
+}
+
+/// Prints the report, archives its JSON (with the run manifest
+/// attached) to `<results_dir>/<exe-stem>.json`, and exits non-zero
+/// when a claim band failed.
 pub fn finish(report: Report) -> ! {
     println!("{}", report.render());
-    archive(".json", &report.to_json());
+    archive(".json", &with_run_manifest(&report.to_json()));
     if report.all_claims_hold() {
         std::process::exit(0);
     }

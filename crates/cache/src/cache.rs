@@ -15,6 +15,7 @@
 use crate::store::SegmentStore;
 use crate::Result;
 use bh_metrics::Nanos;
+use bh_obs::{Ctr, Obs};
 use bh_trace::{CacheEvent, Tracer};
 use std::collections::HashMap;
 
@@ -103,6 +104,8 @@ pub struct FlashCache<S: SegmentStore> {
     peak_staged_pages: u64,
     stats: CacheStats,
     tracer: Tracer,
+    /// Live counter registry; hit/miss bumps mirror [`CacheStats`].
+    obs: Obs,
 }
 
 impl<S: SegmentStore> FlashCache<S> {
@@ -129,6 +132,7 @@ impl<S: SegmentStore> FlashCache<S> {
             peak_staged_pages: 0,
             stats: CacheStats::default(),
             tracer: Tracer::disabled(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -142,6 +146,14 @@ impl<S: SegmentStore> FlashCache<S> {
     /// The tracer currently installed (disabled by default).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Installs a live counter registry, cascading it into the segment
+    /// store so cache hit/miss counters and device counters share one
+    /// handle.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.store.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// The active write path.
@@ -174,10 +186,14 @@ impl<S: SegmentStore> FlashCache<S> {
         self.stats.lookups += 1;
         let entry = match self.index.get_mut(&key) {
             Some(e) => e,
-            None => return Ok((false, now)),
+            None => {
+                self.obs.inc(Ctr::CacheMisses);
+                return Ok((false, now));
+            }
         };
         entry.hit = true;
         self.stats.hits += 1;
+        self.obs.inc(Ctr::CacheHits);
         match entry.place {
             ObjPlace::Staged => Ok((true, now)),
             ObjPlace::Flash { segment, page } => {

@@ -9,6 +9,7 @@
 use crate::Result;
 use bh_conv::ConvSsd;
 use bh_metrics::Nanos;
+use bh_obs::Obs;
 use bh_trace::Tracer;
 use bh_zns::{ZnsDevice, ZoneId};
 
@@ -44,6 +45,10 @@ pub trait SegmentStore {
     /// Installs a tracer on the underlying device. Stores without
     /// instrumentation may ignore it.
     fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// Installs a live counter registry on the underlying device.
+    /// Stores without instrumentation may ignore it.
+    fn set_obs(&mut self, _obs: Obs) {}
 }
 
 /// Segments as contiguous LBA ranges on a conventional SSD.
@@ -125,6 +130,10 @@ impl SegmentStore for ConvSegmentStore {
     fn set_tracer(&mut self, tracer: Tracer) {
         self.ssd.set_tracer(tracer);
     }
+
+    fn set_obs(&mut self, obs: Obs) {
+        self.ssd.set_obs(obs);
+    }
 }
 
 /// Segments as zones on a ZNS SSD.
@@ -186,6 +195,10 @@ impl SegmentStore for ZnsSegmentStore {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.dev.set_tracer(tracer);
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        self.dev.set_obs(obs);
     }
 }
 

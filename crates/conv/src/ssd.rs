@@ -24,6 +24,7 @@ use bh_flash::{
     OpOrigin, PlaneId, Ppa, Stamp,
 };
 use bh_metrics::Nanos;
+use bh_obs::{Ctr, Obs};
 use bh_trace::{ConvEvent, FaultEvent, SpanId, Tracer};
 
 /// Upper bound on re-drives of a single host write or GC copy before the
@@ -109,6 +110,8 @@ pub struct ConvSsd {
     seal_seq: u64,
     read_only: bool,
     tracer: Tracer,
+    /// Live counter registry; FTL-level bumps mirror [`FtlStats`].
+    obs: Obs,
 }
 
 /// Captures the victim-index entry for a block being sealed.
@@ -181,6 +184,7 @@ impl ConvSsd {
             seal_seq: 0,
             read_only: false,
             tracer: Tracer::disabled(),
+            obs: Obs::disabled(),
         })
     }
 
@@ -195,6 +199,18 @@ impl ConvSsd {
     /// The tracer in use (disabled by default).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Installs a live counter registry on the FTL and the flash device
+    /// beneath it, so one handle observes the whole stack.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.dev.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// The registry handle in use (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Installs a transient-fault plan on the underlying flash device.
@@ -324,6 +340,7 @@ impl ConvSsd {
         let stamp = encode_oob(self.stamp_counter, lba);
         let (ppa, done) = self.program_host(plane, stamp, now)?;
         if let Some(old) = self.map.bind(lba, ppa) {
+            self.obs.inc(Ctr::ConvRemaps);
             self.invalidate_page(old)?;
         }
         if frontier_ready {
@@ -345,6 +362,7 @@ impl ConvSsd {
                     self.seal_if_full(plane, frontier, FrontierKind::Host);
                     if attempts > 0 {
                         self.stats.program_redrives += attempts as u64;
+                        self.obs.add(Ctr::ConvRedrives, attempts as u64);
                         self.tracer.emit(
                             done,
                             FaultEvent::Redrive {
@@ -584,6 +602,7 @@ impl ConvSsd {
     /// blocks freed (zero means no progress was possible) and the
     /// completion instant of the last operation issued (`now` if none).
     fn incremental_gc(&mut self, plane: PlaneId, now: Nanos, budget: u32) -> Result<(u32, Nanos)> {
+        let _p = bh_obs::phase!("gc");
         let mut done = now;
         let mut progress = 0u32;
         let mut moved = 0u32;
@@ -592,6 +611,7 @@ impl ConvSsd {
                 Some(v) => v,
                 None => match self.select_victim(plane, now) {
                     Some(v) => {
+                        self.obs.inc(Ctr::ConvGcVictims);
                         let st = &mut self.planes[plane.0 as usize];
                         st.gc_victim = Some(v);
                         st.gc_copied = 0;
@@ -646,6 +666,7 @@ impl ConvSsd {
                             // budget, and re-drive on the next turn.
                             self.seal_if_full(dst_plane, dst_block, FrontierKind::Gc);
                             self.stats.program_redrives += 1;
+                            self.obs.inc(Ctr::ConvRedrives);
                             self.tracer.emit(
                                 now,
                                 FaultEvent::Redrive {
@@ -664,6 +685,7 @@ impl ConvSsd {
                     self.invalidate_page(src)?;
                     self.seal_if_full(dst_plane, dst_block, FrontierKind::Gc);
                     self.stats.gc_pages_copied += 1;
+                    self.obs.inc(Ctr::ConvGcPagesMigrated);
                     self.planes[plane.0 as usize].gc_copied += 1;
                     moved += 1;
                     progress += 1;
@@ -792,6 +814,7 @@ impl ConvSsd {
                         attempts += 1;
                         self.seal_if_full(dst_plane, dst_block, FrontierKind::Gc);
                         self.stats.program_redrives += 1;
+                        self.obs.inc(Ctr::ConvRedrives);
                         if attempts > MAX_REDRIVES {
                             return Err(e.into());
                         }
@@ -815,6 +838,7 @@ impl ConvSsd {
         }
         if count_as_gc {
             self.stats.gc_pages_copied += moved;
+            self.obs.add(Ctr::ConvGcPagesMigrated, moved);
             self.stats.gc_erases += 1;
         }
         Ok(outcome.done)

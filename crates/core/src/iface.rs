@@ -20,6 +20,7 @@ use bh_conv::ConvSsd;
 use bh_flash::FlashStats;
 use bh_host::BlockEmu;
 use bh_metrics::Nanos;
+use bh_obs::Obs;
 use bh_trace::Tracer;
 
 /// One page write, with the placement hint folded into the request
@@ -96,21 +97,6 @@ pub trait BlockInterface {
 
     /// Short label for reports.
     fn label(&self) -> &'static str;
-
-    /// Deprecated shim for the pre-[`WriteReq`] write signature.
-    #[doc(hidden)]
-    #[deprecated(since = "0.1.0", note = "use write(WriteReq::new(lba), now)")]
-    fn write_lba(&mut self, lba: u64, now: Nanos) -> Result<Nanos, IoError> {
-        self.write(WriteReq::new(lba), now)
-    }
-
-    /// Deprecated shim for the pre-[`WriteReq`] hinted-write entry
-    /// point.
-    #[doc(hidden)]
-    #[deprecated(since = "0.1.0", note = "use write(WriteReq::hinted(lba, hint), now)")]
-    fn write_hinted(&mut self, lba: u64, hint: u32, now: Nanos) -> Result<Nanos, IoError> {
-        self.write(WriteReq::hinted(lba, hint), now)
-    }
 }
 
 /// Stack administration: everything an operator (or a fault harness)
@@ -138,6 +124,12 @@ pub trait StackAdmin: BlockInterface {
 
     /// Installs a tracer on the whole device stack.
     fn set_tracer(&mut self, tracer: Tracer);
+
+    /// Installs a live counter registry on the whole device stack. The
+    /// default ignores it, for stacks without instrumentation.
+    fn set_obs(&mut self, obs: Obs) {
+        let _ = obs;
+    }
 }
 
 impl BlockInterface for ConvSsd {
@@ -198,6 +190,10 @@ impl StackAdmin for ConvSsd {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         ConvSsd::set_tracer(self, tracer);
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        ConvSsd::set_obs(self, obs);
     }
 }
 
@@ -266,6 +262,10 @@ impl StackAdmin for BlockEmu {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         BlockEmu::set_tracer(self, tracer);
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        BlockEmu::set_obs(self, obs);
     }
 }
 
@@ -346,11 +346,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate() {
-        let (mut conv, _) = devices();
-        let t = conv.write_lba(0, Nanos::ZERO).unwrap();
-        let t = conv.write_hinted(1, 2, t).unwrap();
-        assert!(t > Nanos::ZERO);
+    fn obs_installs_through_the_admin_plane() {
+        let (mut conv, mut emu) = devices();
+        for dev in [conv.as_mut(), emu.as_mut()] {
+            let obs = Obs::enabled();
+            dev.set_obs(obs.clone());
+            let mut t = Nanos::ZERO;
+            for lba in 0..8 {
+                t = dev.write(WriteReq::new(lba), t).unwrap();
+            }
+            assert!(
+                obs.get(bh_obs::Ctr::FlashHostPrograms) >= 8,
+                "{}: host programs flow into the shared registry",
+                dev.label()
+            );
+        }
     }
 }

@@ -26,6 +26,8 @@ use crate::error::IoError;
 use crate::iface::{BlockInterface, WriteReq};
 use bh_flash::FlashStats;
 use bh_metrics::{Histogram, Nanos, Series};
+use bh_obs::profiler::{self, PhaseGuard};
+use bh_obs::{Ctr, Obs, SAMPLE_STRIDE};
 use bh_queue::{IoCompletion, IoKind, IoRequest, QueueEngine};
 use bh_trace::{RunnerEvent, Tracer};
 use bh_workloads::{Op, OpSource};
@@ -322,12 +324,27 @@ impl Sampler {
 #[derive(Debug)]
 pub struct Runner {
     cfg: RunConfig,
+    obs: Obs,
 }
 
 impl Runner {
     /// Creates a runner.
     pub fn new(cfg: RunConfig) -> Self {
-        Runner { cfg }
+        Runner {
+            cfg,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attaches a live counter registry. The runner counts operation
+    /// arrivals and retirements on both dispatch paths (the serial loop
+    /// counts them directly; the queued loop hands the registry to its
+    /// [`QueueEngine`], which also drives the in-flight gauge), so
+    /// `queue_arrivals == queue_retirements` holds for every completed
+    /// run regardless of depth.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Pre-writes every page so subsequent reads hit mapped data, and
@@ -338,6 +355,8 @@ impl Runner {
     ///
     /// Returns an [`OpFailure`] naming the LBA whose write failed.
     pub fn fill<D: BlockInterface + ?Sized>(dev: &mut D, now: Nanos) -> Result<Nanos, OpFailure> {
+        // Rare and long: measured exactly, not sampled.
+        let _p = PhaseGuard::enter_exact("fill");
         let mut t = now;
         for lba in 0..dev.capacity_pages() {
             t = dev
@@ -445,17 +464,30 @@ impl Runner {
         let mut arrival = start;
         let mut last_done = start;
         for i in 0..self.cfg.ops {
+            // Every `SAMPLE_STRIDE`th iteration is measured in full and
+            // weighted back up; the stride is coprime to the usual
+            // maintenance cadences so sampled iterations are not a
+            // biased subset.
+            let _w = (i % SAMPLE_STRIDE == 0).then(|| profiler::window(SAMPLE_STRIDE));
             if self.cfg.maintenance_every > 0 && i > 0 && i % self.cfg.maintenance_every == 0 {
+                let _p = PhaseGuard::enter("maintenance");
                 // Maintenance is issued at the current arrival horizon; it
                 // occupies device resources from then on.
                 dev.maintenance(arrival)
                     .map_err(|e| OpFailure::new(IoKind::Maintenance, None, arrival, e))?;
             }
-            let (op, hint) = stream.next_hinted();
-            let outcome = match op {
-                Op::Read(lba) => dev.read(lba, arrival),
-                Op::Write(lba) => dev.write(WriteReq::hinted(lba, hint), arrival),
-                Op::Trim(lba) => dev.trim(lba).map(|()| arrival),
+            let (op, hint) = {
+                let _p = PhaseGuard::enter("op_gen");
+                stream.next_hinted()
+            };
+            self.obs.inc(Ctr::QueueArrivals);
+            let outcome = {
+                let _p = PhaseGuard::enter("dev_exec");
+                match op {
+                    Op::Read(lba) => dev.read(lba, arrival),
+                    Op::Write(lba) => dev.write(WriteReq::hinted(lba, hint), arrival),
+                    Op::Trim(lba) => dev.trim(lba).map(|()| arrival),
+                }
             };
             match outcome {
                 Ok(done) => {
@@ -466,6 +498,7 @@ impl Runner {
                         Op::Trim(_) => {}
                     }
                     last_done = last_done.max(done);
+                    let _p = PhaseGuard::enter("pacing");
                     arrival = self.next_arrival(dev, i, arrival, done, last_done)?;
                 }
                 Err(e) => {
@@ -473,6 +506,7 @@ impl Runner {
                         // Unmapped reads are workload artifacts; count and
                         // move on.
                         errors += 1;
+                        let _p = PhaseGuard::enter("pacing");
                         arrival = self.next_arrival(dev, i, arrival, arrival, last_done)?;
                     } else {
                         let (kind, lba) = match op {
@@ -484,8 +518,10 @@ impl Runner {
                     }
                 }
             }
+            self.obs.inc(Ctr::QueueRetirements);
             if let Some(s) = sampler.as_deref_mut() {
                 if (i + 1) % s.every() == 0 {
+                    let _p = PhaseGuard::enter("sampler");
                     // Sample at the arrival horizon: planes busy past this
                     // instant are backlog the next op will queue behind.
                     s.sample(dev, i + 1, arrival, 0);
@@ -514,16 +550,23 @@ impl Runner {
         start: Nanos,
         mut sampler: Option<&mut Sampler>,
     ) -> Result<RunResult, OpFailure> {
-        let mut engine: QueueEngine<IoError> = QueueEngine::new(self.cfg.queue_depth);
+        let mut engine: QueueEngine<IoError> =
+            QueueEngine::new(self.cfg.queue_depth).with_obs(self.obs.clone());
         let mut reads = Histogram::new();
         let mut writes = Histogram::new();
         let mut errors = 0u64;
         let mut arrival = start;
         for i in 0..self.cfg.ops {
+            // Sampled profiling window, as on the serial path.
+            let _w = (i % SAMPLE_STRIDE == 0).then(|| profiler::window(SAMPLE_STRIDE));
             if self.cfg.maintenance_every > 0 && i > 0 && i % self.cfg.maintenance_every == 0 {
+                let _p = PhaseGuard::enter("maintenance");
                 engine.submit(IoRequest::Maintenance, arrival);
             }
-            let (op, hint) = stream.next_hinted();
+            let (op, hint) = {
+                let _p = PhaseGuard::enter("op_gen");
+                stream.next_hinted()
+            };
             let req = match op {
                 Op::Read(lba) => IoRequest::Read { lba },
                 Op::Write(lba) => IoRequest::Write {
@@ -532,42 +575,62 @@ impl Runner {
                 },
                 Op::Trim(lba) => IoRequest::Trim { lba },
             };
-            engine.submit(req, arrival);
-            engine.pump(|req, t| Self::exec(dev, req, t));
-            arrival = match self.cfg.pacing {
-                Pacing::Open { interarrival } => arrival + interarrival,
-                // The next op arrives when a window slot frees — the
-                // closed loop generalized to depth QD.
-                Pacing::Closed => start.max(engine.slot_free_at()),
-                Pacing::Bursty {
-                    burst_ops,
-                    interarrival,
-                    idle,
-                } => {
-                    if burst_ops > 0 && (i + 1).is_multiple_of(burst_ops) {
-                        // Quiesce, then give the host its idle window to
-                        // schedule reclaim, exactly as the serial loop
-                        // does between bursts.
-                        engine.flush();
-                        let window = engine.last_done().max(arrival + interarrival) + idle;
-                        engine.submit(IoRequest::Maintenance, window);
-                        engine.pump(|req, t| Self::exec(dev, req, t));
-                        engine.flush();
-                        engine.last_done().max(window)
-                    } else {
-                        arrival + interarrival
+            {
+                let _p = PhaseGuard::enter("submit");
+                engine.submit(req, arrival);
+            }
+            {
+                let _p = PhaseGuard::enter("pump");
+                engine.pump(|req, t| {
+                    let _p = PhaseGuard::enter("dev_exec");
+                    Self::exec(dev, req, t)
+                });
+            }
+            arrival = {
+                let _p = PhaseGuard::enter("pacing");
+                match self.cfg.pacing {
+                    Pacing::Open { interarrival } => arrival + interarrival,
+                    // The next op arrives when a window slot frees — the
+                    // closed loop generalized to depth QD.
+                    Pacing::Closed => start.max(engine.slot_free_at()),
+                    Pacing::Bursty {
+                        burst_ops,
+                        interarrival,
+                        idle,
+                    } => {
+                        if burst_ops > 0 && (i + 1).is_multiple_of(burst_ops) {
+                            // Quiesce, then give the host its idle window to
+                            // schedule reclaim, exactly as the serial loop
+                            // does between bursts.
+                            engine.flush();
+                            let window = engine.last_done().max(arrival + interarrival) + idle;
+                            engine.submit(IoRequest::Maintenance, window);
+                            engine.pump(|req, t| Self::exec(dev, req, t));
+                            engine.flush();
+                            engine.last_done().max(window)
+                        } else {
+                            arrival + interarrival
+                        }
                     }
                 }
             };
             if let Some(s) = sampler.as_deref_mut() {
                 if (i + 1) % s.every() == 0 {
+                    let _p = PhaseGuard::enter("sampler");
                     s.sample(dev, i + 1, arrival, engine.in_flight_at(arrival));
                 }
             }
+            {
+                let _p = PhaseGuard::enter("reap");
+                Self::reap(&mut engine, &mut reads, &mut writes, &mut errors)?;
+            }
+        }
+        {
+            // Rare and long: measured exactly, not sampled.
+            let _p = PhaseGuard::enter_exact("drain");
+            engine.flush();
             Self::reap(&mut engine, &mut reads, &mut writes, &mut errors)?;
         }
-        engine.flush();
-        Self::reap(&mut engine, &mut reads, &mut writes, &mut errors)?;
         Ok(RunResult {
             reads,
             writes,

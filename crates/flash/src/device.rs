@@ -16,6 +16,7 @@ use crate::stats::FlashStats;
 use crate::Result;
 use bh_faults::{FaultConfig, FaultCounters, FaultPlan};
 use bh_metrics::Nanos;
+use bh_obs::{Ctr, Obs};
 use bh_trace::{FaultEvent, FlashEvent, FlashOpKind, Tracer};
 
 /// Opaque per-page payload identifier.
@@ -107,6 +108,9 @@ pub struct FlashDevice {
     sched: ResourceModel,
     stats: FlashStats,
     tracer: Tracer,
+    /// Live counter registry; bumps mirror `stats` exactly, so WA
+    /// recomputed from counters matches `write_amplification()`.
+    obs: Obs,
     /// Transient-fault decision stream; `None` (the default) is the
     /// exact pre-fault code path.
     faults: Option<FaultPlan>,
@@ -136,6 +140,7 @@ impl FlashDevice {
             sched: ResourceModel::new(&geo),
             stats: FlashStats::default(),
             tracer: Tracer::disabled(),
+            obs: Obs::disabled(),
             faults: None,
         })
     }
@@ -154,6 +159,7 @@ impl FlashDevice {
     }
 
     fn trace_fault(&mut self, at: Nanos, ev: FaultEvent) {
+        self.obs.inc(Ctr::FaultEvents);
         if self.tracer.enabled() {
             self.tracer.emit(at, ev);
         }
@@ -188,6 +194,7 @@ impl FlashDevice {
             .sched
             .program(plane, &self.timing, self.geo.page_bytes, now);
         self.stats.internal_programs += 1;
+        self.obs.inc(Ctr::FlashInternalPrograms);
         self.stats.busy += self.timing.program + self.timing.transfer(self.geo.page_bytes as u64);
         self.trace_op(
             FlashOpKind::Program,
@@ -216,6 +223,21 @@ impl FlashDevice {
     /// Installs a tracer; flash operations emit [`FlashEvent`]s into it.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Installs a live counter registry. Flash operations bump it in
+    /// the same statements that bump [`FlashStats`], so counter-derived
+    /// aggregates match the stats exactly. A disabled handle (the
+    /// default) records nothing.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The registry handle in use (disabled by default). Cloning it
+    /// yields a handle onto the same counters, which is how upper
+    /// layers share one registry across the stack.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The tracer in use (disabled by default). Cloning it yields a handle
@@ -327,10 +349,19 @@ impl FlashDevice {
             .sched
             .read(plane, &self.timing, self.geo.page_bytes, now);
         match origin {
-            OpOrigin::Host => self.stats.host_reads += 1,
-            OpOrigin::Internal => self.stats.internal_reads += 1,
+            OpOrigin::Host => {
+                self.stats.host_reads += 1;
+                self.obs.inc(Ctr::FlashHostReads);
+            }
+            OpOrigin::Internal => {
+                self.stats.internal_reads += 1;
+                self.obs.inc(Ctr::FlashInternalReads);
+            }
         }
         self.stats.busy += self.timing.read + self.timing.transfer(self.geo.page_bytes as u64);
+        if retries > 0 {
+            self.obs.add(Ctr::FlashEccRetries, retries as u64);
+        }
         for _ in 0..retries {
             // Each ECC retry re-senses the page: it queues behind the
             // previous attempt on the same plane, so tail latency
@@ -340,6 +371,7 @@ impl FlashDevice {
                 .sched
                 .read(plane, &self.timing, self.geo.page_bytes, now);
             self.stats.internal_reads += 1;
+            self.obs.inc(Ctr::FlashInternalReads);
             self.stats.busy += self.timing.read + self.timing.transfer(self.geo.page_bytes as u64);
         }
         self.trace_op(
@@ -395,8 +427,14 @@ impl FlashDevice {
             .sched
             .program(plane, &self.timing, self.geo.page_bytes, now);
         match origin {
-            OpOrigin::Host => self.stats.host_programs += 1,
-            OpOrigin::Internal => self.stats.internal_programs += 1,
+            OpOrigin::Host => {
+                self.stats.host_programs += 1;
+                self.obs.inc(Ctr::FlashHostPrograms);
+            }
+            OpOrigin::Internal => {
+                self.stats.internal_programs += 1;
+                self.obs.inc(Ctr::FlashInternalPrograms);
+            }
         }
         self.stats.busy += self.timing.program + self.timing.transfer(self.geo.page_bytes as u64);
         self.trace_op(FlashOpKind::Program, origin, plane, block, page, now, done);
@@ -441,8 +479,14 @@ impl FlashDevice {
             .sched
             .program(plane, &self.timing, self.geo.page_bytes, now);
         match origin {
-            OpOrigin::Host => self.stats.host_programs += 1,
-            OpOrigin::Internal => self.stats.internal_programs += 1,
+            OpOrigin::Host => {
+                self.stats.host_programs += 1;
+                self.obs.inc(Ctr::FlashHostPrograms);
+            }
+            OpOrigin::Internal => {
+                self.stats.internal_programs += 1;
+                self.obs.inc(Ctr::FlashInternalPrograms);
+            }
         }
         self.stats.busy += self.timing.program + self.timing.transfer(self.geo.page_bytes as u64);
         self.trace_op(
@@ -498,6 +542,7 @@ impl FlashDevice {
         let plane = self.geo.plane_of(block);
         let done = self.sched.erase(plane, &self.timing, now);
         self.stats.erases += 1;
+        self.obs.inc(Ctr::FlashErases);
         self.stats.busy += self.timing.erase;
         self.trace_op(
             FlashOpKind::Erase,
@@ -564,6 +609,7 @@ impl FlashDevice {
         let dst_plane = self.geo.plane_of(dst_block);
         let done = self.sched.copy(src_plane, dst_plane, &self.timing, now);
         self.stats.copies += 1;
+        self.obs.inc(Ctr::FlashCopies);
         self.stats.busy += self.timing.read + self.timing.program;
         self.trace_op(
             FlashOpKind::Copy,

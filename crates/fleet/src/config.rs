@@ -91,6 +91,9 @@ pub struct FleetConfig {
     pub trace: bool,
     /// Per-shard trace ring capacity in events.
     pub trace_cap: usize,
+    /// Give every shard a live counter registry and merge the snapshots
+    /// into the fleet run.
+    pub obs: bool,
 }
 
 impl FleetConfig {
@@ -128,7 +131,15 @@ impl FleetConfig {
             sample_every: 250,
             trace: false,
             trace_cap: bh_trace::DEFAULT_CAPACITY,
+            obs: false,
         }
+    }
+
+    /// Enables per-shard live counter registries; their snapshots merge
+    /// into [`crate::FleetRun::obs`].
+    pub fn with_obs(mut self) -> Self {
+        self.obs = true;
+        self
     }
 
     /// Sets the per-shard queue depth.

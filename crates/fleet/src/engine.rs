@@ -1,6 +1,7 @@
 //! The fleet engine: place tenants, derive shard plans, run them on the
 //! pool, merge in shard order.
 
+use bh_obs::{profiler, ObsSnapshot, PhaseGuard};
 use bh_trace::TracedEvent;
 use bh_workloads::{split_seed, TenantPopulation};
 
@@ -30,6 +31,9 @@ pub struct FleetRun {
     pub traces: Vec<(u32, Vec<TracedEvent>)>,
     /// Trace events dropped across all shards' rings.
     pub trace_dropped: u64,
+    /// Fleet-wide counter snapshot: shard registries merged in shard-id
+    /// order (all-zero when [`FleetConfig::obs`] was off).
+    pub obs: ObsSnapshot,
 }
 
 /// Derives the per-shard plans from a fleet config. Exposed so callers
@@ -58,6 +62,7 @@ pub fn plan_fleet(cfg: &FleetConfig) -> Vec<ShardPlan> {
             sample_every: cfg.sample_every,
             trace: cfg.trace,
             trace_cap: cfg.trace_cap,
+            obs: cfg.obs,
         })
         .collect()
 }
@@ -78,7 +83,18 @@ pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, String> {
     for outcome in outcomes {
         results.push(outcome?);
     }
-    let report = FleetReport::from_shards(&results);
+    let mut obs = ObsSnapshot::default();
+    for r in &results {
+        obs.merge(&r.obs);
+        // Worker threads die with the pool; fold their phase tables
+        // into this thread's so a later `profiler::take` sees the whole
+        // fleet's attribution.
+        profiler::absorb(&r.phases);
+    }
+    let report = {
+        let _p = PhaseGuard::enter_exact("report_merge");
+        FleetReport::from_shards(&results)
+    };
     let trace_dropped = results.iter().map(|r| r.trace_dropped).sum();
     let traces = if cfg.trace {
         results.into_iter().map(|r| (r.shard, r.events)).collect()
@@ -89,6 +105,7 @@ pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, String> {
         report,
         traces,
         trace_dropped,
+        obs,
     })
 }
 
@@ -158,6 +175,25 @@ mod tests {
         let a = run_fleet(&cfg, 1).unwrap().report.to_json();
         let b = run_fleet(&cfg, 4).unwrap().report.to_json();
         assert_eq!(a, b, "faults must not break thread-count determinism");
+    }
+
+    #[test]
+    fn obs_snapshots_merge_across_shards_without_touching_the_report() {
+        use bh_obs::Ctr;
+        let on = run_fleet(&quick_cfg().with_obs(), 2).unwrap();
+        assert!(on.obs.counter(Ctr::FlashHostPrograms) > 0);
+        assert_eq!(
+            on.obs.counter(Ctr::QueueArrivals),
+            on.obs.counter(Ctr::QueueRetirements),
+            "every submitted op retires"
+        );
+        let off = run_fleet(&quick_cfg(), 2).unwrap();
+        assert!(off.obs.is_zero());
+        assert_eq!(
+            on.report.to_json(),
+            off.report.to_json(),
+            "counters observe; they must not perturb the report"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use bh_core::{Pacing, RunConfig, Runner, Sample, Sampler, StackAdmin};
 use bh_flash::FlashConfig;
 use bh_host::BlockEmu;
 use bh_metrics::{Histogram, Nanos};
+use bh_obs::{profiler, Obs, ObsSnapshot, PhaseReport};
 use bh_trace::{TracedEvent, Tracer};
 use bh_workloads::{OpMix, TenantSpec, TenantStream};
 use bh_zns::{ZnsConfig, ZnsDevice};
@@ -49,6 +50,8 @@ pub struct ShardPlan {
     pub trace: bool,
     /// Trace ring capacity in events.
     pub trace_cap: usize,
+    /// Give this shard a live counter registry.
+    pub obs: bool,
 }
 
 /// Plain-data outcome of one shard run.
@@ -77,6 +80,12 @@ pub struct ShardResult {
     pub events: Vec<TracedEvent>,
     /// Events the trace ring evicted.
     pub trace_dropped: u64,
+    /// Live counter snapshot taken after the run (all-zero when the
+    /// plan ran without a registry).
+    pub obs: ObsSnapshot,
+    /// Wall-clock phase attribution accumulated on the worker thread
+    /// while this shard ran (empty when the profiler is off).
+    pub phases: PhaseReport,
 }
 
 impl ShardResult {
@@ -145,6 +154,14 @@ impl ShardPlan {
         if self.trace {
             dev.set_tracer(tracer.clone());
         }
+        let obs = if self.obs {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        };
+        if self.obs {
+            dev.set_obs(obs.clone());
+        }
         let filled_at = Runner::fill(dev.as_mut(), Nanos::ZERO).map_err(|e| e.to_string())?;
         let mut stream = TenantStream::new(
             dev.capacity_pages(),
@@ -158,7 +175,8 @@ impl ShardPlan {
                 .with_pacing(self.pacing)
                 .with_maintenance_every(self.maintenance_every)
                 .with_queue_depth(self.queue_depth),
-        );
+        )
+        .with_obs(obs.clone());
         let mut sampler = Sampler::new(tracer.clone(), self.sample_every);
         let r = runner
             .run_traced(dev.as_mut(), &mut stream, filled_at, &mut sampler)
@@ -175,6 +193,11 @@ impl ShardPlan {
             samples: sampler.samples().to_vec(),
             events: tracer.events(),
             trace_dropped: tracer.dropped(),
+            obs: obs.snapshot(),
+            // Drain this worker thread's table so phase time recorded
+            // while *this* shard ran travels with its result (and does
+            // not leak into the next shard scheduled on the thread).
+            phases: profiler::take(),
         })
     }
 }
@@ -216,6 +239,7 @@ mod tests {
             sample_every: 100,
             trace: false,
             trace_cap: 1 << 12,
+            obs: false,
         }
     }
 

@@ -19,6 +19,7 @@ use crate::zalloc::ZonedLocation;
 use crate::Result;
 use bh_flash::{decode_oob, encode_oob};
 use bh_metrics::Nanos;
+use bh_obs::{Ctr, Obs};
 use bh_trace::{FaultEvent, HostEvent, Tracer};
 use bh_zns::{ZnsDevice, ZnsError, ZoneId, ZoneState};
 use std::collections::BTreeSet;
@@ -215,6 +216,9 @@ pub struct BlockEmu {
     stamp_counter: u64,
     stats: EmuStats,
     tracer: Tracer,
+    /// Live counter registry; emergency-reclaim bumps happen here, the
+    /// rest of the stack observes through the cascaded handle.
+    obs: Obs,
 }
 
 impl BlockEmu {
@@ -274,6 +278,7 @@ impl BlockEmu {
             stamp_counter: 0,
             stats: EmuStats::default(),
             tracer: Tracer::disabled(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -287,6 +292,18 @@ impl BlockEmu {
     /// The tracer currently installed (disabled by default).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Installs a live counter registry, cascading it into the ZNS
+    /// device (and flash) beneath so one handle observes the stack.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.dev.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// The registry handle in use (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Installs a transient-fault plan on the flash under the ZNS device.
@@ -471,6 +488,7 @@ impl BlockEmu {
         // zone in hand whenever reclaim can produce one. "No victim" is
         // not an error here — with space left, the write still proceeds.
         if self.free.len() <= 1 {
+            self.obs.inc(Ctr::HostEmergencyReclaims);
             match self.reclaim_step(now, 1) {
                 Ok(_) | Err(HostError::Unmapped(_)) | Err(HostError::NoFreeZone) => {}
                 Err(e) => return Err(e),
@@ -518,6 +536,7 @@ impl BlockEmu {
                         // victim is still a victim: reclaim again now and
                         // retry the allocation.
                         Err(HostError::NoFreeZone) => {
+                            self.obs.inc(Ctr::HostEmergencyReclaims);
                             self.reclaim_step(now, 1).map_err(|e| match e {
                                 HostError::Unmapped(_) => HostError::NoFreeZone,
                                 e => e,
@@ -642,6 +661,11 @@ impl BlockEmu {
         if !gate && !emergency {
             return Ok((0, now));
         }
+        if emergency && !gate {
+            // The policy did not want to run; free-zone exhaustion forced
+            // it anyway.
+            self.obs.inc(Ctr::HostEmergencyReclaims);
+        }
         self.stats.reclaim_runs += 1;
         let min_garbage = self.policy_min_garbage();
         let mut reclaimed = 0;
@@ -764,6 +788,7 @@ impl BlockEmu {
     /// Returns [`HostError::Unmapped(0)`] as a sentinel when no victim
     /// with garbage exists (mapped to "nothing to do" by callers).
     fn reclaim_step(&mut self, now: Nanos, min_garbage: u64) -> Result<Nanos> {
+        let _p = bh_obs::phase!("reclaim");
         let victim = self.victim(min_garbage).ok_or(HostError::Unmapped(0))?;
         // Collect live (offset, lba) pairs in offset order, reusing the
         // scratch buffers so steady-state reclaim allocates nothing.

@@ -11,6 +11,7 @@
 use crate::error::HostError;
 use crate::Result;
 use bh_metrics::Nanos;
+use bh_obs::{Ctr, Obs};
 use bh_trace::{FaultEvent, HostEvent, Tracer};
 use bh_zns::{ZnsDevice, ZnsError, ZoneId, ZoneState};
 use std::collections::HashMap;
@@ -48,6 +49,8 @@ pub struct ZoneAllocator {
     owned_mask: Vec<bool>,
     /// Records class→zone allocation events; disabled by default.
     tracer: Tracer,
+    /// Live counter registry; counts fresh zone allocations.
+    obs: Obs,
 }
 
 impl ZoneAllocator {
@@ -61,6 +64,15 @@ impl ZoneAllocator {
     /// merged stream.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Installs a live counter registry. Like [`set_tracer`], this does
+    /// not cascade; give the device a clone of the same handle for one
+    /// merged registry.
+    ///
+    /// [`set_tracer`]: ZoneAllocator::set_tracer
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The zone currently open for `class`, if any.
@@ -128,6 +140,7 @@ impl ZoneAllocator {
                 Some(&z) if writable(z)? => z,
                 _ => {
                     let z = self.find_empty(dev)?;
+                    self.obs.inc(Ctr::ZallocZoneAllocs);
                     self.open.insert(class, z);
                     self.owned.push(z);
                     if self.owned_mask.len() <= z.0 as usize {

@@ -26,6 +26,7 @@ use crate::Result;
 use bh_conv::ConvSsd;
 use bh_host::{HostError, LifetimeClass, ZoneAllocator, ZonedLocation};
 use bh_metrics::Nanos;
+use bh_obs::Obs;
 use bh_trace::Tracer;
 use bh_zns::{ZnsDevice, ZoneId, ZoneState};
 use std::collections::HashMap;
@@ -101,6 +102,10 @@ pub trait StorageBackend {
     /// Installs a tracer on the underlying device(s). Backends without
     /// instrumentation may ignore it.
     fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// Installs a live counter registry on the underlying device(s).
+    /// Backends without instrumentation may ignore it.
+    fn set_obs(&mut self, _obs: Obs) {}
 }
 
 /// In-memory file body plus flush bookkeeping shared by both backends.
@@ -371,6 +376,10 @@ impl StorageBackend for ConvBackend {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.ssd.set_tracer(tracer);
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        self.ssd.set_obs(obs);
     }
 }
 
@@ -663,6 +672,11 @@ impl StorageBackend for ZnsBackend {
     fn set_tracer(&mut self, tracer: Tracer) {
         self.alloc.set_tracer(tracer.clone());
         self.dev.set_tracer(tracer);
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        self.alloc.set_obs(obs.clone());
+        self.dev.set_obs(obs);
     }
 }
 

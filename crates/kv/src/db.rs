@@ -16,6 +16,7 @@ use crate::memtable::{Memtable, Mutation};
 use crate::sst::{decode_entry, encode_entry, Sst, SstBuilder};
 use crate::Result;
 use bh_metrics::Nanos;
+use bh_obs::{Ctr, Obs};
 use bh_trace::{KvEvent, Tracer};
 
 /// Tuning parameters for a [`Db`].
@@ -65,6 +66,8 @@ pub struct DbStats {
     pub compactions: u64,
     /// Application payload bytes written (keys + values).
     pub app_bytes: u64,
+    /// Encoded record bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
     /// Bytes written into SSTs by flushes and compactions.
     pub sst_bytes_written: u64,
 }
@@ -108,6 +111,8 @@ pub struct Db<B: StorageBackend> {
     seq: u64,
     stats: DbStats,
     tracer: Tracer,
+    /// Live counter registry; WAL/compaction byte bumps mirror `stats`.
+    obs: Obs,
     /// Reusable WAL-record encode buffer, so each put/delete serializes
     /// without allocating.
     record: Vec<u8>,
@@ -127,6 +132,7 @@ impl<B: StorageBackend> Db<B> {
             seq: 0,
             stats: DbStats::default(),
             tracer: Tracer::disabled(),
+            obs: Obs::disabled(),
             record: Vec::new(),
         })
     }
@@ -141,6 +147,13 @@ impl<B: StorageBackend> Db<B> {
     /// The tracer currently installed (disabled by default).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Installs a live counter registry, cascading it into the storage
+    /// backend so LSM-level and device-level counters share one handle.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.backend.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Activity counters.
@@ -165,6 +178,8 @@ impl<B: StorageBackend> Db<B> {
         let mut record = std::mem::take(&mut self.record);
         record.clear();
         encode_entry(&mut record, &key, self.seq, &mutation);
+        self.stats.wal_bytes += record.len() as u64;
+        self.obs.add(Ctr::KvWalBytes, record.len() as u64);
         let append = self.backend.append(self.wal, &record, now);
         self.record = record;
         let mut t = append?;
@@ -378,6 +393,7 @@ impl<B: StorageBackend> Db<B> {
                     .finish(&mut self.backend, t)?;
                 t = done;
                 self.stats.sst_bytes_written += sst.data_bytes;
+                self.obs.add(Ctr::KvCompactionBytes, sst.data_bytes);
                 outputs.push(sst);
             }
         }
@@ -386,6 +402,7 @@ impl<B: StorageBackend> Db<B> {
                 let (sst, done) = b.finish(&mut self.backend, t)?;
                 t = done;
                 self.stats.sst_bytes_written += sst.data_bytes;
+                self.obs.add(Ctr::KvCompactionBytes, sst.data_bytes);
                 outputs.push(sst);
             }
         }

@@ -166,6 +166,22 @@ impl Histogram {
         Nanos::from_nanos(self.max)
     }
 
+    /// Iterates the occupied buckets as `(upper_bound, count)` pairs, in
+    /// ascending value order. `upper_bound` is the inclusive top of the
+    /// bucket's value range in nanoseconds.
+    ///
+    /// This is the full-resolution export behind archived-result JSON:
+    /// together with `count`/`min`/`max` it lets external tooling
+    /// re-derive any quantile (to the same ~3.1% bucket error) instead
+    /// of being limited to the fixed [`Summary`] percentiles.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (Self::value_for(i), c))
+    }
+
     /// Produces the fixed percentile digest used in experiment reports.
     pub fn summary(&self) -> Summary {
         Summary {
@@ -435,6 +451,23 @@ mod tests {
         assert_eq!(a.count(), b.count());
         assert_eq!(a.quantile(0.5), b.quantile(0.5));
         assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn buckets_export_preserves_count_and_brackets_values() {
+        let mut h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record(Nanos::from_micros(us));
+        }
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.count());
+        // Ascending, deduplicated upper bounds that bracket the data.
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(buckets.first().unwrap().0 >= 1_000);
+        assert!(buckets.last().unwrap().0 >= 1_000_000);
+        // Empty histograms export no buckets.
+        assert_eq!(Histogram::new().buckets().count(), 0);
     }
 
     #[test]

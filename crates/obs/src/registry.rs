@@ -1,0 +1,440 @@
+//! Monotonic counters and gauges for the single-threaded sim path.
+//!
+//! The registry is deliberately boring: a fixed-size array of
+//! [`Cell<u64>`]s behind an [`Rc`], indexed by the [`Ctr`] and [`Gauge`]
+//! enums. No atomics (the hot path is single-threaded), no hashing, no
+//! allocation after construction. A disabled handle costs one branch per
+//! bump, so instrumented code never needs `if obs.enabled()` guards.
+//!
+//! Fleet shards each build their own registry on the worker thread and
+//! ship a plain-data [`ObsSnapshot`] back; snapshots merge the same way
+//! `FleetReport` merges shard tables (counters add, gauge values sum,
+//! peaks sum — a fleet's "peak in flight" is the sum of per-shard peaks
+//! because shards are independent devices).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Every monotonic counter the stack exposes.
+///
+/// The discriminant is the registry slot, so adding a counter is a
+/// one-line change here plus a bump at the site that observes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Ctr {
+    /// Host-initiated flash page reads.
+    FlashHostReads,
+    /// Host-initiated flash page programs.
+    FlashHostPrograms,
+    /// Device-internal flash page reads (GC, scrub, replay).
+    FlashInternalReads,
+    /// Device-internal flash page programs (GC relocation, redrives).
+    FlashInternalPrograms,
+    /// Page copies through the on-die copyback path.
+    FlashCopies,
+    /// Block erases.
+    FlashErases,
+    /// ECC read retries (extra sensing passes beyond the first).
+    FlashEccRetries,
+    /// Conventional FTL: logical overwrites that replaced a live mapping.
+    ConvRemaps,
+    /// Conventional FTL: GC victim blocks selected.
+    ConvGcVictims,
+    /// Conventional FTL: live pages migrated by GC or wear leveling.
+    ConvGcPagesMigrated,
+    /// Conventional FTL: host programs redriven after a transient failure.
+    ConvRedrives,
+    /// ZNS: transitions into an open state (implicit or explicit).
+    ZnsToOpen,
+    /// ZNS: transitions into `Closed`.
+    ZnsToClosed,
+    /// ZNS: transitions into `Full`.
+    ZnsToFull,
+    /// ZNS: transitions into `Empty` (resets).
+    ZnsToEmpty,
+    /// ZNS: transitions into `ReadOnly` or `Offline` (degradations).
+    ZnsDegraded,
+    /// Host FTL emulation: reclaim passes forced by free-zone exhaustion.
+    HostEmergencyReclaims,
+    /// Zone allocator: fresh zones opened for a lifetime class.
+    ZallocZoneAllocs,
+    /// KV store: bytes appended to the write-ahead log.
+    KvWalBytes,
+    /// KV store: SST bytes written by compactions (not flushes).
+    KvCompactionBytes,
+    /// Cache hits.
+    CacheHits,
+    /// Cache misses.
+    CacheMisses,
+    /// Queue engine: commands accepted into a submission queue.
+    QueueArrivals,
+    /// Queue engine: completions consumed from a completion queue.
+    QueueRetirements,
+    /// Injected fault events observed (read retries, erase failures,
+    /// program burns).
+    FaultEvents,
+}
+
+/// Number of counter slots.
+pub const CTR_COUNT: usize = Ctr::FaultEvents as usize + 1;
+
+/// All counters, in slot order. Used by exporters.
+pub const ALL_CTRS: [Ctr; CTR_COUNT] = [
+    Ctr::FlashHostReads,
+    Ctr::FlashHostPrograms,
+    Ctr::FlashInternalReads,
+    Ctr::FlashInternalPrograms,
+    Ctr::FlashCopies,
+    Ctr::FlashErases,
+    Ctr::FlashEccRetries,
+    Ctr::ConvRemaps,
+    Ctr::ConvGcVictims,
+    Ctr::ConvGcPagesMigrated,
+    Ctr::ConvRedrives,
+    Ctr::ZnsToOpen,
+    Ctr::ZnsToClosed,
+    Ctr::ZnsToFull,
+    Ctr::ZnsToEmpty,
+    Ctr::ZnsDegraded,
+    Ctr::HostEmergencyReclaims,
+    Ctr::ZallocZoneAllocs,
+    Ctr::KvWalBytes,
+    Ctr::KvCompactionBytes,
+    Ctr::CacheHits,
+    Ctr::CacheMisses,
+    Ctr::QueueArrivals,
+    Ctr::QueueRetirements,
+    Ctr::FaultEvents,
+];
+
+impl Ctr {
+    /// Stable snake_case name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ctr::FlashHostReads => "flash_host_reads",
+            Ctr::FlashHostPrograms => "flash_host_programs",
+            Ctr::FlashInternalReads => "flash_internal_reads",
+            Ctr::FlashInternalPrograms => "flash_internal_programs",
+            Ctr::FlashCopies => "flash_copies",
+            Ctr::FlashErases => "flash_erases",
+            Ctr::FlashEccRetries => "flash_ecc_retries",
+            Ctr::ConvRemaps => "conv_remaps",
+            Ctr::ConvGcVictims => "conv_gc_victims",
+            Ctr::ConvGcPagesMigrated => "conv_gc_pages_migrated",
+            Ctr::ConvRedrives => "conv_redrives",
+            Ctr::ZnsToOpen => "zns_transitions_open",
+            Ctr::ZnsToClosed => "zns_transitions_closed",
+            Ctr::ZnsToFull => "zns_transitions_full",
+            Ctr::ZnsToEmpty => "zns_transitions_empty",
+            Ctr::ZnsDegraded => "zns_transitions_degraded",
+            Ctr::HostEmergencyReclaims => "host_emergency_reclaims",
+            Ctr::ZallocZoneAllocs => "zalloc_zone_allocs",
+            Ctr::KvWalBytes => "kv_wal_bytes",
+            Ctr::KvCompactionBytes => "kv_compaction_bytes",
+            Ctr::CacheHits => "cache_hits",
+            Ctr::CacheMisses => "cache_misses",
+            Ctr::QueueArrivals => "queue_arrivals",
+            Ctr::QueueRetirements => "queue_retirements",
+            Ctr::FaultEvents => "fault_events",
+        }
+    }
+}
+
+/// Every instantaneous gauge the stack exposes. Each slot tracks the
+/// current value and the peak value seen since construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// ZNS zones counted against the active-zone limit.
+    ZnsActiveZones,
+    /// ZNS zones counted against the open-zone limit.
+    ZnsOpenZones,
+    /// ZNS zones in `Empty`.
+    ZnsEmptyZones,
+    /// Commands in flight across all queue pairs.
+    QueueInFlight,
+}
+
+/// Number of gauge slots.
+pub const GAUGE_COUNT: usize = Gauge::QueueInFlight as usize + 1;
+
+/// All gauges, in slot order.
+pub const ALL_GAUGES: [Gauge; GAUGE_COUNT] = [
+    Gauge::ZnsActiveZones,
+    Gauge::ZnsOpenZones,
+    Gauge::ZnsEmptyZones,
+    Gauge::QueueInFlight,
+];
+
+impl Gauge {
+    /// Stable snake_case name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::ZnsActiveZones => "zns_active_zones",
+            Gauge::ZnsOpenZones => "zns_open_zones",
+            Gauge::ZnsEmptyZones => "zns_empty_zones",
+            Gauge::QueueInFlight => "queue_in_flight",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    counters: [Cell<u64>; CTR_COUNT],
+    gauges: [Cell<u64>; GAUGE_COUNT],
+    peaks: [Cell<u64>; GAUGE_COUNT],
+}
+
+/// A cheap, cloneable handle onto a metrics registry.
+///
+/// `Obs::disabled()` (the `Default`) is a no-op handle: every bump is a
+/// single `Option` branch. `Obs::enabled()` allocates one shared
+/// registry; clones observe into the same slots, so a whole device stack
+/// (flash → FTL → host → app) shares one registry by cloning the handle
+/// down through `set_obs`.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Rc<Inner>>,
+}
+
+impl Obs {
+    /// A handle that records nothing. All operations are no-ops.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A handle onto a fresh zeroed registry.
+    pub fn enabled() -> Self {
+        Obs {
+            inner: Some(Rc::new(Inner {
+                counters: std::array::from_fn(|_| Cell::new(0)),
+                gauges: std::array::from_fn(|_| Cell::new(0)),
+                peaks: std::array::from_fn(|_| Cell::new(0)),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn enabled_handle(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Increments `ctr` by one.
+    #[inline]
+    pub fn inc(&self, ctr: Ctr) {
+        self.add(ctr, 1);
+    }
+
+    /// Increments `ctr` by `n`.
+    #[inline]
+    pub fn add(&self, ctr: Ctr, n: u64) {
+        if let Some(inner) = &self.inner {
+            let cell = &inner.counters[ctr as usize];
+            cell.set(cell.get().wrapping_add(n));
+        }
+    }
+
+    /// Current value of `ctr` (0 on a disabled handle).
+    pub fn get(&self, ctr: Ctr) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.counters[ctr as usize].get())
+    }
+
+    /// Sets `gauge` to `value`, updating its peak.
+    #[inline]
+    pub fn gauge_set(&self, gauge: Gauge, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.gauges[gauge as usize].set(value);
+            let peak = &inner.peaks[gauge as usize];
+            if value > peak.get() {
+                peak.set(value);
+            }
+        }
+    }
+
+    /// Current value of `gauge` (0 on a disabled handle).
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.gauges[gauge as usize].get())
+    }
+
+    /// Peak value `gauge` has held (0 on a disabled handle).
+    pub fn gauge_peak(&self, gauge: Gauge) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.peaks[gauge as usize].get())
+    }
+
+    /// Copies the registry out as plain mergeable data. A disabled
+    /// handle snapshots to all zeros.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let mut snap = ObsSnapshot::default();
+        if let Some(inner) = &self.inner {
+            for (slot, cell) in snap.counters.iter_mut().zip(inner.counters.iter()) {
+                *slot = cell.get();
+            }
+            for i in 0..GAUGE_COUNT {
+                snap.gauges[i] = GaugeVal {
+                    value: inner.gauges[i].get(),
+                    peak: inner.peaks[i].get(),
+                };
+            }
+        }
+        snap
+    }
+}
+
+/// A gauge's current value and the peak it has held.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeVal {
+    /// Last value set.
+    pub value: u64,
+    /// Maximum value ever set.
+    pub peak: u64,
+}
+
+/// A plain-data copy of a registry, safe to send across threads and
+/// merge across fleet shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsSnapshot {
+    counters: [u64; CTR_COUNT],
+    gauges: [GaugeVal; GAUGE_COUNT],
+}
+
+impl Default for ObsSnapshot {
+    fn default() -> Self {
+        ObsSnapshot {
+            counters: [0; CTR_COUNT],
+            gauges: [GaugeVal::default(); GAUGE_COUNT],
+        }
+    }
+}
+
+impl ObsSnapshot {
+    /// Value of one counter.
+    pub fn counter(&self, ctr: Ctr) -> u64 {
+        self.counters[ctr as usize]
+    }
+
+    /// Value and peak of one gauge.
+    pub fn gauge(&self, gauge: Gauge) -> GaugeVal {
+        self.gauges[gauge as usize]
+    }
+
+    /// Folds another snapshot in: counters add; gauge values and peaks
+    /// sum (shards are independent devices, so fleet-wide occupancy is
+    /// the sum of shard occupancies).
+    pub fn merge(&mut self, other: &ObsSnapshot) {
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a = a.wrapping_add(*b);
+        }
+        for (a, b) in self.gauges.iter_mut().zip(other.gauges.iter()) {
+            a.value += b.value;
+            a.peak += b.peak;
+        }
+    }
+
+    /// True when every counter and gauge is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0)
+            && self.gauges.iter().all(|g| g.value == 0 && g.peak == 0)
+    }
+
+    /// Write amplification recomputed purely from flash counters, with
+    /// the same conventions as `FlashStats::write_amplification`: 1.0
+    /// before any program, infinite when only internal programs ran.
+    ///
+    /// E19 checks this is *exactly* equal (bit-for-bit) to the device's
+    /// own report, because both derive from the same `u64` bumps.
+    pub fn derived_wa(&self) -> f64 {
+        let host = self.counter(Ctr::FlashHostPrograms);
+        let internal = self.counter(Ctr::FlashInternalPrograms) + self.counter(Ctr::FlashCopies);
+        let total = host + internal;
+        if total == 0 {
+            return 1.0;
+        }
+        if host == 0 {
+            return f64::INFINITY;
+        }
+        total as f64 / host as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        obs.inc(Ctr::FlashErases);
+        obs.gauge_set(Gauge::QueueInFlight, 9);
+        assert_eq!(obs.get(Ctr::FlashErases), 0);
+        assert_eq!(obs.gauge(Gauge::QueueInFlight), 0);
+        assert!(obs.snapshot().is_zero());
+        assert!(!obs.enabled_handle());
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let a = Obs::enabled();
+        let b = a.clone();
+        a.inc(Ctr::ConvRemaps);
+        b.add(Ctr::ConvRemaps, 2);
+        assert_eq!(a.get(Ctr::ConvRemaps), 3);
+        assert_eq!(b.snapshot().counter(Ctr::ConvRemaps), 3);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let obs = Obs::enabled();
+        obs.gauge_set(Gauge::QueueInFlight, 4);
+        obs.gauge_set(Gauge::QueueInFlight, 16);
+        obs.gauge_set(Gauge::QueueInFlight, 2);
+        assert_eq!(obs.gauge(Gauge::QueueInFlight), 2);
+        assert_eq!(obs.gauge_peak(Gauge::QueueInFlight), 16);
+    }
+
+    #[test]
+    fn snapshots_merge_counters_and_gauges() {
+        let a = Obs::enabled();
+        a.add(Ctr::KvWalBytes, 100);
+        a.gauge_set(Gauge::ZnsOpenZones, 3);
+        let b = Obs::enabled();
+        b.add(Ctr::KvWalBytes, 11);
+        b.gauge_set(Gauge::ZnsOpenZones, 5);
+        b.gauge_set(Gauge::ZnsOpenZones, 2);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter(Ctr::KvWalBytes), 111);
+        assert_eq!(merged.gauge(Gauge::ZnsOpenZones).value, 5);
+        assert_eq!(merged.gauge(Gauge::ZnsOpenZones).peak, 8);
+    }
+
+    #[test]
+    fn derived_wa_conventions_match_flash_stats() {
+        let obs = Obs::enabled();
+        assert_eq!(obs.snapshot().derived_wa(), 1.0);
+        obs.add(Ctr::FlashInternalPrograms, 5);
+        assert!(obs.snapshot().derived_wa().is_infinite());
+        obs.add(Ctr::FlashHostPrograms, 10);
+        let wa = obs.snapshot().derived_wa();
+        assert!((wa - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slot_tables_cover_every_variant() {
+        for (i, c) in ALL_CTRS.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+            assert!(!c.name().is_empty());
+        }
+        for (i, g) in ALL_GAUGES.iter().enumerate() {
+            assert_eq!(*g as usize, i);
+            assert!(!g.name().is_empty());
+        }
+    }
+}

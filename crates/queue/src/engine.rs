@@ -2,6 +2,7 @@
 
 use crate::req::{IoCompletion, IoRequest};
 use bh_metrics::Nanos;
+use bh_obs::{Ctr, Gauge, Obs};
 use bh_trace::{RunnerEvent, Tracer};
 
 /// One submitted-but-not-yet-dispatched entry.
@@ -144,6 +145,8 @@ pub struct QueueEngine<E> {
     /// because command ids are.
     inflight: std::collections::BTreeMap<(Nanos, u64), IoCompletion<E>>,
     tracer: Tracer,
+    /// Live counter registry: arrivals, retirements, in-flight gauge.
+    obs: Obs,
     last_done: Nanos,
     peak_inflight: usize,
 }
@@ -157,6 +160,7 @@ impl<E> QueueEngine<E> {
             cq: CompletionQueue::default(),
             inflight: std::collections::BTreeMap::new(),
             tracer: Tracer::disabled(),
+            obs: Obs::disabled(),
             last_done: Nanos::ZERO,
             peak_inflight: 0,
         }
@@ -169,6 +173,13 @@ impl<E> QueueEngine<E> {
         self
     }
 
+    /// Attaches a live counter registry: arrivals and retirements are
+    /// counted, and the in-flight window drives a gauge (with peak).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// The configured queue depth.
     pub fn depth(&self) -> usize {
         self.depth
@@ -177,6 +188,7 @@ impl<E> QueueEngine<E> {
     /// Submits `req` arriving at `arrival`; returns its command id.
     /// Dispatch happens on the next [`QueueEngine::pump`].
     pub fn submit(&mut self, req: IoRequest, arrival: Nanos) -> u64 {
+        self.obs.inc(Ctr::QueueArrivals);
         self.sq.submit(req, arrival)
     }
 
@@ -229,8 +241,11 @@ impl<E> QueueEngine<E> {
             .is_some_and(|(&(completed, _), _)| completed <= horizon)
         {
             let (_, c) = self.inflight.pop_first().expect("checked non-empty");
+            self.obs.inc(Ctr::QueueRetirements);
             self.cq.push(c);
         }
+        self.obs
+            .gauge_set(Gauge::QueueInFlight, self.inflight.len() as u64);
     }
 
     /// Dispatches every pending submission against the device.
@@ -289,6 +304,7 @@ impl<E> QueueEngine<E> {
                 .count()
                 + 1;
             self.peak_inflight = self.peak_inflight.max(concurrent);
+            self.obs.gauge_set(Gauge::QueueInFlight, concurrent as u64);
             self.inflight
                 .insert((completed, completion.cid), completion);
         }

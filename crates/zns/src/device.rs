@@ -6,6 +6,7 @@ use crate::zone::{Zone, ZoneId, ZoneState};
 use crate::Result;
 use bh_flash::{FlashDevice, FlashError, FlashStats, OpOrigin, PlaneId, Ppa, Stamp};
 use bh_metrics::Nanos;
+use bh_obs::{Ctr, Gauge, Obs};
 use bh_trace::{Tracer, ZnsEvent, ZoneStateTag};
 
 /// Operation counters specific to the zoned interface.
@@ -52,6 +53,9 @@ pub struct ZnsDevice {
     empty: u32,
     stats: ZnsStats,
     tracer: Tracer,
+    /// Live counter registry; transition counters and zone-occupancy
+    /// gauges update at every state change.
+    obs: Obs,
     /// Latest issue instant seen; stamps transitions from untimed zone
     /// management commands (open/close/finish take no `now`).
     clock: Nanos,
@@ -111,6 +115,7 @@ impl ZnsDevice {
             empty,
             stats: ZnsStats::default(),
             tracer: Tracer::disabled(),
+            obs: Obs::disabled(),
             clock: Nanos::ZERO,
         })
     }
@@ -128,6 +133,20 @@ impl ZnsDevice {
         &self.tracer
     }
 
+    /// Installs a live counter registry on the zoned layer and the flash
+    /// device beneath it, and seeds the zone-occupancy gauges with the
+    /// current state.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.dev.set_obs(obs.clone());
+        self.obs = obs;
+        self.sync_zone_gauges();
+    }
+
+    /// The registry handle in use (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Installs a transient-fault plan on the underlying flash device.
     pub fn install_faults(&mut self, cfg: bh_faults::FaultConfig) {
         self.dev.install_faults(cfg);
@@ -141,7 +160,22 @@ impl ZnsDevice {
         to: ZoneState,
         cause: &'static str,
     ) {
-        if from == to || !self.tracer.enabled() {
+        if from == to {
+            return;
+        }
+        if self.obs.enabled_handle() {
+            self.obs.inc(match to {
+                ZoneState::ImplicitlyOpened | ZoneState::ExplicitlyOpened => Ctr::ZnsToOpen,
+                ZoneState::Closed => Ctr::ZnsToClosed,
+                ZoneState::Full => Ctr::ZnsToFull,
+                ZoneState::Empty => Ctr::ZnsToEmpty,
+                ZoneState::ReadOnly | ZoneState::Offline => Ctr::ZnsDegraded,
+            });
+            // Every caller adjusts the occupancy tallies before tracing
+            // the transition, so this snapshot is already consistent.
+            self.sync_zone_gauges();
+        }
+        if !self.tracer.enabled() {
             return;
         }
         self.tracer.emit(
@@ -153,6 +187,14 @@ impl ZnsDevice {
                 cause,
             },
         );
+    }
+
+    /// Refreshes the zone-occupancy gauges from the O(1) tallies.
+    fn sync_zone_gauges(&self) {
+        self.obs
+            .gauge_set(Gauge::ZnsActiveZones, self.active as u64);
+        self.obs.gauge_set(Gauge::ZnsOpenZones, self.open as u64);
+        self.obs.gauge_set(Gauge::ZnsEmptyZones, self.empty as u64);
     }
 
     /// The device configuration.
