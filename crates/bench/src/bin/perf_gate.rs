@@ -25,8 +25,10 @@
 //!   "obs_overhead": <frac>, "peak_rss_kb": n | null, "manifest": {...} }
 //! ```
 //!
-//! Schema notes (`bh-perf/1`): `peak_rss_kb` is `null` — not `0` — when
-//! `/proc/self/status` is unavailable (non-Linux hosts), because a zero
+//! Schema notes (`bh-perf/1`): `peak_rss_kb` comes from
+//! [`bh_bench::peak_rss_kb`] — `VmHWM` with a `VmRSS` fallback for
+//! procfs variants that omit the high-water mark — and is `null`, not
+//! `0`, when neither is readable (non-Linux hosts), because a zero
 //! would read as a real measurement in cross-run comparisons.
 //!
 //! With `--check <baseline.json>` the run fails (exit 1) when any
@@ -253,18 +255,6 @@ fn fleet_16(instrumented: bool) -> u64 {
     shards as u64 * ops_per_shard
 }
 
-/// Peak resident set size in KiB, from `/proc/self/status`. `None`
-/// (rendered as JSON `null`) when the file is unavailable — reporting
-/// `0` would look like a real measurement.
-fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    status
-        .lines()
-        .find(|l| l.starts_with("VmHWM:"))
-        .and_then(|l| l.split_whitespace().nth(1))
-        .and_then(|kb| kb.parse().ok())
-}
-
 /// Observability overhead: instrumented vs base wall time, summed over
 /// all workloads so per-workload noise averages out.
 fn obs_overhead(measurements: &[Measurement]) -> f64 {
@@ -309,7 +299,7 @@ fn to_json(measurements: &[Measurement], quick: bool) -> Json {
         },
     );
     doc.set("obs_overhead", obs_overhead(measurements));
-    match peak_rss_kb() {
+    match bh_bench::peak_rss_kb() {
         Some(kb) => doc.set("peak_rss_kb", kb),
         None => doc.set("peak_rss_kb", Json::Null),
     };

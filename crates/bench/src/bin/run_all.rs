@@ -36,6 +36,7 @@ const EXPERIMENTS: &[&str] = &[
     "expt_faults",
     "expt_qd",
     "expt_obs",
+    "expt_backend",
 ];
 
 /// `--jobs N` argument or `BH_JOBS` env var; default: available

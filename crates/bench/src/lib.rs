@@ -9,10 +9,12 @@
 //! - exit non-zero if any claim band fails, so the whole harness is
 //!   scriptable.
 
-use bh_core::Report;
+use bh_core::{Backend, Report};
 use bh_json::Json;
 use bh_obs::{Obs, PhaseGuard, RunManifest};
 use bh_trace::Tracer;
+use bh_zbd::{ZbdConfig, ZbdDevice};
+use bh_zns::ZnsConfig;
 use std::path::PathBuf;
 
 /// True when the binary should run at reduced scale.
@@ -60,6 +62,51 @@ pub fn obs() -> Obs {
     } else {
         Obs::disabled()
     }
+}
+
+/// The zoned-device substrate for this invocation, honoring
+/// `--backend sim|zbd` and `BH_BACKEND` (argv wins, default `sim`).
+/// An unknown name is a usage error and exits non-zero immediately —
+/// better than silently benchmarking the wrong substrate.
+pub fn backend() -> Backend {
+    match Backend::from_env() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Where zbd backing files land: `$BH_ZBD_DIR`, default the system
+/// temp directory. CI points this at a job-scoped tmpdir.
+pub fn zbd_dir() -> PathBuf {
+    std::env::var_os("BH_ZBD_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir)
+}
+
+/// A process-unique backing-file path under [`zbd_dir`] for the tagged
+/// device, so parallel experiment runs never collide on one file.
+pub fn zbd_path(tag: &str) -> PathBuf {
+    zbd_dir().join(format!("{}-{tag}-{}.zbd", exe_stem(), std::process::id()))
+}
+
+/// Creates a fresh file-backed [`ZbdDevice`] mirroring `cfg`'s zone
+/// geometry and limits, at [`zbd_path`]`(tag)`. Any stale file from a
+/// previous run is truncated. Panics on I/O or config errors — for an
+/// experiment binary a broken backing file is fatal anyway, and the
+/// message beats an unwrap chain at every call site.
+pub fn zbd_device_mirroring(cfg: &ZnsConfig, tag: &str) -> ZbdDevice {
+    let path = zbd_path(tag);
+    ZbdDevice::create_file(ZbdConfig::mirror(cfg), &path)
+        .unwrap_or_else(|e| panic!("cannot create zbd device at {}: {e}", path.display()))
+}
+
+/// Removes the tagged device's backing file. Best-effort cleanup for
+/// the end of an experiment; missing files are fine.
+pub fn zbd_cleanup(tag: &str) {
+    let _ = std::fs::remove_file(zbd_path(tag));
 }
 
 /// The run manifest for this invocation: binary name, scale, a digest
@@ -177,6 +224,27 @@ pub fn fmt_wa(wa: f64) -> String {
     }
 }
 
+/// Peak resident set size in KiB, from `/proc/self/status`. Prefers
+/// `VmHWM` (the high-water mark); procfs variants that omit it (some
+/// hardened containers) fall back to `VmRSS`, a lower bound that is
+/// still a real measurement. `None` — rendered as JSON `null` — when
+/// neither field is readable; reporting `0` would look like a number.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status_field_kb(&status, "VmHWM:").or_else(|| status_field_kb(&status, "VmRSS:"))
+}
+
+/// Parses one `<field>: <n> kB` line out of a `/proc/self/status`
+/// document. Factored out of [`peak_rss_kb`] so the parser is testable
+/// without a live procfs.
+fn status_field_kb(status: &str, field: &str) -> Option<u64> {
+    status
+        .lines()
+        .find(|l| l.starts_with(field))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse().ok())
+}
+
 /// Scale selector: `full` at paper scale, `quick` under `--quick`.
 pub fn scaled(full: u64, quick: u64) -> u64 {
     if quick_mode() {
@@ -189,6 +257,30 @@ pub fn scaled(full: u64, quick: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn status_parser_prefers_hwm_and_falls_back() {
+        let with_hwm = "VmPeak:\t  999 kB\nVmHWM:\t  1836 kB\nVmRSS:\t  1500 kB\n";
+        assert_eq!(
+            status_field_kb(with_hwm, "VmHWM:").or_else(|| status_field_kb(with_hwm, "VmRSS:")),
+            Some(1836)
+        );
+        let rss_only = "Name:\tx\nVmRSS:\t  1500 kB\n";
+        assert_eq!(
+            status_field_kb(rss_only, "VmHWM:").or_else(|| status_field_kb(rss_only, "VmRSS:")),
+            Some(1500)
+        );
+        assert_eq!(status_field_kb("Name:\tx\n", "VmHWM:"), None);
+    }
+
+    #[test]
+    fn peak_rss_reports_on_linux() {
+        // The container runs linux with a full procfs: a null here is
+        // exactly the regression this helper exists to prevent.
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_kb().unwrap_or(0) > 0);
+        }
+    }
 
     #[test]
     fn scaled_picks_by_mode() {

@@ -11,6 +11,7 @@ use bh_conv::ConvSsd;
 use bh_metrics::Nanos;
 use bh_obs::Obs;
 use bh_trace::Tracer;
+use bh_zns::backend::ZonedDevice;
 use bh_zns::{ZnsDevice, ZoneId};
 
 /// Page-granular storage organized in erase-sized segments.
@@ -136,34 +137,35 @@ impl SegmentStore for ConvSegmentStore {
     }
 }
 
-/// Segments as zones on a ZNS SSD.
-pub struct ZnsSegmentStore {
-    dev: ZnsDevice,
+/// Segments as zones on a zoned device ([`ZnsDevice`] by default;
+/// bh-zbd's durable emulator works identically).
+pub struct ZnsSegmentStore<D: ZonedDevice = ZnsDevice> {
+    dev: D,
 }
 
-impl ZnsSegmentStore {
+impl<D: ZonedDevice> ZnsSegmentStore<D> {
     /// Uses each zone of `dev` as one segment.
-    pub fn new(dev: ZnsDevice) -> Self {
+    pub fn new(dev: D) -> Self {
         ZnsSegmentStore { dev }
     }
 
     /// The underlying device.
-    pub fn device(&self) -> &ZnsDevice {
+    pub fn device(&self) -> &D {
         &self.dev
     }
 }
 
-impl SegmentStore for ZnsSegmentStore {
+impl<D: ZonedDevice> SegmentStore for ZnsSegmentStore<D> {
     fn num_segments(&self) -> u32 {
         self.dev.num_zones()
     }
 
     fn pages_per_segment(&self) -> u64 {
-        self.dev.config().zone_capacity()
+        self.dev.zone_capacity()
     }
 
     fn page_bytes(&self) -> u32 {
-        self.dev.config().flash.geometry.page_bytes
+        self.dev.page_bytes()
     }
 
     fn write_page(&mut self, segment: u32, index: u64, now: Nanos) -> Result<Nanos> {

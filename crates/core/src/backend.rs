@@ -1,0 +1,142 @@
+//! Substrate selection for the zoned stack.
+//!
+//! Every layer above the device — `BlockEmu`, the zone allocator, bh-kv,
+//! bh-cache — is generic over [`bh_zns::backend::ZonedDevice`], so the
+//! same experiment can run on the in-memory timing simulator (`bh-zns`)
+//! or the file-backed durable emulator (`bh-zbd`). This module is the
+//! small amount of plumbing that turns a command line or environment
+//! into that choice.
+//!
+//! Selection sources, in precedence order:
+//!
+//! 1. `--backend sim|zbd` on the command line;
+//! 2. the `BH_BACKEND` environment variable;
+//! 3. the default, [`Backend::Sim`].
+//!
+//! The enum itself carries no device types — constructing the chosen
+//! stack is the caller's job (bh-bench has helpers) — so this crate does
+//! not grow a dependency on the emulator.
+
+/// Which zoned-device substrate an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The in-memory ZNS timing simulator (`bh-zns::ZnsDevice`): full
+    /// flash geometry, plane-level scheduling, latency model.
+    #[default]
+    Sim,
+    /// The file-backed zoned-device emulator (`bh-zbd::ZbdDevice`):
+    /// durable append-ordered log, genuine crash recovery, flat latency
+    /// constants.
+    Zbd,
+}
+
+impl Backend {
+    /// Parses a backend name. Accepts the canonical lowercase names
+    /// (`sim`, `zbd`) case-insensitively.
+    pub fn parse(name: &str) -> Option<Backend> {
+        match name.to_ascii_lowercase().as_str() {
+            "sim" => Some(Backend::Sim),
+            "zbd" => Some(Backend::Zbd),
+            _ => None,
+        }
+    }
+
+    /// The canonical name, round-trippable through [`Backend::parse`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Zbd => "zbd",
+        }
+    }
+
+    /// Resolves the backend from an argv iterator and the `BH_BACKEND`
+    /// environment variable (argv wins). Unknown names are rejected
+    /// loudly rather than silently falling back, so a typo can't run an
+    /// experiment on the wrong substrate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name when `--backend`/`BH_BACKEND` is
+    /// present but not a known backend, or when `--backend` is the last
+    /// argument (missing its value).
+    pub fn resolve<I, S>(args: I) -> Result<Backend, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            let a = a.as_ref();
+            let name = if let Some(v) = a.strip_prefix("--backend=") {
+                v.to_string()
+            } else if a == "--backend" {
+                match args.next() {
+                    Some(v) => v.as_ref().to_string(),
+                    None => return Err("--backend requires a value (sim|zbd)".to_string()),
+                }
+            } else {
+                continue;
+            };
+            return Backend::parse(&name)
+                .ok_or_else(|| format!("unknown backend {name:?} (expected sim|zbd)"));
+        }
+        match std::env::var("BH_BACKEND") {
+            Ok(name) if !name.is_empty() => Backend::parse(&name)
+                .ok_or_else(|| format!("unknown BH_BACKEND {name:?} (expected sim|zbd)")),
+            _ => Ok(Backend::default()),
+        }
+    }
+
+    /// Resolves from the process's own argv and environment.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Backend::resolve`].
+    pub fn from_env() -> Result<Backend, String> {
+        Backend::resolve(std::env::args().skip(1))
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for b in [Backend::Sim, Backend::Zbd] {
+            assert_eq!(Backend::parse(b.label()), Some(b));
+        }
+        assert_eq!(Backend::parse("ZBD"), Some(Backend::Zbd));
+        assert_eq!(Backend::parse("nvme"), None);
+    }
+
+    #[test]
+    fn resolve_prefers_argv() {
+        assert_eq!(
+            Backend::resolve(["--quick", "--backend", "zbd"]),
+            Ok(Backend::Zbd)
+        );
+        assert_eq!(Backend::resolve(["--backend=sim"]), Ok(Backend::Sim));
+    }
+
+    #[test]
+    fn resolve_rejects_unknowns() {
+        assert!(Backend::resolve(["--backend", "scsi"]).is_err());
+        assert!(Backend::resolve(["--backend"]).is_err());
+    }
+
+    #[test]
+    fn resolve_defaults_to_sim() {
+        // Test processes have no --backend argument; BH_BACKEND unset is
+        // the common case in CI.
+        if std::env::var_os("BH_BACKEND").is_none() {
+            assert_eq!(Backend::resolve(Vec::<String>::new()), Ok(Backend::Sim));
+        }
+    }
+}

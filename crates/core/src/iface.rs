@@ -22,6 +22,7 @@ use bh_host::BlockEmu;
 use bh_metrics::Nanos;
 use bh_obs::Obs;
 use bh_trace::Tracer;
+use bh_zns::backend::ZonedDevice;
 
 /// One page write, with the placement hint folded into the request
 /// instead of a parallel `write_hinted` entry point.
@@ -197,7 +198,7 @@ impl StackAdmin for ConvSsd {
     }
 }
 
-impl BlockInterface for BlockEmu {
+impl<D: ZonedDevice> BlockInterface for BlockEmu<D> {
     fn capacity_pages(&self) -> u64 {
         self.capacity_pages()
     }
@@ -239,19 +240,22 @@ impl BlockInterface for BlockEmu {
     }
 
     fn flash_stats(&self) -> FlashStats {
-        *self.device().flash_stats()
+        self.device().flash_stats()
     }
 
     fn queue_depth(&self, now: Nanos) -> u32 {
-        self.device().device().scheduler().busy_planes(now)
+        self.device().busy_planes(now)
     }
 
     fn label(&self) -> &'static str {
-        "zns+blockemu"
+        match self.device().backend_label() {
+            "zbd" => "zbd+blockemu",
+            _ => "zns+blockemu",
+        }
     }
 }
 
-impl StackAdmin for BlockEmu {
+impl<D: ZonedDevice> StackAdmin for BlockEmu<D> {
     fn install_faults(&mut self, cfg: bh_faults::FaultConfig) {
         BlockEmu::install_faults(self, cfg);
     }

@@ -21,6 +21,7 @@ use bh_flash::{decode_oob, encode_oob};
 use bh_metrics::Nanos;
 use bh_obs::{Ctr, Obs};
 use bh_trace::{FaultEvent, HostEvent, Tracer};
+use bh_zns::backend::ZonedDevice;
 use bh_zns::{ZnsDevice, ZnsError, ZoneId, ZoneState};
 use std::collections::BTreeSet;
 
@@ -71,7 +72,7 @@ impl ZoneFreeList {
 
     /// Validates the index against its own slots and against the device,
     /// and that the indexed pick equals the linear scan's.
-    fn check(&self, dev: &ZnsDevice) {
+    fn check<D: ZonedDevice>(&self, dev: &D) {
         assert_eq!(self.slots.len(), self.by_reset.len(), "free index size");
         for (pos, &(zone, resets)) in self.slots.iter().enumerate() {
             assert!(
@@ -139,7 +140,13 @@ enum StreamMap {
     },
 }
 
-/// A block device emulated on top of a ZNS SSD.
+/// A block device emulated on top of a zoned device.
+///
+/// Generic over the substrate: the flash-timed simulator
+/// ([`ZnsDevice`], the default) or bh-zbd's durable file-backed
+/// emulator — anything implementing [`ZonedDevice`]. The emulation
+/// logic is identical on every substrate, which is what lets
+/// `expt_backend` check the two against each other.
 ///
 /// # Examples
 ///
@@ -159,8 +166,8 @@ enum StreamMap {
 /// assert!(stamp > 0);
 /// # let _ = done;
 /// ```
-pub struct BlockEmu {
-    dev: ZnsDevice,
+pub struct BlockEmu<D: ZonedDevice = ZnsDevice> {
+    dev: D,
     /// LBA → zoned location.
     map: Vec<Option<ZonedLocation>>,
     /// Reverse map: per zone, per offset, the owning LBA (if live).
@@ -221,7 +228,7 @@ pub struct BlockEmu {
     obs: Obs,
 }
 
-impl BlockEmu {
+impl<D: ZonedDevice> BlockEmu<D> {
     /// Builds an emulated block device over `dev`, holding back
     /// `reserve_zones` zones of the namespace as relocation headroom
     /// (they are not part of the exported capacity).
@@ -229,24 +236,26 @@ impl BlockEmu {
     /// # Panics
     ///
     /// Panics if `reserve_zones` leaves no exported capacity.
-    pub fn new(dev: ZnsDevice, reserve_zones: u32, policy: ReclaimPolicy) -> Self {
+    pub fn new(dev: D, reserve_zones: u32, policy: ReclaimPolicy) -> Self {
         let zones = dev.num_zones();
         assert!(
             reserve_zones < zones,
             "reserve {reserve_zones} must leave exported zones"
         );
-        let zone_cap = dev.config().zone_capacity();
+        let zone_cap = dev.zone_capacity();
         let logical = (zones - reserve_zones) as u64 * zone_cap;
         let mut free = ZoneFreeList::default();
-        for z in dev.zones() {
+        for z in dev.zone_report() {
             free.push(z.id(), z.resets());
         }
         let rmap: Vec<Vec<Option<u64>>> = dev
-            .zones()
+            .zone_report()
+            .iter()
             .map(|z| vec![None; z.capacity() as usize])
             .collect();
         let summary_log = dev
-            .zones()
+            .zone_report()
+            .iter()
             .map(|z| vec![None; z.capacity() as usize])
             .collect();
         let live = vec![0; zones as usize];
@@ -382,8 +391,8 @@ impl BlockEmu {
         &self.stats
     }
 
-    /// The underlying ZNS device (for flash-level statistics).
-    pub fn device(&self) -> &ZnsDevice {
+    /// The underlying zoned device (for substrate-level statistics).
+    pub fn device(&self) -> &D {
         &self.dev
     }
 
@@ -699,7 +708,7 @@ impl BlockEmu {
     /// Panics on any divergence.
     pub fn verify_hotpath_invariants(&self) {
         let mut expect = BTreeSet::new();
-        for z in self.dev.zones() {
+        for z in self.dev.zone_report() {
             let live = self.live[z.id().0 as usize];
             let row_live = self.rmap[z.id().0 as usize].iter().flatten().count() as u64;
             assert_eq!(live, row_live, "live count for zone {:?}", z.id());
@@ -718,7 +727,8 @@ impl BlockEmu {
             let room = self.relocation_room() + self.current_remaining();
             let scan = self
                 .dev
-                .zones()
+                .zone_report()
+                .iter()
                 .filter(|z| z.state() == ZoneState::Full)
                 .filter(|z| !self.frontiers.contains(&Some(z.id())) && Some(z.id()) != self.gc_zone)
                 .map(|z| {
@@ -740,7 +750,7 @@ impl BlockEmu {
     /// Compacting nearly-full-live zones burns erase cycles and copies
     /// for almost no space, so the policy path refuses them.
     fn policy_min_garbage(&self) -> u64 {
-        (self.dev.config().zone_capacity() / 8).max(1)
+        (self.dev.zone_capacity() / 8).max(1)
     }
 
     /// Pages writable for relocation without consuming the data frontier:
@@ -751,7 +761,7 @@ impl BlockEmu {
             .and_then(|z| self.dev.zone(z).ok())
             .map(|z| z.remaining())
             .unwrap_or(0);
-        gc_room + self.free.len() as u64 * self.dev.config().zone_capacity()
+        gc_room + self.free.len() as u64 * self.dev.zone_capacity()
     }
 
     /// The best *feasible* victim: a full zone with the most garbage whose
@@ -992,7 +1002,7 @@ impl BlockEmu {
         let mut done = start;
         let mut scanned = 0u64;
         let mut max_seq = 0u64;
-        let zone_ids: Vec<ZoneId> = self.dev.zones().map(|z| z.id()).collect();
+        let zone_ids: Vec<ZoneId> = self.dev.zone_report().iter().map(|z| z.id()).collect();
         for id in zone_ids {
             let (state, wp, resets) = {
                 let z = self.dev.zone(id)?;
@@ -1075,7 +1085,8 @@ impl BlockEmu {
         // their garbage stays reclaimable by victim selection.
         let closed: Vec<ZoneId> = self
             .dev
-            .zones()
+            .zone_report()
+            .iter()
             .filter(|z| z.state() == ZoneState::Closed)
             .map(|z| z.id())
             .collect();
@@ -1093,7 +1104,7 @@ impl BlockEmu {
         // partial zones Full, and the live counters are now final.
         self.full_by_garbage.clear();
         self.full_key.fill(None);
-        let all: Vec<ZoneId> = self.dev.zones().map(|z| z.id()).collect();
+        let all: Vec<ZoneId> = self.dev.zone_report().iter().map(|z| z.id()).collect();
         for z in all {
             self.sync_victim_index(z);
         }

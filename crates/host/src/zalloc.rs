@@ -13,7 +13,8 @@ use crate::Result;
 use bh_metrics::Nanos;
 use bh_obs::{Ctr, Obs};
 use bh_trace::{FaultEvent, HostEvent, Tracer};
-use bh_zns::{ZnsDevice, ZnsError, ZoneId, ZoneState};
+use bh_zns::backend::ZonedDevice;
+use bh_zns::{ZnsError, ZoneId, ZoneState};
 use std::collections::HashMap;
 
 /// An expected-lifetime bucket for written data.
@@ -35,9 +36,9 @@ pub struct ZonedLocation {
 
 /// Allocates zones to lifetime classes and appends pages on their behalf.
 ///
-/// The allocator does not own the device — callers thread `&mut
-/// ZnsDevice` through each operation — so several host components can
-/// cooperate on one device.
+/// The allocator does not own the device — callers thread `&mut D`
+/// (any [`ZonedDevice`]) through each operation — so several host
+/// components can cooperate on one device, on either substrate.
 #[derive(Debug, Default)]
 pub struct ZoneAllocator {
     /// Open zone per class.
@@ -88,8 +89,9 @@ impl ZoneAllocator {
 
     /// Finds an empty zone on the device that this allocator does not
     /// already own.
-    fn find_empty(&self, dev: &ZnsDevice) -> Result<ZoneId> {
-        dev.zones()
+    fn find_empty<D: ZonedDevice>(&self, dev: &D) -> Result<ZoneId> {
+        dev.zone_report()
+            .iter()
             .find(|z| {
                 z.state() == ZoneState::Empty
                     && !self
@@ -116,9 +118,9 @@ impl ZoneAllocator {
     ///   callers reclaim (reset dead zones) and retry.
     /// - Propagated ZNS errors (e.g. active-zone limits) — the caller owns
     ///   the open-zone budget policy.
-    pub fn append(
+    pub fn append<D: ZonedDevice>(
         &mut self,
-        dev: &mut ZnsDevice,
+        dev: &mut D,
         class: LifetimeClass,
         stamp: u64,
         now: Nanos,
@@ -194,7 +196,11 @@ impl ZoneAllocator {
     /// # Errors
     ///
     /// Propagates device errors from the finish commands.
-    pub fn finish_stale(&mut self, dev: &mut ZnsDevice, keep: LifetimeClass) -> Result<u32> {
+    pub fn finish_stale<D: ZonedDevice>(
+        &mut self,
+        dev: &mut D,
+        keep: LifetimeClass,
+    ) -> Result<u32> {
         let stale: Vec<(LifetimeClass, ZoneId)> = self
             .open
             .iter()
@@ -232,7 +238,7 @@ impl ZoneAllocator {
 mod tests {
     use super::*;
     use bh_flash::{FlashConfig, Geometry};
-    use bh_zns::ZnsConfig;
+    use bh_zns::{ZnsConfig, ZnsDevice};
 
     fn dev() -> ZnsDevice {
         let mut cfg = ZnsConfig::new(FlashConfig::tlc(Geometry::small_test()), 4);

@@ -28,6 +28,7 @@ use bh_host::{HostError, LifetimeClass, ZoneAllocator, ZonedLocation};
 use bh_metrics::Nanos;
 use bh_obs::Obs;
 use bh_trace::Tracer;
+use bh_zns::backend::ZonedDevice;
 use bh_zns::{ZnsDevice, ZoneId, ZoneState};
 use std::collections::HashMap;
 
@@ -387,9 +388,12 @@ impl StorageBackend for ConvBackend {
 // ZNS backend (ZenFS-like)
 // ---------------------------------------------------------------------------
 
-/// File storage over a ZNS SSD with lifetime-class zone placement.
-pub struct ZnsBackend {
-    dev: ZnsDevice,
+/// File storage over a zoned device with lifetime-class zone placement.
+///
+/// Generic over the substrate ([`ZnsDevice`] by default; bh-zbd's
+/// durable emulator works identically).
+pub struct ZnsBackend<D: ZonedDevice = ZnsDevice> {
+    dev: D,
     alloc: ZoneAllocator,
     files: HashMap<FileId, FileBuf<ZonedLocation>>,
     next_id: u64,
@@ -402,9 +406,9 @@ pub struct ZnsBackend {
     stamp: u64,
 }
 
-impl ZnsBackend {
+impl<D: ZonedDevice> ZnsBackend<D> {
     /// Creates a backend over `dev`.
-    pub fn new(dev: ZnsDevice) -> Self {
+    pub fn new(dev: D) -> Self {
         let zones = dev.num_zones() as usize;
         ZnsBackend {
             dev,
@@ -419,8 +423,8 @@ impl ZnsBackend {
         }
     }
 
-    /// The underlying ZNS device, for statistics.
-    pub fn device(&self) -> &ZnsDevice {
+    /// The underlying zoned device, for statistics.
+    pub fn device(&self) -> &D {
         &self.dev
     }
 
@@ -489,7 +493,8 @@ impl ZnsBackend {
         // deletes killed whole zones).
         let dead: Vec<ZoneId> = self
             .dev
-            .zones()
+            .zone_report()
+            .iter()
             .filter(|z| z.state() == ZoneState::Full && self.live[z.id().0 as usize] == 0)
             .map(|z| z.id())
             .collect();
@@ -507,7 +512,8 @@ impl ZnsBackend {
         // Second pass: relocate the fullest-garbage zone.
         let victim = self
             .dev
-            .zones()
+            .zone_report()
+            .iter()
             .filter(|z| z.state() == ZoneState::Full)
             .map(|z| (z.id(), z.write_pointer() - self.live[z.id().0 as usize]))
             .filter(|&(_, g)| g > 0)
@@ -548,7 +554,7 @@ impl ZnsBackend {
     }
 }
 
-impl StorageBackend for ZnsBackend {
+impl<D: ZonedDevice> StorageBackend for ZnsBackend<D> {
     fn create(&mut self, hint: FileHint) -> FileId {
         let id = FileId(self.next_id);
         self.next_id += 1;
@@ -637,7 +643,8 @@ impl StorageBackend for ZnsBackend {
         // Reset any fully dead zones; cheap and host-scheduled.
         let dead: Vec<ZoneId> = self
             .dev
-            .zones()
+            .zone_report()
+            .iter()
             .filter(|z| z.state() == ZoneState::Full && self.live[z.id().0 as usize] == 0)
             .map(|z| z.id())
             .collect();
@@ -658,7 +665,7 @@ impl StorageBackend for ZnsBackend {
     }
 
     fn page_bytes(&self) -> u32 {
-        self.dev.config().flash.geometry.page_bytes
+        self.dev.page_bytes()
     }
 
     fn device_write_amplification(&self) -> f64 {

@@ -1,0 +1,1303 @@
+//! The file-backed zoned device: the ZNS state machine over a durable
+//! log.
+
+use crate::config::ZbdConfig;
+use crate::media::{decode_header, Media, Record, HEADER_LEN, RECORD_LEN};
+use bh_faults::{FaultConfig, FaultPlan};
+use bh_flash::{FlashStats, Stamp};
+use bh_metrics::Nanos;
+use bh_obs::{Ctr, Gauge, Obs};
+use bh_trace::{FaultEvent, Tracer, ZnsEvent, ZoneStateTag};
+use bh_zns::{Result, ZnsError, ZnsStats, Zone, ZoneId, ZoneState};
+use std::path::Path;
+
+/// Maps the zone state onto the dependency-free trace tag.
+fn state_tag(state: ZoneState) -> ZoneStateTag {
+    match state {
+        ZoneState::Empty => ZoneStateTag::Empty,
+        ZoneState::ImplicitlyOpened => ZoneStateTag::ImplicitlyOpened,
+        ZoneState::ExplicitlyOpened => ZoneStateTag::ExplicitlyOpened,
+        ZoneState::Closed => ZoneStateTag::Closed,
+        ZoneState::Full => ZoneStateTag::Full,
+        ZoneState::ReadOnly => ZoneStateTag::ReadOnly,
+        ZoneState::Offline => ZoneStateTag::Offline,
+    }
+}
+
+/// A file-/memory-backed zoned block device emulator.
+///
+/// Same zone state machine and command set as [`bh_zns::ZnsDevice`]
+/// (the shared conformance matrix keeps the two honest against one
+/// table), but the media is an append-ordered durable log rather than a
+/// timed flash model: every acknowledged state-changing command is a
+/// checksummed record, and [`ZbdDevice::power_cycle`] recovers by
+/// re-reading the log from the backing store and replaying the valid
+/// prefix — a genuine reopen-from-disk when file-backed.
+///
+/// Op counters ([`ZnsStats`], synthesized [`FlashStats`]) are harness
+/// diagnostics, not device state: like `ZnsDevice`'s, they survive
+/// `power_cycle` so write-amplification series stay continuous across a
+/// crash.
+///
+/// # Examples
+///
+/// ```
+/// use bh_zbd::{ZbdConfig, ZbdDevice};
+/// use bh_zns::ZoneId;
+/// use bh_metrics::Nanos;
+///
+/// let mut dev = ZbdDevice::new(ZbdConfig::new(4, 16)).unwrap();
+/// let (off, done) = dev.append(ZoneId(0), 0xBEEF, Nanos::ZERO).unwrap();
+/// assert_eq!(off, 0);
+/// dev.power_cycle(done); // replay from the in-memory log
+/// let (stamp, _) = dev.read(ZoneId(0), 0, done).unwrap();
+/// assert_eq!(stamp, 0xBEEF);
+/// ```
+pub struct ZbdDevice {
+    cfg: ZbdConfig,
+    media: Media,
+    zones: Vec<Zone>,
+    /// Per-zone payload in write-pointer order; `None` is a burned slot.
+    /// Volatile: rebuilt from the log on every power cycle.
+    data: Vec<Vec<Option<Stamp>>>,
+    active: u32,
+    open: u32,
+    empty: u32,
+    stats: ZnsStats,
+    /// Synthesized media statistics, so WA reporting works like the
+    /// flash-backed substrate's.
+    flash: FlashStats,
+    faults: Option<FaultPlan>,
+    tracer: Tracer,
+    obs: Obs,
+    clock: Nanos,
+}
+
+impl ZbdDevice {
+    /// Builds a memory-backed device: the log lives in a buffer, and
+    /// `power_cycle` replays it through the same recovery path as the
+    /// file-backed form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the configuration is invalid.
+    pub fn new(cfg: ZbdConfig) -> std::result::Result<Self, String> {
+        cfg.validate()?;
+        Ok(Self::fresh(cfg, Media::memory(&cfg)))
+    }
+
+    /// Creates (truncating) a file-backed device at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on invalid configuration or file I/O
+    /// failure.
+    pub fn create_file(cfg: ZbdConfig, path: &Path) -> std::result::Result<Self, String> {
+        cfg.validate()?;
+        let media = Media::create_file(&cfg, path).map_err(|e| format!("create {path:?}: {e}"))?;
+        Ok(Self::fresh(cfg, media))
+    }
+
+    /// Reopens a device from an existing backing file: the header
+    /// supplies the geometry and the log's valid prefix rebuilds every
+    /// zone — the cold-start form of crash recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on I/O failure or a corrupt header.
+    pub fn open_file(path: &Path) -> std::result::Result<Self, String> {
+        let media = Media::open_file(path).map_err(|e| format!("open {path:?}: {e}"))?;
+        let bytes = media.reload().map_err(|e| format!("read {path:?}: {e}"))?;
+        let cfg = decode_header(&bytes)?;
+        let mut dev = Self::fresh(cfg, media);
+        dev.replay(&bytes);
+        Ok(dev)
+    }
+
+    fn fresh(cfg: ZbdConfig, media: Media) -> Self {
+        let zones = (0..cfg.num_zones)
+            .map(|z| Zone::with_capacity(ZoneId(z), cfg.zone_capacity_pages, cfg.zone_size_pages))
+            .collect();
+        let data = vec![Vec::new(); cfg.num_zones as usize];
+        ZbdDevice {
+            empty: cfg.num_zones,
+            cfg,
+            media,
+            zones,
+            data,
+            active: 0,
+            open: 0,
+            stats: ZnsStats::default(),
+            flash: FlashStats::default(),
+            faults: None,
+            tracer: Tracer::disabled(),
+            obs: Obs::disabled(),
+            clock: Nanos::ZERO,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &ZbdConfig {
+        &self.cfg
+    }
+
+    /// The backing file path, when file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        self.media.path()
+    }
+
+    /// Number of zones in the namespace.
+    pub fn num_zones(&self) -> u32 {
+        self.zones.len() as u32
+    }
+
+    /// Zones currently counting against the active limit.
+    pub fn active_zones(&self) -> u32 {
+        self.active
+    }
+
+    /// Zones currently counting against the open limit.
+    pub fn open_zones(&self) -> u32 {
+        self.open
+    }
+
+    /// Zones currently Empty, in O(1).
+    pub fn empty_zones(&self) -> u32 {
+        self.empty
+    }
+
+    /// Zoned-interface operation counters.
+    pub fn stats(&self) -> &ZnsStats {
+        &self.stats
+    }
+
+    /// Synthesized media statistics (programs, erases, copies, WA).
+    pub fn flash_stats(&self) -> &FlashStats {
+        &self.flash
+    }
+
+    /// A zone descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZnsError::ZoneOutOfRange`] for unknown identifiers.
+    pub fn zone(&self, id: ZoneId) -> Result<&Zone> {
+        self.zones
+            .get(id.0 as usize)
+            .ok_or(ZnsError::ZoneOutOfRange(id))
+    }
+
+    /// Iterates over all zone descriptors, in id order.
+    pub fn zones(&self) -> impl Iterator<Item = &Zone> {
+        self.zones.iter()
+    }
+
+    /// Installs a tracer: zone transitions, appends, limit stalls, and
+    /// injected faults are emitted exactly like the simulator's.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Installs a live counter registry and seeds the zone-occupancy
+    /// gauges.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+        self.sync_zone_gauges();
+    }
+
+    /// Installs a transient-fault plan: program failures burn slots and
+    /// read disturbs add retry latency, from the same deterministic
+    /// decision stream the flash substrate uses. Erase failures are
+    /// accepted but never fire — file media has no blocks to retire.
+    pub fn install_faults(&mut self, cfg: FaultConfig) {
+        self.faults = Some(FaultPlan::new(cfg));
+    }
+
+    /// What the installed fault plan has injected so far.
+    pub fn fault_counters(&self) -> Option<bh_faults::FaultCounters> {
+        self.faults.as_ref().map(|p| p.counters())
+    }
+
+    fn zone_mut(&mut self, id: ZoneId) -> Result<&mut Zone> {
+        self.zones
+            .get_mut(id.0 as usize)
+            .ok_or(ZnsError::ZoneOutOfRange(id))
+    }
+
+    /// Appends one record to the durable log. Media failure is a harness
+    /// environment error (disk gone), not a modelled fault: panic rather
+    /// than mis-ack.
+    fn log(&mut self, rec: Record) {
+        self.media
+            .append(&rec.encode())
+            .expect("zbd: backing media unwritable");
+    }
+
+    fn sync_zone_gauges(&self) {
+        self.obs
+            .gauge_set(Gauge::ZnsActiveZones, self.active as u64);
+        self.obs.gauge_set(Gauge::ZnsOpenZones, self.open as u64);
+        self.obs.gauge_set(Gauge::ZnsEmptyZones, self.empty as u64);
+    }
+
+    fn trace_transition(
+        &mut self,
+        id: ZoneId,
+        from: ZoneState,
+        to: ZoneState,
+        cause: &'static str,
+    ) {
+        if from == to {
+            return;
+        }
+        if self.obs.enabled_handle() {
+            self.obs.inc(match to {
+                ZoneState::ImplicitlyOpened | ZoneState::ExplicitlyOpened => Ctr::ZnsToOpen,
+                ZoneState::Closed => Ctr::ZnsToClosed,
+                ZoneState::Full => Ctr::ZnsToFull,
+                ZoneState::Empty => Ctr::ZnsToEmpty,
+                ZoneState::ReadOnly | ZoneState::Offline => Ctr::ZnsDegraded,
+            });
+            self.sync_zone_gauges();
+        }
+        if !self.tracer.enabled() {
+            return;
+        }
+        self.tracer.emit(
+            self.clock,
+            ZnsEvent::Transition {
+                zone: id.0,
+                from: state_tag(from),
+                to: state_tag(to),
+                cause,
+            },
+        );
+    }
+
+    fn trace_stall(&mut self, id: ZoneId, kind: &'static str, limit: u32) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        self.tracer.emit(
+            self.clock,
+            ZnsEvent::LimitStall {
+                zone: id.0,
+                active: self.active,
+                open: self.open,
+                kind,
+                limit,
+            },
+        );
+    }
+
+    fn trace_fault(&mut self, ev: FaultEvent) {
+        self.obs.inc(Ctr::FaultEvents);
+        if self.tracer.enabled() {
+            self.tracer.emit(self.clock, ev);
+        }
+    }
+
+    fn set_state_counted(&mut self, id: ZoneId, target: ZoneState) -> Result<()> {
+        let zone = self.zone_mut(id)?;
+        let was_empty = zone.state() == ZoneState::Empty;
+        zone.set_state(target);
+        match (was_empty, target == ZoneState::Empty) {
+            (true, false) => self.empty -= 1,
+            (false, true) => self.empty += 1,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Transitions `id` into an opened state, enforcing MAR/MOR — the
+    /// same victim-eviction behaviour as the simulator.
+    fn open_internal(&mut self, id: ZoneId, explicit: bool) -> Result<()> {
+        let state = self.zone(id)?.state();
+        let target = if explicit {
+            ZoneState::ExplicitlyOpened
+        } else {
+            ZoneState::ImplicitlyOpened
+        };
+        match state {
+            ZoneState::Empty | ZoneState::Closed => {}
+            ZoneState::ImplicitlyOpened if explicit => {
+                self.set_state_counted(id, ZoneState::ExplicitlyOpened)?;
+                self.trace_transition(id, state, ZoneState::ExplicitlyOpened, "promote");
+                return Ok(());
+            }
+            ZoneState::ImplicitlyOpened | ZoneState::ExplicitlyOpened => return Ok(()),
+            ZoneState::Full => return Err(ZnsError::ZoneFull(id)),
+            ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly(id)),
+            ZoneState::Offline => return Err(ZnsError::ZoneOffline(id)),
+        }
+        let becomes_active = !state.is_active();
+        if becomes_active && self.active >= self.cfg.max_active_zones {
+            self.trace_stall(id, "active", self.cfg.max_active_zones);
+            return Err(ZnsError::TooManyActiveZones {
+                limit: self.cfg.max_active_zones,
+            });
+        }
+        if self.open >= self.cfg.max_open_zones {
+            let victim = self
+                .zones
+                .iter()
+                .find(|z| z.state() == ZoneState::ImplicitlyOpened && z.id() != id)
+                .map(Zone::id);
+            match victim {
+                Some(v) => {
+                    self.close_to_state(v, "implicit-close")?;
+                    self.stats.implicit_closes += 1;
+                }
+                None => {
+                    self.trace_stall(id, "open", self.cfg.max_open_zones);
+                    return Err(ZnsError::TooManyOpenZones {
+                        limit: self.cfg.max_open_zones,
+                    });
+                }
+            }
+        }
+        if becomes_active {
+            self.active += 1;
+        }
+        self.open += 1;
+        self.set_state_counted(id, target)?;
+        self.trace_transition(id, state, target, if explicit { "open" } else { "write" });
+        Ok(())
+    }
+
+    fn close_to_state(&mut self, id: ZoneId, cause: &'static str) -> Result<()> {
+        let zone = self.zone(id)?;
+        let wp = zone.write_pointer();
+        let state = zone.state();
+        debug_assert!(state.is_open());
+        self.open -= 1;
+        let target = if wp == 0 {
+            self.active -= 1;
+            ZoneState::Empty
+        } else {
+            ZoneState::Closed
+        };
+        self.set_state_counted(id, target)?;
+        self.trace_transition(id, state, target, cause);
+        Ok(())
+    }
+
+    /// Explicitly opens a zone (Zone Management Send: Open).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the zone cannot open in its current state or when the
+    /// limits are exhausted with no implicit victim.
+    pub fn open(&mut self, id: ZoneId) -> Result<()> {
+        self.open_internal(id, true)
+    }
+
+    /// Closes an opened zone (Zone Management Send: Close).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZnsError::WrongState`] unless the zone is opened.
+    pub fn close(&mut self, id: ZoneId) -> Result<()> {
+        let state = self.zone(id)?.state();
+        if !state.is_open() {
+            return Err(ZnsError::WrongState {
+                zone: id,
+                state,
+                op: "close",
+            });
+        }
+        self.close_to_state(id, "close")
+    }
+
+    /// Finishes a zone: moves it to Full and logs the transition (Full
+    /// is durable state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZnsError::WrongState`] for read-only/offline zones.
+    pub fn finish(&mut self, id: ZoneId) -> Result<()> {
+        let state = self.zone(id)?.state();
+        match state {
+            ZoneState::Full => Ok(()),
+            ZoneState::Empty => {
+                self.log(Record::Finish { zone: id.0 });
+                self.set_state_counted(id, ZoneState::Full)?;
+                self.trace_transition(id, state, ZoneState::Full, "finish");
+                Ok(())
+            }
+            ZoneState::ImplicitlyOpened | ZoneState::ExplicitlyOpened => {
+                self.log(Record::Finish { zone: id.0 });
+                self.open -= 1;
+                self.active -= 1;
+                self.set_state_counted(id, ZoneState::Full)?;
+                self.trace_transition(id, state, ZoneState::Full, "finish");
+                Ok(())
+            }
+            ZoneState::Closed => {
+                self.log(Record::Finish { zone: id.0 });
+                self.active -= 1;
+                self.set_state_counted(id, ZoneState::Full)?;
+                self.trace_transition(id, state, ZoneState::Full, "finish");
+                Ok(())
+            }
+            ZoneState::ReadOnly | ZoneState::Offline => Err(ZnsError::WrongState {
+                zone: id,
+                state,
+                op: "finish",
+            }),
+        }
+    }
+
+    /// Resets a zone: logs the reset, clears its payload, and rewinds
+    /// the write pointer. File media never wears out, so unlike the
+    /// simulator a zbd zone cannot shrink or go offline through resets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZnsError::ZoneReadOnly`] / [`ZnsError::ZoneOffline`]
+    /// for unresettable zones.
+    pub fn reset(&mut self, id: ZoneId, now: Nanos) -> Result<Nanos> {
+        self.clock = self.clock.max(now);
+        let state = self.zone(id)?.state();
+        match state {
+            ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly(id)),
+            ZoneState::Offline => return Err(ZnsError::ZoneOffline(id)),
+            _ => {}
+        }
+        if state.is_open() {
+            self.open -= 1;
+        }
+        if state.is_active() {
+            self.active -= 1;
+        }
+        self.log(Record::Reset { zone: id.0 });
+        self.zone_mut(id)?.note_reset();
+        self.data[id.0 as usize].clear();
+        if state != ZoneState::Empty {
+            self.empty += 1;
+        }
+        let cost = Nanos::from_nanos(self.cfg.reset_ns);
+        self.flash.erases += 1;
+        self.flash.busy += cost;
+        self.obs.inc(Ctr::FlashErases);
+        let done = now + cost;
+        self.clock = self.clock.max(done);
+        self.trace_transition(id, state, ZoneState::Empty, "reset");
+        self.stats.resets += 1;
+        Ok(done)
+    }
+
+    fn prepare_write(&mut self, id: ZoneId, offset: Option<u64>) -> Result<u64> {
+        let zone = self.zone(id)?;
+        match zone.state() {
+            ZoneState::Full => return Err(ZnsError::ZoneFull(id)),
+            ZoneState::ReadOnly => return Err(ZnsError::ZoneReadOnly(id)),
+            ZoneState::Offline => return Err(ZnsError::ZoneOffline(id)),
+            _ => {}
+        }
+        let wp = zone.write_pointer();
+        if let Some(got) = offset {
+            if got != wp {
+                return Err(ZnsError::NotAtWritePointer { zone: id, wp, got });
+            }
+        }
+        if !zone.state().is_open() {
+            self.open_internal(id, false)?;
+        }
+        Ok(wp)
+    }
+
+    fn commit_write(&mut self, id: ZoneId) -> Result<()> {
+        let (full, wp) = {
+            let zone = self.zone_mut(id)?;
+            zone.advance_wp();
+            let wp = zone.write_pointer();
+            (wp == zone.capacity(), wp)
+        };
+        debug_assert_eq!(self.data[id.0 as usize].len() as u64, wp);
+        if self.tracer.enabled() {
+            self.tracer
+                .emit(self.clock, ZnsEvent::Append { zone: id.0, wp });
+        }
+        if full {
+            let state = self.zone(id)?.state();
+            if state.is_open() {
+                self.open -= 1;
+            }
+            if state.is_active() {
+                self.active -= 1;
+            }
+            self.set_state_counted(id, ZoneState::Full)?;
+            self.trace_transition(id, state, ZoneState::Full, "write-full");
+        }
+        Ok(())
+    }
+
+    /// Burns the slot at `wp`: logs the burn, consumes the slot, and
+    /// degrades the zone to ReadOnly past its burn budget. Returns the
+    /// error the caller surfaces.
+    fn burn_slot(&mut self, id: ZoneId, wp: u64, now: Nanos) -> ZnsError {
+        self.log(Record::Burn { zone: id.0 });
+        self.data[id.0 as usize].push(None);
+        // Mirror the flash substrate: a burned program is internal work.
+        self.flash.internal_programs += 1;
+        self.flash.busy += Nanos::from_nanos(self.cfg.write_ns);
+        self.obs.inc(Ctr::FlashInternalPrograms);
+        self.clock = self.clock.max(now + Nanos::from_nanos(self.cfg.write_ns));
+        self.trace_fault(FaultEvent::ProgramFail {
+            block: id.0,
+            page: wp as u32,
+            origin: bh_trace::Origin::Host,
+        });
+        self.zones[id.0 as usize].note_burn();
+        if let Err(e) = self.commit_write(id) {
+            return e;
+        }
+        let zone = &self.zones[id.0 as usize];
+        let (burned, state) = (zone.burned(), zone.state());
+        if burned >= self.cfg.burns_to_readonly
+            && !matches!(
+                state,
+                ZoneState::Full | ZoneState::ReadOnly | ZoneState::Offline
+            )
+        {
+            if state.is_open() {
+                self.open -= 1;
+            }
+            if state.is_active() {
+                self.active -= 1;
+            }
+            self.set_state_counted(id, ZoneState::ReadOnly)
+                .expect("zone indexed above");
+            self.trace_transition(id, state, ZoneState::ReadOnly, "program-fail");
+        }
+        ZnsError::ProgramFailure {
+            zone: id,
+            offset: wp,
+        }
+    }
+
+    fn program_fires(&mut self) -> bool {
+        self.faults.as_mut().is_some_and(|p| p.next_program_fails())
+    }
+
+    /// Stores one page: logs the record, keeps the payload, advances the
+    /// pointer. Shared by write/append.
+    fn program(
+        &mut self,
+        id: ZoneId,
+        wp: u64,
+        stamp: Stamp,
+        rec: Record,
+        now: Nanos,
+    ) -> Result<Nanos> {
+        if self.program_fires() {
+            return Err(self.burn_slot(id, wp, now));
+        }
+        self.log(rec);
+        self.data[id.0 as usize].push(Some(stamp));
+        self.commit_write(id)?;
+        self.flash.host_programs += 1;
+        let cost = Nanos::from_nanos(self.cfg.write_ns);
+        self.flash.busy += cost;
+        self.obs.inc(Ctr::FlashHostPrograms);
+        let done = now + cost;
+        self.clock = self.clock.max(done);
+        Ok(done)
+    }
+
+    /// Writes one page at `offset`, which must equal the write pointer.
+    /// Returns the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// See [`bh_zns::backend::ZonedDevice::write`].
+    pub fn write(&mut self, id: ZoneId, offset: u64, stamp: Stamp, now: Nanos) -> Result<Nanos> {
+        self.clock = self.clock.max(now);
+        let wp = self.prepare_write(id, Some(offset))?;
+        let done = self.program(id, wp, stamp, Record::Write { zone: id.0, stamp }, now)?;
+        self.stats.writes += 1;
+        Ok(done)
+    }
+
+    /// Appends one page, the device picking the offset. Returns the
+    /// assigned offset and the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// See [`bh_zns::backend::ZonedDevice::append`].
+    pub fn append(&mut self, id: ZoneId, stamp: Stamp, now: Nanos) -> Result<(u64, Nanos)> {
+        self.clock = self.clock.max(now);
+        let wp = self.prepare_write(id, None)?;
+        let done = self.program(id, wp, stamp, Record::Append { zone: id.0, stamp }, now)?;
+        self.stats.appends += 1;
+        Ok((wp, done))
+    }
+
+    /// Reads one page below the write pointer. Returns the stored stamp
+    /// and the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// See [`bh_zns::backend::ZonedDevice::read`].
+    pub fn read(&mut self, id: ZoneId, offset: u64, now: Nanos) -> Result<(Stamp, Nanos)> {
+        self.clock = self.clock.max(now);
+        let zone = self.zone(id)?;
+        if zone.state() == ZoneState::Offline {
+            return Err(ZnsError::ZoneOffline(id));
+        }
+        let wp = zone.write_pointer();
+        if offset >= wp {
+            return Err(ZnsError::ReadBeyondWritePointer {
+                zone: id,
+                wp,
+                got: offset,
+            });
+        }
+        let retries = self.faults.as_mut().map_or(0, |p| p.next_read_retries());
+        let unit = Nanos::from_nanos(self.cfg.read_ns);
+        self.flash.host_reads += 1;
+        self.obs.inc(Ctr::FlashHostReads);
+        self.flash.busy += unit;
+        let mut done = now + unit;
+        if retries > 0 {
+            self.obs.add(Ctr::FlashEccRetries, retries as u64);
+            for _ in 0..retries {
+                self.flash.internal_reads += 1;
+                self.obs.inc(Ctr::FlashInternalReads);
+                self.flash.busy += unit;
+                done += unit;
+            }
+            self.trace_fault(FaultEvent::ReadRetry {
+                block: id.0,
+                page: offset as u32,
+                retries,
+            });
+        }
+        self.clock = self.clock.max(done);
+        let stamp = self.data[id.0 as usize][offset as usize]
+            .ok_or(ZnsError::MediaError { zone: id, offset })?;
+        self.stats.reads += 1;
+        Ok((stamp, done))
+    }
+
+    /// Copies pages into `dst` at its write pointer without crossing the
+    /// host bus. Returns each source's destination offset and the
+    /// completion instant. All-or-nothing validation, burn-redrive on
+    /// destination program failures — the simulator's semantics.
+    ///
+    /// # Errors
+    ///
+    /// See [`bh_zns::backend::ZonedDevice::simple_copy`].
+    pub fn simple_copy(
+        &mut self,
+        sources: &[(ZoneId, u64)],
+        dst: ZoneId,
+        now: Nanos,
+    ) -> Result<(Vec<u64>, Nanos)> {
+        self.clock = self.clock.max(now);
+        for &(src_zone, offset) in sources {
+            let z = self.zone(src_zone)?;
+            if z.state() == ZoneState::Offline {
+                return Err(ZnsError::ZoneOffline(src_zone));
+            }
+            if offset >= z.write_pointer() {
+                return Err(ZnsError::ReadBeyondWritePointer {
+                    zone: src_zone,
+                    wp: z.write_pointer(),
+                    got: offset,
+                });
+            }
+        }
+        if self.zone(dst)?.remaining() < sources.len() as u64 {
+            return Err(ZnsError::ZoneFull(dst));
+        }
+        let cost = Nanos::from_nanos(self.cfg.read_ns + self.cfg.write_ns);
+        let mut placed = Vec::with_capacity(sources.len());
+        let mut done = now;
+        for &(src_zone, offset) in sources {
+            loop {
+                let wp = self.prepare_write(dst, None)?;
+                let stamp = self.data[src_zone.0 as usize][offset as usize].ok_or(
+                    ZnsError::MediaError {
+                        zone: src_zone,
+                        offset,
+                    },
+                )?;
+                if self.program_fires() {
+                    let e = self.burn_slot(dst, wp, now);
+                    match self.zone(dst)?.state() {
+                        ZoneState::Full | ZoneState::ReadOnly => return Err(e),
+                        _ => continue,
+                    }
+                }
+                self.log(Record::Copy { zone: dst.0, stamp });
+                self.data[dst.0 as usize].push(Some(stamp));
+                self.commit_write(dst)?;
+                self.stats.simple_copy_pages += 1;
+                self.flash.copies += 1;
+                self.flash.busy += cost;
+                self.obs.inc(Ctr::FlashCopies);
+                done = done.max(now + cost);
+                placed.push(wp);
+                break;
+            }
+        }
+        self.clock = self.clock.max(done);
+        Ok((placed, done))
+    }
+
+    /// Failure injection: forces a zone ReadOnly, durably (the
+    /// transition is logged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZnsError::ZoneOutOfRange`] for unknown identifiers.
+    pub fn inject_read_only(&mut self, id: ZoneId) -> Result<()> {
+        let state = self.zone(id)?.state();
+        self.log(Record::SetState {
+            zone: id.0,
+            code: ZoneState::ReadOnly.to_code(),
+        });
+        if state.is_open() {
+            self.open -= 1;
+        }
+        if state.is_active() {
+            self.active -= 1;
+        }
+        self.set_state_counted(id, ZoneState::ReadOnly)?;
+        self.trace_transition(id, state, ZoneState::ReadOnly, "inject");
+        Ok(())
+    }
+
+    /// Models a power loss and restart: every volatile structure (zone
+    /// map, payload index, open/active accounting) is dropped and
+    /// rebuilt by re-reading the durable log from the backing store —
+    /// for file media, a fresh read of what is actually on disk. A torn
+    /// or corrupt tail is truncated; zones that were open come back
+    /// Closed (wp > 0) or Empty, per the spec. Op counters and the fault
+    /// plan survive, as they do on the simulator.
+    ///
+    /// Returns the instant recovery completes.
+    pub fn power_cycle(&mut self, now: Nanos) -> Nanos {
+        self.clock = self.clock.max(now);
+        let before: Vec<ZoneState> = self.zones.iter().map(Zone::state).collect();
+        let stats = self.stats;
+        let flash = self.flash;
+        let bytes = self.media.reload().expect("zbd: backing media unreadable");
+        self.replay(&bytes);
+        self.stats = stats;
+        self.flash = flash;
+        for (i, &was) in before.iter().enumerate() {
+            let id = ZoneId(i as u32);
+            let is = self.zones[i].state();
+            if was != is {
+                self.trace_transition(id, was, is, "power-loss");
+            }
+        }
+        if self.obs.enabled_handle() {
+            self.sync_zone_gauges();
+        }
+        self.clock
+    }
+
+    /// Rebuilds all volatile state from `bytes` (header + records),
+    /// truncating the media to the valid prefix. Counters are
+    /// recomputed; callers that preserve them across a power cycle
+    /// snapshot and restore around this.
+    fn replay(&mut self, bytes: &[u8]) {
+        for z in &mut self.zones {
+            *z = Zone::with_capacity(
+                z.id(),
+                self.cfg.zone_capacity_pages,
+                self.cfg.zone_size_pages,
+            );
+        }
+        for d in &mut self.data {
+            d.clear();
+        }
+        self.active = 0;
+        self.open = 0;
+        self.empty = self.zones.len() as u32;
+        self.stats = ZnsStats::default();
+        self.flash = FlashStats::default();
+        let mut applied = 0usize;
+        let mut off = HEADER_LEN;
+        while off + RECORD_LEN <= bytes.len() {
+            let buf: &[u8; RECORD_LEN] = bytes[off..off + RECORD_LEN].try_into().unwrap();
+            let Some(rec) = Record::decode(buf) else {
+                break;
+            };
+            if !self.apply_replay(rec) {
+                break;
+            }
+            applied += 1;
+            off += RECORD_LEN;
+        }
+        let valid = (HEADER_LEN + applied * RECORD_LEN) as u64;
+        self.media
+            .truncate(valid)
+            .expect("zbd: cannot truncate torn log tail");
+        // Post-crash occupancy: nothing is open; written zones are
+        // Closed and count as active.
+        self.active = self.zones.iter().filter(|z| z.state().is_active()).count() as u32;
+        self.empty = self
+            .zones
+            .iter()
+            .filter(|z| z.state() == ZoneState::Empty)
+            .count() as u32;
+    }
+
+    /// Applies one replayed record; false means the record is
+    /// semantically invalid (corruption that checksummed clean), ending
+    /// the valid prefix.
+    fn apply_replay(&mut self, rec: Record) -> bool {
+        let zi = match rec {
+            Record::Append { zone, .. }
+            | Record::Write { zone, .. }
+            | Record::Copy { zone, .. }
+            | Record::Burn { zone }
+            | Record::Reset { zone }
+            | Record::Finish { zone }
+            | Record::SetState { zone, .. } => zone as usize,
+        };
+        if zi >= self.zones.len() {
+            return false;
+        }
+        match rec {
+            Record::Append { stamp, .. }
+            | Record::Write { stamp, .. }
+            | Record::Copy { stamp, .. } => {
+                let zone = &mut self.zones[zi];
+                if zone.remaining() == 0 {
+                    return false;
+                }
+                self.data[zi].push(Some(stamp));
+                zone.advance_wp();
+                zone.set_state(if zone.remaining() == 0 {
+                    ZoneState::Full
+                } else {
+                    ZoneState::Closed
+                });
+                match rec {
+                    Record::Append { .. } => {
+                        self.stats.appends += 1;
+                        self.flash.host_programs += 1;
+                    }
+                    Record::Write { .. } => {
+                        self.stats.writes += 1;
+                        self.flash.host_programs += 1;
+                    }
+                    _ => {
+                        self.stats.simple_copy_pages += 1;
+                        self.flash.copies += 1;
+                    }
+                }
+            }
+            Record::Burn { .. } => {
+                let zone = &mut self.zones[zi];
+                if zone.remaining() == 0 {
+                    return false;
+                }
+                self.data[zi].push(None);
+                zone.note_burn();
+                zone.advance_wp();
+                let burned = zone.burned();
+                zone.set_state(if zone.remaining() == 0 {
+                    ZoneState::Full
+                } else if burned >= self.cfg.burns_to_readonly {
+                    ZoneState::ReadOnly
+                } else {
+                    ZoneState::Closed
+                });
+                self.flash.internal_programs += 1;
+            }
+            Record::Reset { .. } => {
+                self.zones[zi].note_reset();
+                self.data[zi].clear();
+                self.stats.resets += 1;
+                self.flash.erases += 1;
+            }
+            Record::Finish { .. } => {
+                self.zones[zi].set_state(ZoneState::Full);
+            }
+            Record::SetState { code, .. } => {
+                let Some(state) = ZoneState::from_code(code) else {
+                    return false;
+                };
+                self.zones[zi].set_state(state);
+            }
+        }
+        true
+    }
+}
+
+impl bh_zns::backend::ZonedDevice for ZbdDevice {
+    fn num_zones(&self) -> u32 {
+        ZbdDevice::num_zones(self)
+    }
+
+    fn zone_capacity(&self) -> u64 {
+        self.cfg.zone_capacity_pages
+    }
+
+    fn page_bytes(&self) -> u32 {
+        self.cfg.page_bytes
+    }
+
+    fn zone(&self, id: ZoneId) -> Result<&Zone> {
+        ZbdDevice::zone(self, id)
+    }
+
+    fn zone_report(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    fn active_zones(&self) -> u32 {
+        self.active
+    }
+
+    fn open_zones(&self) -> u32 {
+        self.open
+    }
+
+    fn empty_zones(&self) -> u32 {
+        self.empty
+    }
+
+    fn open(&mut self, id: ZoneId) -> Result<()> {
+        ZbdDevice::open(self, id)
+    }
+
+    fn close(&mut self, id: ZoneId) -> Result<()> {
+        ZbdDevice::close(self, id)
+    }
+
+    fn finish(&mut self, id: ZoneId) -> Result<()> {
+        ZbdDevice::finish(self, id)
+    }
+
+    fn reset(&mut self, id: ZoneId, now: Nanos) -> Result<Nanos> {
+        ZbdDevice::reset(self, id, now)
+    }
+
+    fn write(&mut self, id: ZoneId, offset: u64, stamp: Stamp, now: Nanos) -> Result<Nanos> {
+        ZbdDevice::write(self, id, offset, stamp, now)
+    }
+
+    fn append(&mut self, id: ZoneId, stamp: Stamp, now: Nanos) -> Result<(u64, Nanos)> {
+        ZbdDevice::append(self, id, stamp, now)
+    }
+
+    fn read(&mut self, id: ZoneId, offset: u64, now: Nanos) -> Result<(Stamp, Nanos)> {
+        ZbdDevice::read(self, id, offset, now)
+    }
+
+    fn simple_copy(
+        &mut self,
+        sources: &[(ZoneId, u64)],
+        dst: ZoneId,
+        now: Nanos,
+    ) -> Result<(Vec<u64>, Nanos)> {
+        ZbdDevice::simple_copy(self, sources, dst, now)
+    }
+
+    fn inject_read_only(&mut self, id: ZoneId) -> Result<()> {
+        ZbdDevice::inject_read_only(self, id)
+    }
+
+    fn zone_stats(&self) -> ZnsStats {
+        self.stats
+    }
+
+    fn flash_stats(&self) -> FlashStats {
+        self.flash
+    }
+
+    fn busy_planes(&self, _now: Nanos) -> u32 {
+        // No plane/queue model: commands complete at a fixed cost, so
+        // nothing is ever reported in flight.
+        0
+    }
+
+    fn install_faults(&mut self, cfg: FaultConfig) {
+        ZbdDevice::install_faults(self, cfg)
+    }
+
+    fn power_cycle(&mut self, now: Nanos) -> Nanos {
+        ZbdDevice::power_cycle(self, now)
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        ZbdDevice::set_tracer(self, tracer)
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        ZbdDevice::set_obs(self, obs)
+    }
+
+    fn backend_label(&self) -> &'static str {
+        "zbd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn dev() -> ZbdDevice {
+        ZbdDevice::new(ZbdConfig::new(8, 16)).unwrap()
+    }
+
+    /// A unique temp path per call (pid + counter; no wall clock so the
+    /// suite stays deterministic).
+    fn temp_path(tag: &str) -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("bh-zbd-test-{}-{tag}-{n}.zbd", std::process::id()))
+    }
+
+    struct TempFile(PathBuf);
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn conforms_to_shared_zone_state_machine() {
+        bh_zns::conformance::check_state_machine(dev);
+    }
+
+    #[test]
+    fn memory_device_round_trips_appends() {
+        let mut d = dev();
+        let mut t = Nanos::ZERO;
+        for i in 0..10u64 {
+            let (off, done) = d.append(ZoneId(2), 1000 + i, t).unwrap();
+            assert_eq!(off, i);
+            t = done;
+        }
+        for i in 0..10u64 {
+            let (stamp, _) = d.read(ZoneId(2), i, t).unwrap();
+            assert_eq!(stamp, 1000 + i);
+        }
+        assert_eq!(d.stats().appends, 10);
+        assert_eq!(d.flash_stats().host_programs, 10);
+        assert_eq!(d.zone(ZoneId(2)).unwrap().write_pointer(), 10);
+    }
+
+    #[test]
+    fn power_cycle_closes_open_zones_and_keeps_acked_data() {
+        let mut d = dev();
+        d.open(ZoneId(0)).unwrap();
+        let (_, t) = d.append(ZoneId(0), 7, Nanos::ZERO).unwrap();
+        d.open(ZoneId(1)).unwrap(); // explicitly open, never written
+        let t = d.power_cycle(t);
+        // Open state is volatile: written zone comes back Closed, the
+        // empty one Empty.
+        assert_eq!(d.zone(ZoneId(0)).unwrap().state(), ZoneState::Closed);
+        assert_eq!(d.zone(ZoneId(1)).unwrap().state(), ZoneState::Empty);
+        assert_eq!(d.open_zones(), 0);
+        assert_eq!(d.active_zones(), 1);
+        assert_eq!(d.empty_zones(), 7);
+        let (stamp, _) = d.read(ZoneId(0), 0, t).unwrap();
+        assert_eq!(stamp, 7);
+        // Counters survive the cycle (harness diagnostics).
+        assert_eq!(d.stats().appends, 1);
+        assert_eq!(d.flash_stats().host_programs, 1);
+    }
+
+    #[test]
+    fn file_device_survives_drop_and_reopen() {
+        let path = TempFile(temp_path("reopen"));
+        let mut t = Nanos::ZERO;
+        {
+            let mut d = ZbdDevice::create_file(ZbdConfig::new(4, 8), &path.0).unwrap();
+            for i in 0..8u64 {
+                let (_, done) = d.append(ZoneId(0), i, t).unwrap();
+                t = done;
+            }
+            assert_eq!(d.zone(ZoneId(0)).unwrap().state(), ZoneState::Full);
+            t = d.write(ZoneId(1), 0, 99, t).unwrap();
+            d.finish(ZoneId(2)).unwrap();
+            t = d.reset(ZoneId(0), t).unwrap();
+            t = d.append(ZoneId(0), 42, t).map(|r| r.1).unwrap();
+            d.inject_read_only(ZoneId(3)).unwrap();
+        } // device dropped: only the file remains
+        let mut d = ZbdDevice::open_file(&path.0).unwrap();
+        assert_eq!(d.num_zones(), 4);
+        assert_eq!(d.config().zone_size_pages, 8);
+        let z0 = d.zone(ZoneId(0)).unwrap();
+        assert_eq!(z0.state(), ZoneState::Closed);
+        assert_eq!(z0.write_pointer(), 1);
+        assert_eq!(z0.resets(), 1);
+        assert_eq!(d.zone(ZoneId(1)).unwrap().state(), ZoneState::Closed);
+        assert_eq!(d.zone(ZoneId(2)).unwrap().state(), ZoneState::Full);
+        assert_eq!(d.zone(ZoneId(3)).unwrap().state(), ZoneState::ReadOnly);
+        let (stamp, _) = d.read(ZoneId(0), 0, t).unwrap();
+        assert_eq!(stamp, 42);
+        let (stamp, _) = d.read(ZoneId(1), 0, t).unwrap();
+        assert_eq!(stamp, 99);
+        // Cold-start counters recomputed from the log.
+        assert_eq!(d.stats().appends, 9);
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().resets, 1);
+        assert_eq!(d.flash_stats().host_programs, 10);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_continues() {
+        use std::io::{Seek, SeekFrom, Write};
+        let path = TempFile(temp_path("torn"));
+        let mut d = ZbdDevice::create_file(ZbdConfig::new(4, 8), &path.0).unwrap();
+        let mut t = Nanos::ZERO;
+        for i in 0..3u64 {
+            t = d.append(ZoneId(0), i, t).map(|r| r.1).unwrap();
+        }
+        drop(d);
+        // Tear the last record mid-write and append garbage half a
+        // record long.
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path.0)
+            .unwrap();
+        let torn = (HEADER_LEN + 2 * RECORD_LEN + 11) as u64;
+        f.set_len(torn).unwrap();
+        f.seek(SeekFrom::End(0)).unwrap();
+        f.write_all(&[0xAB; 5]).unwrap();
+        drop(f);
+        let mut d = ZbdDevice::open_file(&path.0).unwrap();
+        let z0 = d.zone(ZoneId(0)).unwrap();
+        assert_eq!(z0.write_pointer(), 2, "torn third append discarded");
+        assert_eq!(
+            std::fs::metadata(&path.0).unwrap().len(),
+            (HEADER_LEN + 2 * RECORD_LEN) as u64
+        );
+        // The log keeps working past the truncation point.
+        let (off, _) = d.append(ZoneId(0), 77, t).unwrap();
+        assert_eq!(off, 2);
+        let d2 = ZbdDevice::open_file(&path.0).unwrap();
+        assert_eq!(d2.zone(ZoneId(0)).unwrap().write_pointer(), 3);
+    }
+
+    #[test]
+    fn open_file_rejects_garbage() {
+        let path = TempFile(temp_path("garbage"));
+        std::fs::write(&path.0, b"not a zbd file at all, sorry").unwrap();
+        assert!(ZbdDevice::open_file(&path.0).is_err());
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let mut d = ZbdDevice::new(ZbdConfig::new(8, 16).with_limits(3, 2)).unwrap();
+        let t = Nanos::ZERO;
+        d.append(ZoneId(0), 1, t).unwrap();
+        d.append(ZoneId(1), 2, t).unwrap();
+        // Third implicit open evicts an implicit victim (MOR 2).
+        d.append(ZoneId(2), 3, t).unwrap();
+        assert_eq!(d.open_zones(), 2);
+        assert_eq!(d.active_zones(), 3);
+        assert_eq!(d.stats().implicit_closes, 1);
+        // MAR 3 exhausted: a fourth active zone is refused.
+        assert_eq!(
+            d.append(ZoneId(3), 4, t),
+            Err(ZnsError::TooManyActiveZones { limit: 3 })
+        );
+        // Explicit opens cannot evict explicit zones.
+        let mut d = ZbdDevice::new(ZbdConfig::new(8, 16).with_limits(4, 2)).unwrap();
+        d.open(ZoneId(0)).unwrap();
+        d.open(ZoneId(1)).unwrap();
+        assert_eq!(
+            d.open(ZoneId(2)),
+            Err(ZnsError::TooManyOpenZones { limit: 2 })
+        );
+    }
+
+    #[test]
+    fn burns_degrade_to_read_only_durably() {
+        let path = TempFile(temp_path("burns"));
+        let mut d =
+            ZbdDevice::create_file(ZbdConfig::new(4, 64).with_burns_to_readonly(3), &path.0)
+                .unwrap();
+        d.install_faults(FaultConfig {
+            program_fail_ppm: 1_000_000, // every program burns
+            ..FaultConfig::new(7)
+        });
+        let t = Nanos::ZERO;
+        for _ in 0..3 {
+            let err = d.append(ZoneId(0), 5, t).unwrap_err();
+            assert!(matches!(err, ZnsError::ProgramFailure { .. }));
+        }
+        assert_eq!(d.zone(ZoneId(0)).unwrap().state(), ZoneState::ReadOnly);
+        assert_eq!(d.flash_stats().internal_programs, 3);
+        // Burned slots below the pointer read back as media errors.
+        assert_eq!(
+            d.read(ZoneId(0), 0, t),
+            Err(ZnsError::MediaError {
+                zone: ZoneId(0),
+                offset: 0
+            })
+        );
+        drop(d);
+        // The burn trail is durable: reopen sees the degraded zone.
+        let d = ZbdDevice::open_file(&path.0).unwrap();
+        let z = d.zone(ZoneId(0)).unwrap();
+        assert_eq!(z.state(), ZoneState::ReadOnly);
+        assert_eq!(z.write_pointer(), 3);
+        assert_eq!(z.burned(), 3);
+    }
+
+    #[test]
+    fn simple_copy_moves_stamps_and_counts_wa() {
+        let mut d = dev();
+        let mut t = Nanos::ZERO;
+        for i in 0..4u64 {
+            t = d.append(ZoneId(0), 100 + i, t).map(|r| r.1).unwrap();
+        }
+        let (placed, t) = d
+            .simple_copy(&[(ZoneId(0), 1), (ZoneId(0), 3)], ZoneId(5), t)
+            .unwrap();
+        assert_eq!(placed, vec![0, 1]);
+        let (s, _) = d.read(ZoneId(5), 0, t).unwrap();
+        assert_eq!(s, 101);
+        let (s, _) = d.read(ZoneId(5), 1, t).unwrap();
+        assert_eq!(s, 103);
+        assert_eq!(d.flash_stats().copies, 2);
+        assert_eq!(d.stats().simple_copy_pages, 2);
+        let wa = d.flash_stats().write_amplification();
+        assert!(wa > 1.0 && wa < 2.0, "copy-inflated WA, got {wa}");
+    }
+
+    #[test]
+    fn read_retries_add_latency_and_counters() {
+        let mut d = dev();
+        d.install_faults(FaultConfig {
+            read_retry_ppm: 1_000_000,
+            max_read_retries: 2,
+            ..FaultConfig::new(3)
+        });
+        let (_, t0) = d.append(ZoneId(0), 9, Nanos::ZERO).unwrap();
+        let (_, done) = d.read(ZoneId(0), 0, t0).unwrap();
+        let unit = Nanos::from_nanos(d.config().read_ns);
+        assert!(done > t0 + unit, "retries must add latency");
+        assert!(d.flash_stats().internal_reads > 0);
+    }
+
+    #[test]
+    fn trait_object_surface_matches_inherent() {
+        let mut d: Box<dyn bh_zns::backend::ZonedDevice> = Box::new(dev());
+        assert_eq!(d.backend_label(), "zbd");
+        assert_eq!(d.num_zones(), 8);
+        assert_eq!(d.zone_capacity(), 16);
+        assert_eq!(d.page_bytes(), 4096);
+        let (off, _) = d.append(ZoneId(1), 11, Nanos::ZERO).unwrap();
+        assert_eq!(off, 0);
+        assert_eq!(d.zone_report()[1].write_pointer(), 1);
+        assert_eq!(d.busy_planes(Nanos::ZERO), 0);
+        d.power_cycle(Nanos::from_micros(5));
+        assert_eq!(d.zone_stats().appends, 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! bh-zbd: a file-/memory-backed zoned block device emulator.
+//!
+//! The flash-backed simulator ([`bh_zns::ZnsDevice`]) answers timing
+//! questions; this crate answers durability questions. [`ZbdDevice`]
+//! implements the same zone state machine and command set — checked
+//! against the same [`bh_zns::conformance`] transition table — but
+//! stores every acknowledged state-changing command in an
+//! append-ordered durable log ([`media`]). Power cycles recover by
+//! re-reading the log from the backing store and replaying its valid
+//! prefix, so crash consistency is real, not simulated: a torn tail is
+//! truncated, acknowledged appends survive, and open zones come back
+//! Closed or Empty exactly as the ZNS spec prescribes.
+//!
+//! Both devices implement [`bh_zns::backend::ZonedDevice`], so the host
+//! stack (`BlockEmu`, the zone allocator, bh-kv, bh-cache) runs
+//! unmodified on either substrate; `expt_backend` replays one op
+//! schedule on both and asserts the logical states are identical.
+
+#![warn(missing_docs)]
+
+mod config;
+mod device;
+pub mod media;
+
+pub use config::ZbdConfig;
+pub use device::ZbdDevice;

@@ -774,6 +774,113 @@ impl ZnsDevice {
     }
 }
 
+impl crate::backend::ZonedDevice for ZnsDevice {
+    fn num_zones(&self) -> u32 {
+        ZnsDevice::num_zones(self)
+    }
+
+    fn zone_capacity(&self) -> u64 {
+        self.cfg.zone_capacity()
+    }
+
+    fn page_bytes(&self) -> u32 {
+        self.cfg.flash.geometry.page_bytes
+    }
+
+    fn zone(&self, id: ZoneId) -> Result<&Zone> {
+        ZnsDevice::zone(self, id)
+    }
+
+    fn zone_report(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    fn active_zones(&self) -> u32 {
+        self.active
+    }
+
+    fn open_zones(&self) -> u32 {
+        self.open
+    }
+
+    fn empty_zones(&self) -> u32 {
+        self.empty
+    }
+
+    fn open(&mut self, id: ZoneId) -> Result<()> {
+        ZnsDevice::open(self, id)
+    }
+
+    fn close(&mut self, id: ZoneId) -> Result<()> {
+        ZnsDevice::close(self, id)
+    }
+
+    fn finish(&mut self, id: ZoneId) -> Result<()> {
+        ZnsDevice::finish(self, id)
+    }
+
+    fn reset(&mut self, id: ZoneId, now: Nanos) -> Result<Nanos> {
+        ZnsDevice::reset(self, id, now)
+    }
+
+    fn write(&mut self, id: ZoneId, offset: u64, stamp: Stamp, now: Nanos) -> Result<Nanos> {
+        ZnsDevice::write(self, id, offset, stamp, now)
+    }
+
+    fn append(&mut self, id: ZoneId, stamp: Stamp, now: Nanos) -> Result<(u64, Nanos)> {
+        ZnsDevice::append(self, id, stamp, now)
+    }
+
+    fn read(&mut self, id: ZoneId, offset: u64, now: Nanos) -> Result<(Stamp, Nanos)> {
+        ZnsDevice::read(self, id, offset, now)
+    }
+
+    fn simple_copy(
+        &mut self,
+        sources: &[(ZoneId, u64)],
+        dst: ZoneId,
+        now: Nanos,
+    ) -> Result<(Vec<u64>, Nanos)> {
+        ZnsDevice::simple_copy(self, sources, dst, now)
+    }
+
+    fn inject_read_only(&mut self, id: ZoneId) -> Result<()> {
+        ZnsDevice::inject_read_only(self, id)
+    }
+
+    fn zone_stats(&self) -> ZnsStats {
+        self.stats
+    }
+
+    fn flash_stats(&self) -> FlashStats {
+        *self.dev.stats()
+    }
+
+    fn busy_planes(&self, now: Nanos) -> u32 {
+        self.dev.scheduler().busy_planes(now)
+    }
+
+    fn install_faults(&mut self, cfg: bh_faults::FaultConfig) {
+        ZnsDevice::install_faults(self, cfg)
+    }
+
+    fn power_cycle(&mut self, now: Nanos) -> Nanos {
+        ZnsDevice::power_cycle(self, now)
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        ZnsDevice::set_tracer(self, tracer)
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        ZnsDevice::set_obs(self, obs)
+    }
+
+    fn backend_label(&self) -> &'static str {
+        "zns"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -789,6 +896,11 @@ mod tests {
         cfg.max_active_zones = max_active;
         cfg.max_open_zones = max_open;
         ZnsDevice::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn conforms_to_shared_zone_state_machine() {
+        crate::conformance::check_state_machine(dev);
     }
 
     #[test]

@@ -28,11 +28,14 @@
 //! performance difference measured between them is attributable to the
 //! interface — which is precisely the paper's claim.
 
+pub mod backend;
 pub mod config;
+pub mod conformance;
 pub mod device;
 pub mod error;
 pub mod zone;
 
+pub use backend::ZonedDevice;
 pub use config::ZnsConfig;
 pub use device::{ZnsDevice, ZnsStats};
 pub use error::ZnsError;

@@ -36,6 +36,47 @@ pub enum ZoneState {
 }
 
 impl ZoneState {
+    /// A stable one-byte encoding, used by durable zone-metadata formats
+    /// (bh-zbd's log records). The codes are part of the on-disk format:
+    /// never renumber them.
+    pub fn to_code(self) -> u8 {
+        match self {
+            ZoneState::Empty => 0,
+            ZoneState::ImplicitlyOpened => 1,
+            ZoneState::ExplicitlyOpened => 2,
+            ZoneState::Closed => 3,
+            ZoneState::Full => 4,
+            ZoneState::ReadOnly => 5,
+            ZoneState::Offline => 6,
+        }
+    }
+
+    /// Decodes [`ZoneState::to_code`]; `None` for unknown bytes (a
+    /// corrupt record, not a panic).
+    pub fn from_code(code: u8) -> Option<ZoneState> {
+        Some(match code {
+            0 => ZoneState::Empty,
+            1 => ZoneState::ImplicitlyOpened,
+            2 => ZoneState::ExplicitlyOpened,
+            3 => ZoneState::Closed,
+            4 => ZoneState::Full,
+            5 => ZoneState::ReadOnly,
+            6 => ZoneState::Offline,
+            _ => return None,
+        })
+    }
+
+    /// Every zone state, in `to_code` order.
+    pub const ALL: [ZoneState; 7] = [
+        ZoneState::Empty,
+        ZoneState::ImplicitlyOpened,
+        ZoneState::ExplicitlyOpened,
+        ZoneState::Closed,
+        ZoneState::Full,
+        ZoneState::ReadOnly,
+        ZoneState::Offline,
+    ];
+
     /// True for states that count against the **active** zone limit (MAR):
     /// implicitly/explicitly opened and closed zones hold device
     /// resources.
@@ -100,6 +141,23 @@ impl Zone {
         }
     }
 
+    /// Creates an empty zone with `capacity` writable pages and no
+    /// backing blocks — for device models (bh-zbd) whose media is a file
+    /// rather than a flash stripe. `locate` must not be called on such a
+    /// zone.
+    pub fn with_capacity(id: ZoneId, capacity: u64, size: u64) -> Self {
+        Zone {
+            id,
+            state: ZoneState::Empty,
+            wp: 0,
+            capacity: capacity.min(size),
+            size,
+            blocks: Vec::new(),
+            resets: 0,
+            burned: 0,
+        }
+    }
+
     /// The zone identifier.
     pub fn id(&self) -> ZoneId {
         self.id
@@ -158,20 +216,27 @@ impl Zone {
         (block, (offset / stripe) as u32)
     }
 
-    // State transitions are crate-internal: only the device may move a
-    // zone, because transitions interact with the namespace-wide
-    // active/open accounting.
+    // State transitions are device-implementation hooks: only a device
+    // model (ZnsDevice, ZbdDevice) may move a zone, because transitions
+    // interact with the namespace-wide active/open accounting. Hosts see
+    // zones read-only through [`crate::backend::ZonedDevice`].
 
-    pub(crate) fn set_state(&mut self, state: ZoneState) {
+    /// Sets the state without any accounting — device implementations
+    /// only.
+    pub fn set_state(&mut self, state: ZoneState) {
         self.state = state;
     }
 
-    pub(crate) fn advance_wp(&mut self) {
+    /// Advances the write pointer by one page — device implementations
+    /// only.
+    pub fn advance_wp(&mut self) {
         debug_assert!(self.wp < self.capacity, "write pointer past capacity");
         self.wp += 1;
     }
 
-    pub(crate) fn note_reset(&mut self) {
+    /// Rewinds the write pointer and counts a completed reset — device
+    /// implementations only.
+    pub fn note_reset(&mut self) {
         self.wp = 0;
         self.resets += 1;
         self.burned = 0;
@@ -182,7 +247,7 @@ impl Zone {
     /// is consumed but holds no data. The wp still advances (flash pages
     /// cannot be re-programmed before erase), so the burned slot becomes a
     /// hole readers must tolerate.
-    pub(crate) fn note_burn(&mut self) {
+    pub fn note_burn(&mut self) {
         self.burned += 1;
     }
 
@@ -239,6 +304,28 @@ mod tests {
         assert!(!ZoneState::Full.is_active());
         assert!(ZoneState::ImplicitlyOpened.is_open());
         assert!(!ZoneState::Closed.is_open());
+    }
+
+    #[test]
+    fn state_codes_round_trip_and_reject_garbage() {
+        for state in ZoneState::ALL {
+            assert_eq!(ZoneState::from_code(state.to_code()), Some(state));
+        }
+        // Codes are distinct (the encoding is injective).
+        let codes: std::collections::HashSet<_> =
+            ZoneState::ALL.iter().map(|s| s.to_code()).collect();
+        assert_eq!(codes.len(), ZoneState::ALL.len());
+        assert_eq!(ZoneState::from_code(7), None);
+        assert_eq!(ZoneState::from_code(255), None);
+    }
+
+    #[test]
+    fn with_capacity_builds_blockless_zone() {
+        let z = Zone::with_capacity(ZoneId(3), 60, 64);
+        assert_eq!(z.state(), ZoneState::Empty);
+        assert_eq!(z.capacity(), 60);
+        assert_eq!(z.size(), 64);
+        assert!(z.blocks().is_empty());
     }
 
     #[test]
