@@ -13,11 +13,23 @@
 //! Both modes generalize over queue depth. At [`RunConfig::queue_depth`]
 //! ≤ 1 the runner keeps the original serial dispatch loop (bit-for-bit
 //! identical results to earlier versions); deeper configurations route
-//! every operation through a [`bh_queue::QueueEngine`], which holds up
-//! to QD operations in flight and retires completions in deterministic
+//! every operation through a `bh-queue` arbiter, which holds up to QD
+//! operations in flight and retires completions in deterministic
 //! `(completion instant, command id)` order. Closed-loop pacing then
 //! means "submit when a window slot frees"; open-loop arrivals stay on
 //! schedule and queue in the submission queue when the window is full.
+//!
+//! Two queued cores implement that contract, selected by
+//! [`RunConfig::queue_core`] (default [`QueueCore::Event`], overridable
+//! with `BH_QUEUE_CORE=polling|event`):
+//!
+//! - [`QueueCore::Event`] — the event-driven hot path: each operation
+//!   goes through [`QueueEngine::dispatch`], which advances the
+//!   calendar straight to the next event and hands retirements to a
+//!   sink with no deque round-trips.
+//! - [`QueueCore::Polling`] — the original per-op loop over
+//!   [`bh_queue::PollingEngine`], preserved verbatim as the oracle the
+//!   lockstep suites compare against.
 //!
 //! A maintenance hook fires between operations so host-scheduled reclaim
 //! (the ZNS stack's prerogative) can run on its policy.
@@ -28,7 +40,7 @@ use bh_flash::FlashStats;
 use bh_metrics::{Histogram, Nanos, Series};
 use bh_obs::profiler::{self, PhaseGuard};
 use bh_obs::{Ctr, Obs, SAMPLE_STRIDE};
-use bh_queue::{IoCompletion, IoKind, IoRequest, QueueEngine};
+use bh_queue::{IoCompletion, IoKind, IoRequest, PollingEngine, QueueEngine};
 use bh_trace::{RunnerEvent, Tracer};
 use bh_workloads::{Op, OpSource};
 
@@ -60,6 +72,41 @@ pub enum Pacing {
     },
 }
 
+/// Which queued dispatch core drives depths > 1.
+///
+/// Both cores produce bit-identical results — the lockstep suites
+/// (`tests/event_lockstep.rs`, `tests/prop_event.rs`) enforce it — so
+/// the choice is purely about speed: [`QueueCore::Event`] advances the
+/// clock straight to the next calendar event, [`QueueCore::Polling`]
+/// steps the original per-op loop and exists as the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueCore {
+    /// Event-driven time-skip core over [`QueueEngine::dispatch`] (the
+    /// default).
+    #[default]
+    Event,
+    /// The preserved original: buffered submit/pump/reap over
+    /// [`bh_queue::PollingEngine`].
+    Polling,
+}
+
+impl QueueCore {
+    /// The process-wide default: `BH_QUEUE_CORE=event|polling` if set
+    /// (read once, loud on unknown values), otherwise
+    /// [`QueueCore::Event`].
+    pub fn from_env() -> QueueCore {
+        static CORE: std::sync::OnceLock<QueueCore> = std::sync::OnceLock::new();
+        *CORE.get_or_init(|| match std::env::var("BH_QUEUE_CORE") {
+            Ok(v) => match v.as_str() {
+                "event" => QueueCore::Event,
+                "polling" => QueueCore::Polling,
+                other => panic!("BH_QUEUE_CORE must be \"event\" or \"polling\", got {other:?}"),
+            },
+            Err(_) => QueueCore::Event,
+        })
+    }
+}
+
 /// Run parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
@@ -71,19 +118,30 @@ pub struct RunConfig {
     /// never).
     pub maintenance_every: u64,
     /// Operations kept in flight at once. ≤ 1 runs the serial dispatch
-    /// loop; deeper values drive the device through a
-    /// [`bh_queue::QueueEngine`].
+    /// loop; deeper values drive the device through a `bh-queue`
+    /// arbiter.
     pub queue_depth: usize,
+    /// Which arbiter implementation drives depths > 1.
+    pub queue_core: QueueCore,
+    /// Route depth ≤ 1 through the queued arbiter too, instead of the
+    /// serial loop. Results are bit-identical either way (the lockstep
+    /// suites hold the arbiter to the serial oracle at every depth);
+    /// only the wall-clock cost profile changes. The perf gate sets
+    /// this so its depth sweep isolates *depth*, not code path.
+    pub queued_depth1: bool,
 }
 
 impl RunConfig {
-    /// `ops` operations, closed-loop, no maintenance, queue depth 1.
+    /// `ops` operations, closed-loop, no maintenance, queue depth 1,
+    /// queue core from `BH_QUEUE_CORE` (default event-driven).
     pub fn new(ops: u64) -> Self {
         RunConfig {
             ops,
             pacing: Pacing::Closed,
             maintenance_every: 0,
             queue_depth: 1,
+            queue_core: QueueCore::from_env(),
+            queued_depth1: false,
         }
     }
 
@@ -102,6 +160,19 @@ impl RunConfig {
     /// Keeps up to `depth` operations in flight.
     pub fn with_queue_depth(mut self, depth: usize) -> Self {
         self.queue_depth = depth;
+        self
+    }
+
+    /// Selects the queued dispatch core (overrides the env default).
+    pub fn with_queue_core(mut self, core: QueueCore) -> Self {
+        self.queue_core = core;
+        self
+    }
+
+    /// Routes depth ≤ 1 through the queued arbiter instead of the
+    /// serial loop (see [`RunConfig::queued_depth1`]).
+    pub fn with_queued_depth1(mut self) -> Self {
+        self.queued_depth1 = true;
         self
     }
 }
@@ -409,10 +480,13 @@ impl Runner {
         start: Nanos,
         sampler: Option<&mut Sampler>,
     ) -> Result<RunResult, OpFailure> {
-        if self.cfg.queue_depth <= 1 {
+        if self.cfg.queue_depth <= 1 && !self.cfg.queued_depth1 {
             self.run_serial(dev, stream, start, sampler)
         } else {
-            self.run_queued(dev, stream, start, sampler)
+            match self.cfg.queue_core {
+                QueueCore::Event => self.run_queued(dev, stream, start, sampler),
+                QueueCore::Polling => self.run_queued_polling(dev, stream, start, sampler),
+            }
         }
     }
 
@@ -538,11 +612,14 @@ impl Runner {
         })
     }
 
-    /// The queued dispatch loop: every operation goes through a
-    /// [`QueueEngine`] holding up to QD in flight. Completion order —
-    /// and therefore every histogram and trace — is decided solely by
-    /// the device's completion instants with command ids breaking ties,
-    /// so runs are byte-reproducible at any depth.
+    /// The event-driven queued loop: every operation goes straight
+    /// through [`QueueEngine::dispatch`], which advances the calendar to
+    /// the next event and hands retirements to the [`Reaper`] sink with
+    /// no deque round-trips. Completion order — and therefore every
+    /// histogram and trace — is decided solely by the device's
+    /// completion instants with command ids breaking ties, so runs are
+    /// byte-reproducible at any depth and bit-identical to the polling
+    /// oracle ([`Runner::run_queued_polling`]).
     fn run_queued<D: BlockInterface + ?Sized>(
         &self,
         dev: &mut D,
@@ -551,10 +628,120 @@ impl Runner {
         mut sampler: Option<&mut Sampler>,
     ) -> Result<RunResult, OpFailure> {
         let mut engine: QueueEngine<IoError> =
-            QueueEngine::new(self.cfg.queue_depth).with_obs(self.obs.clone());
-        let mut reads = Histogram::new();
-        let mut writes = Histogram::new();
-        let mut errors = 0u64;
+            QueueEngine::new(self.cfg.queue_depth.max(1)).with_obs(self.obs.clone());
+        let mut reaper = Reaper::new();
+        let mut arrival = start;
+        for i in 0..self.cfg.ops {
+            // Sampled profiling window, as on the serial path.
+            let _w = (i % SAMPLE_STRIDE == 0).then(|| profiler::window(SAMPLE_STRIDE));
+            if self.cfg.maintenance_every > 0 && i > 0 && i % self.cfg.maintenance_every == 0 {
+                let _p = PhaseGuard::enter("maintenance");
+                engine.dispatch(
+                    IoRequest::Maintenance,
+                    arrival,
+                    |req, t| Self::exec(dev, req, t),
+                    &mut |c| reaper.accept(c),
+                );
+            }
+            let (op, hint) = {
+                let _p = PhaseGuard::enter("op_gen");
+                stream.next_hinted()
+            };
+            let req = match op {
+                Op::Read(lba) => IoRequest::Read { lba },
+                Op::Write(lba) => IoRequest::Write {
+                    lba,
+                    hint: Some(hint),
+                },
+                Op::Trim(lba) => IoRequest::Trim { lba },
+            };
+            {
+                let _p = PhaseGuard::enter("pump");
+                engine.dispatch(
+                    req,
+                    arrival,
+                    |req, t| {
+                        let _p = PhaseGuard::enter("dev_exec");
+                        Self::exec(dev, req, t)
+                    },
+                    &mut |c| reaper.accept(c),
+                );
+            }
+            arrival = {
+                let _p = PhaseGuard::enter("pacing");
+                match self.cfg.pacing {
+                    Pacing::Open { interarrival } => arrival + interarrival,
+                    // The next op arrives when a window slot frees — the
+                    // closed loop generalized to depth QD. The calendar
+                    // hands back the exact instant, so the clock skips
+                    // straight there: no stepping, no polling.
+                    Pacing::Closed => start.max(engine.slot_free_at()),
+                    Pacing::Bursty {
+                        burst_ops,
+                        interarrival,
+                        idle,
+                    } => {
+                        if burst_ops > 0 && (i + 1).is_multiple_of(burst_ops) {
+                            // Quiesce, then skip the clock across the idle
+                            // window to the maintenance instant — the
+                            // window itself costs nothing to simulate.
+                            engine.flush_into(&mut |c| reaper.accept(c));
+                            let window = engine.last_done().max(arrival + interarrival) + idle;
+                            engine.dispatch(
+                                IoRequest::Maintenance,
+                                window,
+                                |req, t| Self::exec(dev, req, t),
+                                &mut |c| reaper.accept(c),
+                            );
+                            engine.flush_into(&mut |c| reaper.accept(c));
+                            engine.last_done().max(window)
+                        } else {
+                            arrival + interarrival
+                        }
+                    }
+                }
+            };
+            if let Some(s) = sampler.as_deref_mut() {
+                if (i + 1) % s.every() == 0 {
+                    let _p = PhaseGuard::enter("sampler");
+                    s.sample(dev, i + 1, arrival, engine.in_flight_at(arrival));
+                }
+            }
+            // The polling loop reaps (and surfaces failures) after the
+            // sampler; checking here keeps the abort point identical.
+            reaper.check()?;
+        }
+        {
+            // Rare and long: measured exactly, not sampled.
+            let _p = PhaseGuard::enter_exact("drain");
+            engine.flush_into(&mut |c| reaper.accept(c));
+        }
+        reaper.check()?;
+        Ok(RunResult {
+            reads: reaper.reads,
+            writes: reaper.writes,
+            elapsed: engine.last_done().saturating_sub(start),
+            errors: reaper.errors,
+            device_wa: dev.write_amplification(),
+            peak_in_flight: engine.peak_in_flight(),
+        })
+    }
+
+    /// The original queued dispatch loop over the preserved
+    /// [`PollingEngine`], kept verbatim as the oracle: every operation
+    /// is buffered, pumped, and reaped per iteration. The lockstep
+    /// suites run both loops over identical streams and require
+    /// bit-for-bit agreement.
+    fn run_queued_polling<D: BlockInterface + ?Sized>(
+        &self,
+        dev: &mut D,
+        stream: &mut dyn OpSource,
+        start: Nanos,
+        mut sampler: Option<&mut Sampler>,
+    ) -> Result<RunResult, OpFailure> {
+        let mut engine: PollingEngine<IoError> =
+            PollingEngine::new(self.cfg.queue_depth.max(1)).with_obs(self.obs.clone());
+        let mut reaper = Reaper::new();
         let mut arrival = start;
         for i in 0..self.cfg.ops {
             // Sampled profiling window, as on the serial path.
@@ -622,20 +809,26 @@ impl Runner {
             }
             {
                 let _p = PhaseGuard::enter("reap");
-                Self::reap(&mut engine, &mut reads, &mut writes, &mut errors)?;
+                while let Some(c) = engine.pop_completion() {
+                    reaper.accept(c);
+                }
+                reaper.check()?;
             }
         }
         {
             // Rare and long: measured exactly, not sampled.
             let _p = PhaseGuard::enter_exact("drain");
             engine.flush();
-            Self::reap(&mut engine, &mut reads, &mut writes, &mut errors)?;
+            while let Some(c) = engine.pop_completion() {
+                reaper.accept(c);
+            }
         }
+        reaper.check()?;
         Ok(RunResult {
-            reads,
-            writes,
+            reads: reaper.reads,
+            writes: reaper.writes,
             elapsed: engine.last_done().saturating_sub(start),
-            errors,
+            errors: reaper.errors,
             device_wa: dev.write_amplification(),
             peak_in_flight: engine.peak_in_flight(),
         })
@@ -668,39 +861,67 @@ impl Runner {
         }
     }
 
-    /// Drains retired completions into the histograms. Closed-loop
-    /// arrivals equal issue instants, so `latency()` means the same
-    /// thing the serial loop records in every mode.
-    fn reap(
-        engine: &mut QueueEngine<IoError>,
-        reads: &mut Histogram,
-        writes: &mut Histogram,
-        errors: &mut u64,
-    ) -> Result<(), OpFailure> {
-        while let Some(c) = engine.pop_completion() {
-            match c.req.kind() {
-                IoKind::Read => match c.result {
-                    Ok(()) => reads.record(c.latency()),
-                    // Unmapped reads are workload artifacts; count and
-                    // move on.
-                    Err(_) => *errors += 1,
-                },
-                IoKind::Write => match c.result {
-                    Ok(()) => writes.record(c.latency()),
-                    Err(ref e) => return Err(Self::failure(&c, e.clone())),
-                },
-                IoKind::Trim | IoKind::Maintenance => {
-                    if let Err(ref e) = c.result {
-                        return Err(Self::failure(&c, e.clone()));
-                    }
+    fn failure(c: &IoCompletion<IoError>, error: IoError) -> OpFailure {
+        OpFailure::new(c.req.kind(), c.req.lba(), c.issued, error)
+    }
+}
+
+/// The completion sink shared by both queued loops: records retired
+/// completions into the latency histograms as they arrive, in
+/// retirement order. Closed-loop arrivals equal issue instants, so
+/// `latency()` means the same thing the serial loop records in every
+/// mode.
+///
+/// A failed write/trim/maintenance stashes the *first* failure (in
+/// retirement order) and stops recording — the loop surfaces it at the
+/// same per-iteration point the original reap did, so abort behavior is
+/// bit-identical across cores.
+#[derive(Debug)]
+struct Reaper {
+    reads: Histogram,
+    writes: Histogram,
+    errors: u64,
+    failed: Option<OpFailure>,
+}
+
+impl Reaper {
+    fn new() -> Self {
+        Reaper {
+            reads: Histogram::new(),
+            writes: Histogram::new(),
+            errors: 0,
+            failed: None,
+        }
+    }
+
+    fn accept(&mut self, c: IoCompletion<IoError>) {
+        if self.failed.is_some() {
+            return;
+        }
+        match c.req.kind() {
+            IoKind::Read => match c.result {
+                Ok(()) => self.reads.record(c.latency()),
+                // Unmapped reads are workload artifacts; count and
+                // move on.
+                Err(_) => self.errors += 1,
+            },
+            IoKind::Write => match c.result {
+                Ok(()) => self.writes.record(c.latency()),
+                Err(ref e) => self.failed = Some(Runner::failure(&c, e.clone())),
+            },
+            IoKind::Trim | IoKind::Maintenance => {
+                if let Err(ref e) = c.result {
+                    self.failed = Some(Runner::failure(&c, e.clone()));
                 }
             }
         }
-        Ok(())
     }
 
-    fn failure(c: &IoCompletion<IoError>, error: IoError) -> OpFailure {
-        OpFailure::new(c.req.kind(), c.req.lba(), c.issued, error)
+    fn check(&mut self) -> Result<(), OpFailure> {
+        match self.failed.take() {
+            Some(f) => Err(f),
+            None => Ok(()),
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! Fleet composition: which stacks, how many devices, which tenants.
 
-use bh_core::Pacing;
+use bh_core::{Pacing, QueueCore};
 use bh_faults::FaultConfig;
 use bh_flash::Geometry;
 use bh_host::ReclaimPolicy;
@@ -72,6 +72,10 @@ pub struct FleetConfig {
     /// dispatch loop; deeper values run every shard through the
     /// submission/completion engine).
     pub queue_depth: usize,
+    /// Which queued dispatch core each shard's runner uses at depths
+    /// above 1 (bit-identical results either way; see
+    /// [`bh_core::QueueCore`]).
+    pub queue_core: QueueCore,
     /// Invoke device maintenance every N ops (0 = never).
     pub maintenance_every: u64,
     /// How tenants map to shards.
@@ -124,6 +128,7 @@ impl FleetConfig {
             ops_per_shard: 2000,
             pacing: Pacing::Closed,
             queue_depth: 1,
+            queue_core: QueueCore::from_env(),
             maintenance_every: 64,
             placement: Placement::Hash,
             seed,
@@ -145,6 +150,13 @@ impl FleetConfig {
     /// Sets the per-shard queue depth.
     pub fn with_queue_depth(mut self, depth: usize) -> Self {
         self.queue_depth = depth;
+        self
+    }
+
+    /// Selects the per-shard queued dispatch core (overrides the
+    /// `BH_QUEUE_CORE` env default).
+    pub fn with_queue_core(mut self, core: QueueCore) -> Self {
+        self.queue_core = core;
         self
     }
 

@@ -1,5 +1,18 @@
-//! The paired queues and the deterministic arbiter between them.
+//! The paired queues and the deterministic event-driven arbiter
+//! between them.
+//!
+//! Since PR 8 the arbiter is event-driven: in-flight completions live
+//! in an [`EventCalendar`] — a sorted next-event calendar keyed by
+//! `(completed, cid)` — so the clock advances straight from one event
+//! to the next. Retirement pops the calendar head, the closed-loop
+//! window arithmetic ([`QueueEngine::slot_free_at`]) is an O(1) read of
+//! the k-th calendar key, and the hot path ([`QueueEngine::dispatch`])
+//! hands retired completions to a caller sink without round-tripping
+//! them through the completion queue. The previous per-op polling
+//! arbiter survives verbatim as [`crate::PollingEngine`], the oracle
+//! the differential suites hold this engine to, bit for bit.
 
+use crate::calendar::EventCalendar;
 use crate::req::{IoCompletion, IoRequest};
 use bh_metrics::Nanos;
 use bh_obs::{Ctr, Gauge, Obs};
@@ -7,11 +20,11 @@ use bh_trace::{RunnerEvent, Tracer};
 
 /// One submitted-but-not-yet-dispatched entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Submission {
-    cid: u64,
-    req: IoRequest,
+pub(crate) struct Submission {
+    pub(crate) cid: u64,
+    pub(crate) req: IoRequest,
     /// Earliest instant the op may issue (its arrival).
-    arrival: Nanos,
+    pub(crate) arrival: Nanos,
 }
 
 /// Accepts typed [`IoRequest`]s in submission order and hands each a
@@ -45,6 +58,17 @@ impl SubmissionQueue {
         cid
     }
 
+    /// Assigns the next command id and clamped arrival *without*
+    /// buffering an entry — the immediate-dispatch path, which skips the
+    /// deque round-trip the buffered path pays.
+    pub(crate) fn issue_direct(&mut self, arrival: Nanos) -> (u64, Nanos) {
+        let arrival = arrival.max(self.last_arrival);
+        self.last_arrival = arrival;
+        let cid = self.next_cid;
+        self.next_cid += 1;
+        (cid, arrival)
+    }
+
     /// Entries submitted so far (the next command id).
     pub fn submitted(&self) -> u64 {
         self.next_cid
@@ -60,7 +84,7 @@ impl SubmissionQueue {
         self.entries.is_empty()
     }
 
-    fn pop(&mut self) -> Option<Submission> {
+    pub(crate) fn pop(&mut self) -> Option<Submission> {
         self.entries.pop_front()
     }
 }
@@ -69,7 +93,7 @@ impl SubmissionQueue {
 /// cid)`, exactly the order a host reaps NVMe completions.
 #[derive(Debug)]
 pub struct CompletionQueue<E> {
-    retired: std::collections::VecDeque<IoCompletion<E>>,
+    pub(crate) retired: std::collections::VecDeque<IoCompletion<E>>,
 }
 
 impl<E> Default for CompletionQueue<E> {
@@ -101,7 +125,7 @@ impl<E> CompletionQueue<E> {
         self.retired.is_empty()
     }
 
-    fn push(&mut self, c: IoCompletion<E>) {
+    pub(crate) fn push(&mut self, c: IoCompletion<E>) {
         self.retired.push_back(c);
     }
 }
@@ -122,28 +146,41 @@ pub struct PowerCut<E> {
 }
 
 /// The engine: a [`SubmissionQueue`], a [`CompletionQueue`], and a
-/// deterministic arbiter holding up to `depth` ops in flight.
+/// deterministic event-driven arbiter holding up to `depth` ops in
+/// flight on a next-event calendar.
 ///
 /// The arbiter dispatches in submission order. Op `i` issues at
 /// `max(arrival_i, instant a window slot frees)`; its completion
 /// instant comes back from the device model (ultimately the flash
-/// `ResourceModel`'s per-plane free times). In-flight ops retire to the
-/// completion queue in ascending `(completed, cid)` order as the
-/// *arrival frontier* passes them — safe because arrivals never run
-/// backwards, so no future op can issue (let alone complete) before a
-/// retired op's completion instant. The completion stream is therefore
-/// globally ordered by `(completed, cid)` over the engine's lifetime.
+/// `ResourceModel`'s per-plane free times) and is scheduled on the
+/// calendar. In-flight ops retire in ascending `(completed, cid)` order
+/// as the *arrival frontier* passes them — safe because arrivals never
+/// run backwards, so no future op can issue (let alone complete) before
+/// a retired op's completion instant. The completion stream is
+/// therefore globally ordered by `(completed, cid)` over the engine's
+/// lifetime.
+///
+/// Two dispatch surfaces share one arbiter:
+///
+/// - [`QueueEngine::submit`] + [`QueueEngine::pump`]: buffered NVMe
+///   style; retirements land in the [`CompletionQueue`] for the host to
+///   reap.
+/// - [`QueueEngine::dispatch`] + [`QueueEngine::flush_into`]: the
+///   event-driven hot path; each call dispatches one op and hands
+///   retirements straight to a caller-supplied sink, skipping both
+///   deques.
+///
+/// Both produce the identical event sequence — the differential suites
+/// pin them to [`crate::PollingEngine`], the preserved original.
 #[derive(Debug)]
 pub struct QueueEngine<E> {
     depth: usize,
     sq: SubmissionQueue,
     cq: CompletionQueue<E>,
-    /// In-flight ops keyed by `(completed, cid)` — the retirement order
-    /// itself, so retiring is popping the first entry and the window
-    /// arithmetic in [`QueueEngine::slot_free_at`] reads sorted keys
-    /// instead of sorting a scratch vector per dispatch. Keys are unique
-    /// because command ids are.
-    inflight: std::collections::BTreeMap<(Nanos, u64), IoCompletion<E>>,
+    /// The next-event calendar: in-flight ops ordered by `(completed,
+    /// cid)` — the retirement order itself, so retiring pops the head
+    /// and the window arithmetic reads sorted keys in O(1).
+    cal: EventCalendar<IoCompletion<E>>,
     tracer: Tracer,
     /// Live counter registry: arrivals, retirements, in-flight gauge.
     obs: Obs,
@@ -158,7 +195,7 @@ impl<E> QueueEngine<E> {
             depth: depth.max(1),
             sq: SubmissionQueue::new(),
             cq: CompletionQueue::default(),
-            inflight: std::collections::BTreeMap::new(),
+            cal: EventCalendar::default(),
             tracer: Tracer::disabled(),
             obs: Obs::disabled(),
             last_done: Nanos::ZERO,
@@ -199,7 +236,7 @@ impl<E> QueueEngine<E> {
 
     /// Ops currently in flight (dispatched, not yet retired).
     pub fn in_flight(&self) -> usize {
-        self.inflight.len()
+        self.cal.len()
     }
 
     /// The deepest the in-flight window ever got.
@@ -210,8 +247,8 @@ impl<E> QueueEngine<E> {
     /// Ops genuinely occupying the device at instant `t`: issued by
     /// then, completing after it.
     pub fn in_flight_at(&self, t: Nanos) -> u32 {
-        self.inflight
-            .values()
+        self.cal
+            .iter()
             .filter(|c| c.issued <= t && c.completed > t)
             .count() as u32
     }
@@ -231,21 +268,79 @@ impl<E> QueueEngine<E> {
         self.cq.pop()
     }
 
-    /// Retires every in-flight op whose completion instant is at or
-    /// before `horizon`, in `(completed, cid)` order — the key order, so
-    /// each retirement is a first-entry pop.
-    fn retire_through(&mut self, horizon: Nanos) {
+    /// Retires calendar events at or before `horizon` into the
+    /// completion queue, in `(completed, cid)` order.
+    fn retire_to_cq(&mut self, horizon: Nanos) {
         while self
-            .inflight
-            .first_key_value()
-            .is_some_and(|(&(completed, _), _)| completed <= horizon)
+            .cal
+            .first_key()
+            .is_some_and(|(done, _)| done <= horizon)
         {
-            let (_, c) = self.inflight.pop_first().expect("checked non-empty");
+            let c = self.cal.pop_first().expect("checked non-empty");
             self.obs.inc(Ctr::QueueRetirements);
             self.cq.push(c);
         }
         self.obs
-            .gauge_set(Gauge::QueueInFlight, self.inflight.len() as u64);
+            .gauge_set(Gauge::QueueInFlight, self.cal.len() as u64);
+    }
+
+    /// Retires calendar events at or before `horizon` into `sink`, in
+    /// `(completed, cid)` order — same event sequence as
+    /// [`QueueEngine::retire_to_cq`], minus the deque.
+    fn retire_into(&mut self, horizon: Nanos, sink: &mut impl FnMut(IoCompletion<E>)) {
+        while self
+            .cal
+            .first_key()
+            .is_some_and(|(done, _)| done <= horizon)
+        {
+            let c = self.cal.pop_first().expect("checked non-empty");
+            self.obs.inc(Ctr::QueueRetirements);
+            sink(c);
+        }
+        self.obs
+            .gauge_set(Gauge::QueueInFlight, self.cal.len() as u64);
+    }
+
+    /// Completes one dispatched submission: normalizes the completion
+    /// instant, emits the trace span, accounts temporal concurrency,
+    /// and schedules the retirement event on the calendar.
+    fn finish(&mut self, sub: Submission, issued: Nanos, done: Nanos, result: Result<(), E>) {
+        let completed = if result.is_ok() {
+            done.max(issued)
+        } else {
+            issued
+        };
+        self.last_done = self.last_done.max(completed);
+        let span = self.tracer.begin_span();
+        let completion = IoCompletion {
+            cid: sub.cid,
+            req: sub.req,
+            submitted: sub.arrival,
+            issued,
+            completed,
+            result,
+            span,
+        };
+        if self.tracer.enabled() {
+            self.tracer.emit_span(
+                completed,
+                span,
+                RunnerEvent::QueuedOp {
+                    cid: completion.cid,
+                    queue_wait_ns: completion.queue_wait().as_nanos(),
+                    service_ns: completion.service().as_nanos(),
+                    ok: completion.ok(),
+                },
+            );
+        }
+        // Peak concurrency is temporal, not bookkeeping: ops whose
+        // completion instant has passed the issue instant no longer
+        // occupy the device, even if the arrival frontier has not
+        // caught up to retire them yet.
+        let concurrent = self.cal.count_after(issued) + 1;
+        self.peak_inflight = self.peak_inflight.max(concurrent);
+        self.obs.gauge_set(Gauge::QueueInFlight, concurrent as u64);
+        self.cal.schedule(completed, completion.cid, completion);
     }
 
     /// Dispatches every pending submission against the device.
@@ -260,61 +355,56 @@ impl<E> QueueEngine<E> {
             // instant: arrivals are monotone, so everything retired here
             // completes no later than any future completion — the global
             // `(completed, cid)` order of the completion stream.
-            self.retire_through(sub.arrival);
+            self.retire_to_cq(sub.arrival);
             let (done, result) = exec(&sub.req, issued);
-            let completed = if result.is_ok() {
-                done.max(issued)
-            } else {
-                issued
-            };
-            self.last_done = self.last_done.max(completed);
-            let span = self.tracer.begin_span();
-            let completion = IoCompletion {
-                cid: sub.cid,
-                req: sub.req,
-                submitted: sub.arrival,
-                issued,
-                completed,
-                result,
-                span,
-            };
-            if self.tracer.enabled() {
-                self.tracer.emit_span(
-                    completed,
-                    span,
-                    RunnerEvent::QueuedOp {
-                        cid: completion.cid,
-                        queue_wait_ns: completion.queue_wait().as_nanos(),
-                        service_ns: completion.service().as_nanos(),
-                        ok: completion.ok(),
-                    },
-                );
-            }
-            // Peak concurrency is temporal, not bookkeeping: ops whose
-            // completion instant has passed the issue instant no longer
-            // occupy the device, even if the arrival frontier has not
-            // caught up to retire them yet. Keys past `(issued, MAX)`
-            // are exactly the ops with `completed > issued`.
-            let concurrent = self
-                .inflight
-                .range((
-                    std::ops::Bound::Excluded((issued, u64::MAX)),
-                    std::ops::Bound::Unbounded,
-                ))
-                .count()
-                + 1;
-            self.peak_inflight = self.peak_inflight.max(concurrent);
-            self.obs.gauge_set(Gauge::QueueInFlight, concurrent as u64);
-            self.inflight
-                .insert((completed, completion.cid), completion);
+            self.finish(sub, issued, done, result);
         }
+    }
+
+    /// Dispatches `req` immediately — the event-driven hot path.
+    ///
+    /// Equivalent to `submit(req, arrival)` followed by `pump(exec)`,
+    /// except that retirements crossed by the arrival frontier go to
+    /// `sink` instead of the completion queue, and the submission never
+    /// touches the deque. Any entries still buffered from
+    /// [`QueueEngine::submit`] are dispatched first (their retirements
+    /// also reach `sink`), preserving submission order. Returns the
+    /// command id.
+    pub fn dispatch(
+        &mut self,
+        req: IoRequest,
+        arrival: Nanos,
+        mut exec: impl FnMut(&IoRequest, Nanos) -> (Nanos, Result<(), E>),
+        sink: &mut impl FnMut(IoCompletion<E>),
+    ) -> u64 {
+        self.obs.inc(Ctr::QueueArrivals);
+        while let Some(sub) = self.sq.pop() {
+            let issued = sub.arrival.max(self.slot_free_at());
+            self.retire_into(sub.arrival, sink);
+            let (done, result) = exec(&sub.req, issued);
+            self.finish(sub, issued, done, result);
+        }
+        let (cid, arrival) = self.sq.issue_direct(arrival);
+        let sub = Submission { cid, req, arrival };
+        let issued = arrival.max(self.slot_free_at());
+        self.retire_into(arrival, sink);
+        let (done, result) = exec(&sub.req, issued);
+        self.finish(sub, issued, done, result);
+        cid
     }
 
     /// Quiesces: retires everything in flight, in completion order.
     /// Call at the end of a run (or at a burst boundary) before reaping
     /// the completion queue.
     pub fn flush(&mut self) {
-        self.retire_through(Nanos::MAX);
+        self.retire_to_cq(Nanos::MAX);
+    }
+
+    /// Quiesces like [`QueueEngine::flush`], but hands the retirements
+    /// to `sink` — the event-driven counterpart for drains and burst
+    /// boundaries.
+    pub fn flush_into(&mut self, sink: &mut impl FnMut(IoCompletion<E>)) {
+        self.retire_into(Nanos::MAX, sink);
     }
 
     /// Models the queue side of a power loss at `at`: ops completed by
@@ -322,9 +412,8 @@ impl<E> QueueEngine<E> {
     /// retired ahead of the clock, or never dispatched — come back in
     /// the [`PowerCut`].
     pub fn cut(&mut self, at: Nanos) -> PowerCut<E> {
-        self.retire_through(at);
-        let mut unacked: Vec<IoCompletion<E>> =
-            std::mem::take(&mut self.inflight).into_values().collect();
+        self.retire_to_cq(at);
+        let mut unacked: Vec<IoCompletion<E>> = self.cal.drain_ordered();
         // The bookkeeping may have retired completions whose instant
         // lies past the cut (the arrival frontier ran ahead of `at`);
         // the host never saw those either.
@@ -348,26 +437,21 @@ impl<E> QueueEngine<E> {
 
     /// Earliest instant a newly submitted op could issue: [`Nanos::ZERO`]
     /// while the window has room, otherwise the instant the window
-    /// drains below depth. The unretired list may hold ops that have
-    /// already completed (retirement trails the arrival frontier), so
-    /// the window occupancy at `t` is the count of ops completing
-    /// *after* `t`: the slot frees at the `(len - depth)`-th smallest
-    /// completion instant. A closed-loop pacer uses this as the next
-    /// arrival — "submit when a slot frees" — which generalizes QD-1
-    /// closed-loop pacing to any depth.
+    /// drains below depth. The calendar may hold ops that have already
+    /// completed (retirement trails the arrival frontier), so the window
+    /// occupancy at `t` is the count of ops completing *after* `t`: the
+    /// slot frees at the `(len - depth)`-th smallest completion instant.
+    /// A closed-loop pacer uses this as the next arrival — "submit when
+    /// a slot frees" — which generalizes QD-1 closed-loop pacing to any
+    /// depth.
     pub fn slot_free_at(&self) -> Nanos {
-        if self.inflight.len() < self.depth {
+        let len = self.cal.len();
+        if len < self.depth {
             return Nanos::ZERO;
         }
-        // The `(len - depth)`-th smallest completion instant is the
-        // `depth`-th largest key — a short walk from the sorted map's
-        // tail, with no scratch vector and no sort.
-        self.inflight
-            .keys()
-            .rev()
-            .nth(self.depth - 1)
-            .expect("len >= depth")
-            .0
+        // The `(len - depth)`-th smallest completion instant, read
+        // straight off the sorted calendar keys.
+        self.cal.kth_instant(len - self.depth)
     }
 
     /// True when dispatching a full window would stall past `horizon`.
@@ -559,5 +643,63 @@ mod tests {
         let mut cids: Vec<u64> = eng.completions().drain().iter().map(|c| c.cid).collect();
         cids.sort_unstable();
         assert_eq!(cids, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dispatch_sink_matches_submit_pump_reap() {
+        // The hot path must be observationally identical to the
+        // buffered path: same issue/completion instants, same
+        // retirement order, just delivered through the sink.
+        let drive_buffered = || {
+            let mut dev = FakeDev::new(3, 80);
+            let mut eng: QueueEngine<String> = QueueEngine::new(4);
+            for i in 0..40u64 {
+                eng.submit(read(i % 7), Nanos::from_nanos(i * 23));
+                eng.pump(|r, t| dev.exec(r, t));
+            }
+            eng.flush();
+            eng.completions()
+                .drain()
+                .iter()
+                .map(|c| (c.cid, c.issued, c.completed))
+                .collect::<Vec<_>>()
+        };
+        let drive_sink = || {
+            let mut dev = FakeDev::new(3, 80);
+            let mut eng: QueueEngine<String> = QueueEngine::new(4);
+            let mut out = Vec::new();
+            let mut sink = |c: IoCompletion<String>| out.push((c.cid, c.issued, c.completed));
+            for i in 0..40u64 {
+                eng.dispatch(
+                    read(i % 7),
+                    Nanos::from_nanos(i * 23),
+                    |r, t| dev.exec(r, t),
+                    &mut sink,
+                );
+            }
+            eng.flush_into(&mut sink);
+            out
+        };
+        assert_eq!(drive_buffered(), drive_sink());
+    }
+
+    #[test]
+    fn dispatch_drains_buffered_submissions_first() {
+        let mut dev = FakeDev::new(2, 100);
+        let mut eng: QueueEngine<String> = QueueEngine::new(2);
+        eng.submit(read(0), Nanos::ZERO);
+        eng.submit(read(1), Nanos::ZERO);
+        let mut out = Vec::new();
+        let cid = eng.dispatch(
+            read(2),
+            Nanos::from_nanos(500),
+            |r, t| dev.exec(r, t),
+            &mut |c: IoCompletion<String>| out.push(c.cid),
+        );
+        assert_eq!(cid, 2, "buffered entries keep earlier command ids");
+        // The frontier at 500 passed both earlier completions (t=100).
+        assert_eq!(out, vec![0, 1]);
+        eng.flush_into(&mut |c| out.push(c.cid));
+        assert_eq!(out, vec![0, 1, 2]);
     }
 }

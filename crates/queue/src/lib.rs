@@ -20,14 +20,28 @@
 //! runs of the same workload are therefore byte-identical, at any queue
 //! depth.
 //!
-//! The engine is generic over the device error type `E` and calls the
+//! Two arbiter implementations share that contract:
+//!
+//! - [`QueueEngine`] — the event-driven core: in-flight ops live on a
+//!   sorted next-event calendar, retirement pops the calendar head, and
+//!   the hot path ([`QueueEngine::dispatch`]) hands completions to a
+//!   caller sink without any deque round-trips.
+//! - [`PollingEngine`] — the original per-op polling arbiter, preserved
+//!   verbatim as the oracle. The differential suites
+//!   (`tests/event_lockstep.rs`, `tests/prop_event.rs`) drive both over
+//!   identical submission streams and require bit-for-bit agreement.
+//!
+//! The engines are generic over the device error type `E` and call the
 //! device through a plain closure `(request, issue instant) ->
-//! (completion instant, result)`, so it layers over any
+//! (completion instant, result)`, so they layer over any
 //! `bh_core::BlockInterface` stack (bh-core provides that adapter)
 //! without a dependency cycle.
 
+mod calendar;
 mod engine;
+mod polling;
 mod req;
 
 pub use engine::{CompletionQueue, PowerCut, QueueEngine, SubmissionQueue};
+pub use polling::PollingEngine;
 pub use req::{IoCompletion, IoKind, IoRequest};
