@@ -5,9 +5,13 @@
 //! hardware allows" goal is about how quickly the simulator itself
 //! executes. It drives a fixed set of deterministic workloads — the
 //! conventional FTL under 0%-OP GC pressure (where victim selection
-//! dominates), both stacks through the queue engine at QD 1 and 16, and
-//! a 16-shard fleet — and reports simulated operations per wall-clock
-//! second for each.
+//! dominates), both stacks through the queue engine at QD 1 and 16, a
+//! 16-shard fleet, and a 1024-shard fleet through the streaming session
+//! — and reports simulated operations per wall-clock second for each.
+//! The 1k-shard workload additionally runs a scaling/RSS probe (the
+//! `fleet` object in the JSON): per-thread efficiency from 1 worker to
+//! `min(8, cores)` workers, gated at ≥ 0.7 on machines with ≥ 4 cores,
+//! and a peak-RSS ceiling of a fixed base plus a constant per shard.
 //!
 //! Each workload runs twice: a *base* pass with the live counter
 //! registry and phase profiler off (this pass is what `--check`
@@ -43,7 +47,7 @@
 use bh_conv::{ConvConfig, ConvSsd, GcPolicy};
 use bh_core::{IoError, IoRequest, Pacing, QueueEngine, RunConfig, Runner, StackAdmin};
 use bh_flash::{FlashConfig, Geometry};
-use bh_fleet::{run_fleet, FleetConfig};
+use bh_fleet::{run_fleet, FleetConfig, FleetSession};
 use bh_host::{BlockEmu, ReclaimPolicy};
 use bh_json::Json;
 use bh_metrics::Nanos;
@@ -317,6 +321,146 @@ fn fleet_16(instrumented: bool) -> (u64, Nanos) {
     (shards as u64 * ops_per_shard, Nanos::from_nanos(virt))
 }
 
+/// Shared config of the 1024-shard streaming-session workload and its
+/// scaling/RSS probe: many tiny devices, so the scheduler, admission
+/// window, and merge sink dominate over any one device model.
+fn fleet_1k_cfg() -> FleetConfig {
+    let shards = 1024;
+    FleetConfig::mixed(shards, Geometry::small_test(), shards as u32 * 2, 0x9F1C)
+        .with_ops_per_shard(bh_bench::scaled(400, 150))
+}
+
+/// A 1024-shard fleet through the streaming session on the default
+/// worker count — the workload the constant-memory merge redesign is
+/// for.
+fn fleet_1k(instrumented: bool) -> (u64, Nanos) {
+    let mut cfg = fleet_1k_cfg();
+    if instrumented {
+        cfg = cfg.with_obs();
+    }
+    let run = FleetSession::new(&cfg).run().expect("fleet_1k run");
+    let virt = run
+        .report
+        .shards
+        .iter()
+        .map(|s| s.elapsed_ns)
+        .max()
+        .unwrap_or(0);
+    (
+        cfg.shards() as u64 * cfg.ops_per_shard,
+        Nanos::from_nanos(virt),
+    )
+}
+
+/// Peak-RSS budget for the whole perf_gate process after the 1k-shard
+/// run: a fixed base (device models, mapping tables, and the other
+/// workloads' footprints share the high-water mark) plus a small
+/// constant per shard. A merge path that held every shard's full result
+/// alive — histograms, samples, traces — would blow through the
+/// per-shard term at this scale.
+const FLEET_RSS_BASE_KB: u64 = 96 * 1024;
+const FLEET_RSS_PER_SHARD_KB: u64 = 32;
+
+/// The streaming-engine probe: worker scaling and memory ceiling.
+struct FleetProbe {
+    shards: usize,
+    jobs: usize,
+    wall_ms_1job: f64,
+    wall_ms_njobs: f64,
+    /// Per-thread scaling efficiency: `(t1 / tN) / N`.
+    efficiency: f64,
+    peak_rss_kb: Option<u64>,
+    rss_budget_kb: u64,
+}
+
+/// Times the 1k-shard session at 1 worker and at `min(8, cores)`
+/// workers, then reads the process peak RSS. The byte-identity of the
+/// two runs' reports is asserted here too — it is the redesign's
+/// correctness oracle, and this is the largest fleet the harness runs.
+fn fleet_probe() -> FleetProbe {
+    let cfg = fleet_1k_cfg();
+    let jobs = bh_fleet::default_jobs().min(8);
+    let timed_run = |j: usize| {
+        let start = Instant::now();
+        let run = FleetSession::new(&cfg)
+            .with_jobs(j)
+            .run()
+            .expect("fleet probe");
+        (start.elapsed().as_secs_f64() * 1000.0, run.report.to_json())
+    };
+    let (wall_ms_1job, report_1) = timed_run(1);
+    let (wall_ms_njobs, report_n) = if jobs > 1 {
+        timed_run(jobs)
+    } else {
+        (wall_ms_1job, report_1.clone())
+    };
+    assert_eq!(
+        report_1, report_n,
+        "fleet_1k report depends on the worker count"
+    );
+    let efficiency = (wall_ms_1job / wall_ms_njobs.max(1e-9)) / jobs as f64;
+    eprintln!(
+        "fleet_1k probe: 1 job {wall_ms_1job:.0} ms, {jobs} jobs {wall_ms_njobs:.0} ms \
+         ({:.2}x speedup, {:.2} per-thread efficiency)",
+        wall_ms_1job / wall_ms_njobs.max(1e-9),
+        efficiency
+    );
+    FleetProbe {
+        shards: cfg.shards(),
+        jobs,
+        wall_ms_1job,
+        wall_ms_njobs,
+        efficiency,
+        peak_rss_kb: bh_bench::peak_rss_kb(),
+        rss_budget_kb: FLEET_RSS_BASE_KB + cfg.shards() as u64 * FLEET_RSS_PER_SHARD_KB,
+    }
+}
+
+/// Gates the streaming engine's two scale promises: near-linear worker
+/// scaling (only judged when the machine has ≥ 4 cores to scale over —
+/// single-core CI runners cannot measure it) and the constant-per-shard
+/// peak-RSS ceiling.
+fn check_fleet(probe: &FleetProbe) -> Vec<String> {
+    let mut failures = Vec::new();
+    if probe.jobs >= 4 && probe.efficiency < 0.7 {
+        failures.push(format!(
+            "fleet_1k: per-thread scaling efficiency {:.2} over {} workers \
+             is below the 0.7 floor ({:.0} ms → {:.0} ms)",
+            probe.efficiency, probe.jobs, probe.wall_ms_1job, probe.wall_ms_njobs
+        ));
+    }
+    if let Some(rss) = probe.peak_rss_kb {
+        if rss > probe.rss_budget_kb {
+            failures.push(format!(
+                "fleet_1k: peak RSS {rss} KB exceeds the {} KB budget \
+                 ({} KB base + {} shards x {} KB)",
+                probe.rss_budget_kb, FLEET_RSS_BASE_KB, probe.shards, FLEET_RSS_PER_SHARD_KB
+            ));
+        } else {
+            eprintln!(
+                "fleet_1k: peak RSS {rss} KB within the {} KB budget",
+                probe.rss_budget_kb
+            );
+        }
+    }
+    failures
+}
+
+fn fleet_probe_json(p: &FleetProbe) -> Json {
+    let mut j = Json::obj();
+    j.set("shards", p.shards as u64)
+        .set("jobs", p.jobs as u64)
+        .set("wall_ms_1job", p.wall_ms_1job)
+        .set("wall_ms_njobs", p.wall_ms_njobs)
+        .set("scaling_efficiency", p.efficiency)
+        .set("rss_budget_kb", p.rss_budget_kb);
+    match p.peak_rss_kb {
+        Some(kb) => j.set("peak_rss_kb", kb),
+        None => j.set("peak_rss_kb", Json::Null),
+    };
+    j
+}
+
 /// Observability overhead: instrumented vs base wall time, summed over
 /// the full-stack workloads so per-workload noise averages out.
 ///
@@ -337,7 +481,7 @@ fn obs_overhead(measurements: &[Measurement]) -> f64 {
     }
 }
 
-fn to_json(measurements: &[Measurement], quick: bool) -> Json {
+fn to_json(measurements: &[Measurement], probe: Option<&FleetProbe>, quick: bool) -> Json {
     let mut doc = Json::obj();
     doc.set("schema", "bh-perf/1");
     doc.set("quick", quick);
@@ -371,6 +515,9 @@ fn to_json(measurements: &[Measurement], quick: bool) -> Json {
         },
     );
     doc.set("obs_overhead", obs_overhead(measurements));
+    if let Some(p) = probe {
+        doc.set("fleet", fleet_probe_json(p));
+    }
     match bh_bench::peak_rss_kb() {
         Some(kb) => doc.set("peak_rss_kb", kb),
         None => doc.set("peak_rss_kb", Json::Null),
@@ -381,6 +528,7 @@ fn to_json(measurements: &[Measurement], quick: bool) -> Json {
             .with_seed("conv_gc_heavy", 0x9E4F)
             .with_seed("queued", 0x9E17)
             .with_seed("fleet", 0x9F16)
+            .with_seed("fleet_1k", 0x9F1C)
             .with_schema("bh-perf/1")
             .to_json(),
     );
@@ -542,14 +690,22 @@ fn main() {
         ("zns_qd1", Box::new(|i| queued(zns_stack(), 1, i))),
         ("zns_qd16", Box::new(|i| queued(zns_stack(), 16, i))),
         ("fleet_16shard", Box::new(fleet_16)),
+        ("fleet_1k", Box::new(fleet_1k)),
     ];
     let measurements: Vec<Measurement> = workloads
         .into_iter()
         .filter(|(name, _)| only.as_deref().is_none_or(|o| o == *name))
         .map(|(name, run)| timed(name, run))
         .collect();
+    // The scaling/RSS probe rides with the fleet_1k workload (and so
+    // respects `--only fleet_1k`, which is how the CI fleet-scale job
+    // runs this binary).
+    let probe = measurements
+        .iter()
+        .any(|m| m.name == "fleet_1k")
+        .then(fleet_probe);
 
-    let doc = to_json(&measurements, quick);
+    let doc = to_json(&measurements, probe.as_ref(), quick);
     let rendered = doc.pretty();
     println!("{rendered}");
     if let Err(e) = std::fs::write("BENCH_perf.json", &rendered) {
@@ -559,6 +715,9 @@ fn main() {
 
     let mut failures = check_phases(&measurements);
     failures.extend(check_depth(&measurements));
+    if let Some(p) = &probe {
+        failures.extend(check_fleet(p));
+    }
     let overhead = obs_overhead(&measurements);
     eprintln!(
         "observability overhead: {:+.2}% wall (instrumented vs base, all workloads)",

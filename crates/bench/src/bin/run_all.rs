@@ -33,6 +33,7 @@ const EXPERIMENTS: &[&str] = &[
     "expt_gc_policy",
     "expt_qlc",
     "expt_fleet",
+    "expt_fleet_scale",
     "expt_faults",
     "expt_qd",
     "expt_obs",

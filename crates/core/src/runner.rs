@@ -473,6 +473,25 @@ impl Runner {
         self.dispatch(dev, stream, start, Some(sampler))
     }
 
+    /// Like [`Runner::run_traced`], but keeps the sampler's existing
+    /// interval baseline instead of re-priming it — for runs split into
+    /// back-to-back segments (e.g. a fleet shard's tenant migration),
+    /// where cumulative WA and interval accounting must span the whole
+    /// window rather than restart at the segment boundary.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Runner::run`].
+    pub fn run_continue<D: BlockInterface + ?Sized>(
+        &self,
+        dev: &mut D,
+        stream: &mut dyn OpSource,
+        start: Nanos,
+        sampler: &mut Sampler,
+    ) -> Result<RunResult, OpFailure> {
+        self.dispatch(dev, stream, start, Some(sampler))
+    }
+
     fn dispatch<D: BlockInterface + ?Sized>(
         &self,
         dev: &mut D,

@@ -51,6 +51,21 @@ pub struct DeviceSpec {
     pub stack: StackKind,
 }
 
+/// A planned mid-run tenant migration: after `at_op` operations of each
+/// shard's run window, the whole population is re-placed under `policy`
+/// and every shard switches to its new tenant set for the remaining
+/// ops. Devices keep all their state across the switch — this models an
+/// operator rebalancing tenants over a live fleet (e.g. `Hash` →
+/// `LoadAware` once traffic weights are known).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationSpec {
+    /// Operation index within each shard's run window at which the new
+    /// placement takes effect (values ≥ `ops_per_shard` never fire).
+    pub at_op: u64,
+    /// Placement policy computing the post-migration tenant→shard map.
+    pub policy: Placement,
+}
+
 /// Full fleet-run parameters. All fields are plain data, so a config can
 /// be sent to worker threads and two identical configs always describe
 /// bit-identical runs.
@@ -98,6 +113,8 @@ pub struct FleetConfig {
     /// Give every shard a live counter registry and merge the snapshots
     /// into the fleet run.
     pub obs: bool,
+    /// Mid-run tenant migration, if any (see [`MigrationSpec`]).
+    pub migration: Option<MigrationSpec>,
 }
 
 impl FleetConfig {
@@ -137,6 +154,7 @@ impl FleetConfig {
             trace: false,
             trace_cap: bh_trace::DEFAULT_CAPACITY,
             obs: false,
+            migration: None,
         }
     }
 
@@ -182,6 +200,25 @@ impl FleetConfig {
     pub fn with_tracing(mut self, cap: usize) -> Self {
         self.trace = true;
         self.trace_cap = cap;
+        self
+    }
+
+    /// Sets the initial tenant→shard placement policy.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the Zipf exponent of the tenant traffic weights.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Plans a mid-run tenant migration: at `at_op` ops into each
+    /// shard's run window, re-place the population under `policy`.
+    pub fn with_migration(mut self, at_op: u64, policy: Placement) -> Self {
+        self.migration = Some(MigrationSpec { at_op, policy });
         self
     }
 

@@ -1,15 +1,19 @@
-//! The fleet engine: place tenants, derive shard plans, run them on the
-//! pool, merge in shard order.
+//! Fleet planning and the classic entry point: derive shard plans from
+//! a config, run them, merge in shard order.
+//!
+//! [`run_fleet`] is now a thin wrapper over the streaming
+//! [`crate::FleetSession`]; it exists so every pre-redesign call site
+//! keeps compiling and keeps producing byte-identical reports.
 
-use bh_obs::{profiler, ObsSnapshot, PhaseGuard};
+use bh_obs::ObsSnapshot;
 use bh_trace::TracedEvent;
 use bh_workloads::{split_seed, TenantPopulation};
 
 use crate::config::FleetConfig;
 use crate::placement::place;
-use crate::pool::run_indexed;
 use crate::report::FleetReport;
-use crate::shard::ShardPlan;
+use crate::session::{FleetError, FleetSession};
+use crate::shard::{ShardMigration, ShardPlan};
 
 /// Salt mixed into the fleet seed to derive shard seeds, so a shard's
 /// workload stream and a tenant's address stream never collide.
@@ -20,13 +24,32 @@ const SHARD_SALT: u64 = 0x5AAD;
 /// its workload stream are independent.
 const FAULT_SALT: u64 = 0xFA17;
 
+/// Mixes a salt domain with a shard index into one `split_seed` salt.
+///
+/// The original scheme was plain `domain + k`, which put both domains
+/// in one additive namespace: `SHARD_SALT + k1 == FAULT_SALT + k2`
+/// whenever `k1 - k2 == FAULT_SALT - SHARD_SALT` (= 40810), so at large
+/// shard counts one shard's workload stream would equal another shard's
+/// fault stream. Shards 0–63 keep the legacy additive salts so every
+/// existing report is preserved bit-for-bit (a regression test pins
+/// them); from shard 64 up the domain moves to the high 32 bits, where
+/// the two domains — and the legacy range, which sits below 2³² — can
+/// never meet.
+fn domain_salt(domain: u64, k: u64) -> u64 {
+    if k < 64 {
+        domain + k
+    } else {
+        (domain << 32) | k
+    }
+}
+
 /// A completed fleet run.
 #[derive(Debug)]
 pub struct FleetRun {
     /// The merged report.
     pub report: FleetReport,
     /// Per-shard trace event streams (shard id, events), empty when
-    /// tracing was off — feed to
+    /// tracing was off or spilled to disk — feed to
     /// [`bh_trace::export::to_chrome_trace_sharded`].
     pub traces: Vec<(u32, Vec<TracedEvent>)>,
     /// Trace events dropped across all shards' rings.
@@ -34,6 +57,10 @@ pub struct FleetRun {
     /// Fleet-wide counter snapshot: shard registries merged in shard-id
     /// order (all-zero when [`FleetConfig::obs`] was off).
     pub obs: ObsSnapshot,
+    /// Per-shard JSONL trace files written by a session configured with
+    /// [`crate::FleetSession::with_trace_spill`], in shard-id order
+    /// (empty otherwise).
+    pub spilled: Vec<(u32, std::path::PathBuf)>,
 }
 
 /// Derives the per-shard plans from a fleet config. Exposed so callers
@@ -41,6 +68,13 @@ pub struct FleetRun {
 pub fn plan_fleet(cfg: &FleetConfig) -> Vec<ShardPlan> {
     let pop = TenantPopulation::zipf(cfg.tenants, cfg.theta, cfg.seed);
     let placed = place(cfg.placement, &pop, cfg.shards());
+    // A planned migration re-places the same population under the
+    // migration policy; each shard's plan carries its post-migration
+    // tenant set so the switch happens on the worker, mid-run.
+    let placed_after: Vec<Vec<bh_workloads::TenantSpec>> = match &cfg.migration {
+        Some(m) => place(m.policy, &pop, cfg.shards()),
+        None => Vec::new(),
+    };
     cfg.devices
         .iter()
         .zip(placed)
@@ -55,15 +89,19 @@ pub fn plan_fleet(cfg: &FleetConfig) -> Vec<ShardPlan> {
             queue_depth: cfg.queue_depth,
             queue_core: cfg.queue_core,
             maintenance_every: cfg.maintenance_every,
-            seed: split_seed(cfg.seed, SHARD_SALT + k as u64),
+            seed: split_seed(cfg.seed, domain_salt(SHARD_SALT, k as u64)),
             faults: cfg.faults.map(|f| bh_faults::FaultConfig {
-                seed: split_seed(cfg.seed, FAULT_SALT + k as u64),
+                seed: split_seed(cfg.seed, domain_salt(FAULT_SALT, k as u64)),
                 ..f
             }),
             sample_every: cfg.sample_every,
             trace: cfg.trace,
             trace_cap: cfg.trace_cap,
             obs: cfg.obs,
+            migrate: cfg.migration.as_ref().map(|m| ShardMigration {
+                at_op: m.at_op,
+                tenants: placed_after[k].clone(),
+            }),
         })
         .collect()
 }
@@ -72,42 +110,15 @@ pub fn plan_fleet(cfg: &FleetConfig) -> Vec<ShardPlan> {
 /// results in shard-id order. The returned report is byte-identical for
 /// any `jobs` value.
 ///
+/// This is the classic batch entry point, now a thin wrapper over the
+/// streaming [`FleetSession`] — same signature, same report bytes,
+/// constant-memory merge underneath.
+///
 /// # Errors
 ///
 /// Returns the first failing shard's error (lowest shard id).
-pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, String> {
-    let plans = plan_fleet(cfg);
-    let outcomes = run_indexed(jobs, plans, |_, plan| {
-        plan.run().map_err(|e| format!("shard {}: {e}", plan.shard))
-    });
-    let mut results = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes {
-        results.push(outcome?);
-    }
-    let mut obs = ObsSnapshot::default();
-    for r in &results {
-        obs.merge(&r.obs);
-        // Worker threads die with the pool; fold their phase tables
-        // into this thread's so a later `profiler::take` sees the whole
-        // fleet's attribution.
-        profiler::absorb(&r.phases);
-    }
-    let report = {
-        let _p = PhaseGuard::enter_exact("report_merge");
-        FleetReport::from_shards(&results)
-    };
-    let trace_dropped = results.iter().map(|r| r.trace_dropped).sum();
-    let traces = if cfg.trace {
-        results.into_iter().map(|r| (r.shard, r.events)).collect()
-    } else {
-        Vec::new()
-    };
-    Ok(FleetRun {
-        report,
-        traces,
-        trace_dropped,
-        obs,
-    })
+pub fn run_fleet(cfg: &FleetConfig, jobs: usize) -> Result<FleetRun, FleetError> {
+    FleetSession::new(cfg).with_jobs(jobs).run()
 }
 
 #[cfg(test)]
@@ -204,5 +215,60 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn first_64_shard_seeds_are_pinned_to_the_legacy_salts() {
+        // The domain fix must not move any existing report: shards 0–63
+        // keep the exact additive salts the engine has always used.
+        let mut cfg = FleetConfig::mixed(64, Geometry::small_test(), 128, 0xD00D);
+        cfg.faults = Some(bh_faults::FaultConfig::new(0).with_read_retry_ppm(1_000));
+        for (k, p) in plan_fleet(&cfg).iter().enumerate() {
+            assert_eq!(p.seed, split_seed(cfg.seed, 0x5AAD + k as u64));
+            assert_eq!(
+                p.faults.expect("template installed").seed,
+                split_seed(cfg.seed, 0xFA17 + k as u64),
+            );
+        }
+    }
+
+    #[test]
+    fn salt_domains_never_collide() {
+        // The additive scheme collided at k1 - k2 = FAULT_SALT -
+        // SHARD_SALT = 40810; the domain-in-high-bits scheme must not.
+        assert_eq!(SHARD_SALT + (FAULT_SALT - SHARD_SALT), FAULT_SALT);
+        assert_ne!(
+            domain_salt(SHARD_SALT, FAULT_SALT - SHARD_SALT),
+            domain_salt(FAULT_SALT, 0),
+        );
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..100_000u64 {
+            assert!(seen.insert(domain_salt(SHARD_SALT, k)), "workload salt {k}");
+            assert!(seen.insert(domain_salt(FAULT_SALT, k)), "fault salt {k}");
+        }
+    }
+
+    #[test]
+    fn planned_migration_reaches_every_shard() {
+        use crate::config::MigrationSpec;
+        use crate::placement::Placement;
+        let mut cfg = quick_cfg();
+        cfg.migration = Some(MigrationSpec {
+            at_op: 200,
+            policy: Placement::LoadAware,
+        });
+        let plans = plan_fleet(&cfg);
+        let total: usize = plans
+            .iter()
+            .map(|p| p.migrate.as_ref().expect("migration planned").tenants.len())
+            .sum();
+        assert_eq!(total, 12, "re-placement must cover the whole population");
+        assert!(plans
+            .iter()
+            .all(|p| p.migrate.as_ref().unwrap().at_op == 200));
+        // And the run stays worker-count deterministic.
+        let a = run_fleet(&cfg, 1).unwrap().report.to_json();
+        let b = run_fleet(&cfg, 4).unwrap().report.to_json();
+        assert_eq!(a, b);
     }
 }

@@ -1,12 +1,22 @@
-//! A minimal order-preserving thread pool.
+//! Scheduling primitives for the fleet engine.
 //!
-//! Workers pull `(index, item)` pairs from a shared queue and write each
-//! result into its own slot, so the returned vector is in input order no
-//! matter which worker ran which item or how they interleaved. That is
-//! the whole trick behind thread-count-independent fleet results: the
-//! *work* is parallel, the *merge* is positional.
+//! Two layers live here:
+//!
+//! - [`run_indexed`], a minimal order-preserving thread pool: workers
+//!   pull `(index, item)` pairs from a shared queue and write each
+//!   result into its own slot, so the returned vector is in input order
+//!   no matter which worker ran which item or how they interleaved.
+//!   `run_all` still uses it to parallelize whole experiment binaries.
+//! - [`StealQueues`], the work-stealing shard queues behind
+//!   [`crate::FleetSession`]: each worker owns an ascending deque of
+//!   shard ids dealt round-robin, pops its own front, steals the back
+//!   of the fullest other queue when idle, and falls back to the
+//!   globally smallest pending id when the merge window constrains what
+//!   may start. Determinism never depends on any of this — the session
+//!   absorbs results in shard-id order regardless of who ran what.
 
 use std::collections::VecDeque;
+use std::ops::Range;
 use std::sync::Mutex;
 
 /// Worker threads to use by default: the machine's available
@@ -54,6 +64,105 @@ where
         .collect()
 }
 
+/// What a worker should do next, as decided by [`StealQueues::pick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pick {
+    /// Run this shard.
+    Run(u32),
+    /// Work remains but none of it is admissible yet (the merge window
+    /// is full); wait for the frontier to advance.
+    Wait,
+    /// Nothing left to hand out.
+    Empty,
+}
+
+/// Per-worker pending-shard deques with LPT-style stealing.
+///
+/// Shard ids are dealt round-robin at construction (worker `w` gets
+/// `lo + w`, `lo + w + workers`, …), so every queue is ascending and
+/// each worker's front sits near the global merge frontier — which is
+/// what keeps the session's reorder buffer small. All mutation happens
+/// under the session's scheduler lock; this type is plain data.
+#[derive(Debug)]
+pub struct StealQueues {
+    queues: Vec<VecDeque<u32>>,
+    pending: usize,
+}
+
+impl StealQueues {
+    /// Deals `range` round-robin over `workers` queues (min 1).
+    pub fn round_robin(range: Range<u32>, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut queues = vec![VecDeque::new(); workers];
+        let mut pending = 0;
+        for k in range {
+            queues[(k as usize) % workers].push_back(k);
+            pending += 1;
+        }
+        StealQueues { queues, pending }
+    }
+
+    /// Shards not yet handed out.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Drops every pending shard with id `>= bound` — used once a shard
+    /// has failed, since nothing past the failure can change the
+    /// lowest-failing-shard error the session reports.
+    pub fn retain_below(&mut self, bound: u32) {
+        for q in &mut self.queues {
+            while q.back().is_some_and(|&k| k >= bound) {
+                q.pop_back();
+                self.pending -= 1;
+            }
+        }
+    }
+
+    /// Picks the next shard for `worker`. `admissible` is the merge
+    /// window: only shards it accepts may start. The rule, in order:
+    /// own front (locality fast path), then the back of the fullest
+    /// other queue (classic steal), then the globally smallest pending
+    /// id (progress guarantee — the frontier shard is always admissible,
+    /// so all-workers-waiting implies the frontier is already running).
+    pub fn pick(&mut self, worker: usize, admissible: impl Fn(u32) -> bool) -> Pick {
+        if self.pending == 0 {
+            return Pick::Empty;
+        }
+        if let Some(&k) = self.queues[worker].front() {
+            if admissible(k) {
+                self.queues[worker].pop_front();
+                self.pending -= 1;
+                return Pick::Run(k);
+            }
+        } else if let Some(victim) = (0..self.queues.len())
+            .filter(|&v| v != worker && !self.queues[v].is_empty())
+            .max_by_key(|&v| self.queues[v].len())
+        {
+            if self.queues[victim].back().is_some_and(|&k| admissible(k)) {
+                let k = self.queues[victim].pop_back().expect("victim non-empty");
+                self.pending -= 1;
+                return Pick::Run(k);
+            }
+        }
+        // Own front / stolen back were inadmissible (or everything sits
+        // on other queues): take the globally smallest pending id if the
+        // window allows it, so the shard the sink is waiting for always
+        // finds a worker.
+        let lowest = (0..self.queues.len())
+            .filter_map(|v| self.queues[v].front().map(|&k| (k, v)))
+            .min();
+        if let Some((k, v)) = lowest {
+            if admissible(k) {
+                self.queues[v].pop_front();
+                self.pending -= 1;
+                return Pick::Run(k);
+            }
+        }
+        Pick::Wait
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +187,54 @@ mod tests {
             Vec::<u32>::new()
         );
         assert_eq!(run_indexed(0, vec![7], |_, x| x), vec![7]);
+    }
+
+    #[test]
+    fn steal_queues_deal_round_robin_and_drain_completely() {
+        let mut q = StealQueues::round_robin(0..10, 3);
+        assert_eq!(q.pending(), 10);
+        // Worker 0's own queue is {0, 3, 6, 9}; unconstrained picks walk
+        // its front, then steal from the fullest neighbor.
+        let mut got = Vec::new();
+        loop {
+            match q.pick(0, |_| true) {
+                Pick::Run(k) => got.push(k),
+                Pick::Empty => break,
+                Pick::Wait => unreachable!("unconstrained pick never waits"),
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn steal_queues_window_forces_lowest_first() {
+        let mut q = StealQueues::round_robin(0..8, 2);
+        // Window admits only ids below 2: each worker's own front goes
+        // out, then both must wait for the frontier to advance.
+        let admit = |k: u32| k < 2;
+        assert_eq!(q.pick(0, admit), Pick::Run(0));
+        assert_eq!(q.pick(1, admit), Pick::Run(1));
+        assert_eq!(q.pick(0, admit), Pick::Wait);
+        assert_eq!(q.pick(1, admit), Pick::Wait);
+        assert_eq!(q.pending(), 6);
+        // A widened window lets an idle worker fetch the globally
+        // smallest id even off another worker's queue.
+        assert_eq!(q.pick(1, |k| k < 3), Pick::Run(2));
+    }
+
+    #[test]
+    fn steal_queues_retain_below_prunes_failures() {
+        let mut q = StealQueues::round_robin(0..10, 2);
+        q.retain_below(4);
+        assert_eq!(q.pending(), 4);
+        let mut got = Vec::new();
+        while let Pick::Run(k) = q.pick(0, |_| true) {
+            got.push(k);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
     }
 
     #[test]

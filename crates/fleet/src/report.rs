@@ -3,7 +3,19 @@
 //!
 //! Everything here is a pure function of the shard results taken in
 //! shard-id order, so a report is byte-identical no matter how many
-//! worker threads produced the shards.
+//! worker threads produced the shards. Two paths build a
+//! [`FleetReport`]:
+//!
+//! - [`FleetReport::from_shards`], the original batch merge over a full
+//!   slice of results — kept verbatim as the correctness oracle;
+//! - [`FleetReportSink`], the streaming merge behind
+//!   [`crate::FleetSession`]: results are absorbed one at a time in
+//!   shard-id order and immediately reduced, so a retired shard leaves
+//!   behind only its report row and a small interval-WA curve instead
+//!   of its full histograms, samples, and trace stream.
+//!
+//! The two must agree to the byte; `tests/prop_fleet_stream.rs` holds
+//! them in lockstep across random fleets.
 
 use bh_core::Sample;
 use bh_json::Json;
@@ -250,6 +262,141 @@ impl FleetReport {
         out.push_str("\n-- per stack --\n");
         out.push_str(&per_stack.render());
         out
+    }
+}
+
+/// One stack's accumulating aggregate inside [`FleetReportSink`].
+///
+/// Mirrors the per-label loop of [`FleetReport::from_shards`] exactly:
+/// histograms and throughput fold in shard-id order (so the f64 partial
+/// sums are bit-identical to the batch path), while each shard leaves
+/// one interval-WA curve behind for the final [`Series::mean_aligned`]
+/// — the only per-shard state the sink retains, bounded by the
+/// configured sample count rather than by anything the shard recorded.
+#[derive(Debug, Clone)]
+struct StackBuild {
+    label: &'static str,
+    shards: u32,
+    reads: Histogram,
+    writes: Histogram,
+    total_ops_per_sec: f64,
+    wa_sum: f64,
+    curves: Vec<Series>,
+}
+
+/// Streaming [`FleetReport`] builder: feed it [`ShardResult`]s in
+/// shard-id order, take the report at the end.
+///
+/// The sink is the constant-memory half of the fleet redesign: where
+/// [`FleetReport::from_shards`] needs every shard's full result alive
+/// at once, the sink reduces each result the moment it arrives and
+/// keeps only the report row plus one small WA curve per retired shard.
+/// [`FleetReportSink::finish`] then assembles a report byte-identical
+/// to the batch path (the property suite compares the two JSON
+/// renderings across random fleets).
+#[derive(Debug, Clone, Default)]
+pub struct FleetReportSink {
+    rows: Vec<ShardRow>,
+    stacks: Vec<StackBuild>,
+    fleet_reads: Histogram,
+    fleet_writes: Histogram,
+}
+
+impl FleetReportSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rows absorbed so far, in shard-id order — the streaming view a
+    /// session observer sees mid-run.
+    pub fn rows(&self) -> &[ShardRow] {
+        &self.rows
+    }
+
+    /// Number of shards absorbed so far.
+    pub fn absorbed(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Absorbs one shard's result. Callers must feed shards in
+    /// ascending shard-id order ([`crate::FleetSession`] enforces this
+    /// with its merge window); the sink asserts it, because silently
+    /// accepting out-of-order results would break the byte-identity
+    /// contract with the batch merge.
+    pub fn absorb(&mut self, r: &ShardResult) {
+        assert!(
+            self.rows.last().is_none_or(|last| last.shard < r.shard),
+            "shard {} absorbed after shard {}: the merge sink requires shard-id order",
+            r.shard,
+            self.rows.last().map(|l| l.shard).unwrap_or(0),
+        );
+        self.fleet_reads.merge(&r.reads);
+        self.fleet_writes.merge(&r.writes);
+        self.rows.push(ShardRow {
+            shard: r.shard,
+            label: r.label,
+            tenants: r.tenants,
+            reads: r.reads.count(),
+            writes: r.writes.count(),
+            errors: r.errors,
+            elapsed_ns: r.elapsed.as_nanos(),
+            ops_per_sec: r.ops_per_sec(),
+            run_wa: r.run_wa,
+            read_summary: r.reads.summary(),
+            write_summary: r.writes.summary(),
+        });
+        let stack = match self.stacks.iter_mut().find(|s| s.label == r.label) {
+            Some(s) => s,
+            None => {
+                // First-seen label order, exactly as the batch path
+                // discovers labels while walking results.
+                self.stacks.push(StackBuild {
+                    label: r.label,
+                    shards: 0,
+                    reads: Histogram::new(),
+                    writes: Histogram::new(),
+                    total_ops_per_sec: 0.0,
+                    wa_sum: 0.0,
+                    curves: Vec::new(),
+                });
+                self.stacks.last_mut().expect("just pushed")
+            }
+        };
+        stack.shards += 1;
+        stack.reads.merge(&r.reads);
+        stack.writes.merge(&r.writes);
+        stack.total_ops_per_sec += r.ops_per_sec();
+        stack.wa_sum += r.run_wa;
+        stack.curves.push(interval_wa_series(
+            format!("shard{}-wa", r.shard),
+            &r.samples,
+        ));
+    }
+
+    /// Assembles the merged report. Per-stack means and the aligned WA
+    /// curves are computed here, from fold state accumulated in the
+    /// same order the batch path would have used.
+    pub fn finish(self) -> FleetReport {
+        let stacks = self
+            .stacks
+            .into_iter()
+            .map(|s| StackAgg {
+                label: s.label,
+                shards: s.shards,
+                reads: s.reads,
+                writes: s.writes,
+                total_ops_per_sec: s.total_ops_per_sec,
+                mean_wa: s.wa_sum / s.shards as f64,
+                wa_curve: Series::mean_aligned(format!("{}-interval-wa", s.label), &s.curves),
+            })
+            .collect();
+        FleetReport {
+            shards: self.rows,
+            stacks,
+            fleet_reads: self.fleet_reads,
+            fleet_writes: self.fleet_writes,
+        }
     }
 }
 

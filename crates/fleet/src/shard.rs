@@ -8,13 +8,13 @@
 //! plain-data [`ShardResult`]s come back.
 
 use bh_conv::{ConvConfig, ConvSsd};
-use bh_core::{Pacing, QueueCore, RunConfig, Runner, Sample, Sampler, StackAdmin};
+use bh_core::{OpFailure, Pacing, QueueCore, RunConfig, Runner, Sample, Sampler, StackAdmin};
 use bh_flash::FlashConfig;
 use bh_host::BlockEmu;
 use bh_metrics::{Histogram, Nanos};
 use bh_obs::{profiler, Obs, ObsSnapshot, PhaseReport};
 use bh_trace::{TracedEvent, Tracer};
-use bh_workloads::{OpMix, TenantSpec, TenantStream};
+use bh_workloads::{split_seed, OpMix, TenantSpec, TenantStream};
 use bh_zns::{ZnsConfig, ZnsDevice};
 
 use crate::config::{DeviceSpec, StackKind};
@@ -54,7 +54,29 @@ pub struct ShardPlan {
     pub trace_cap: usize,
     /// Give this shard a live counter registry.
     pub obs: bool,
+    /// Mid-run tenant migration: after `migrate.at_op` operations of the
+    /// run window, the shard switches to serving `migrate.tenants` for
+    /// the remaining ops (the device keeps all its state — only the
+    /// workload's tenant set changes). `None` runs one segment, exactly
+    /// as before the streaming redesign.
+    pub migrate: Option<ShardMigration>,
 }
+
+/// The tenant set a shard serves after a mid-run migration, as computed
+/// fleet-wide by re-running a placement policy over the population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMigration {
+    /// Operation index within the run window at which the migration
+    /// lands (values `>= ops` mean it never fires).
+    pub at_op: u64,
+    /// Tenants served from that point on, in id order.
+    pub tenants: Vec<TenantSpec>,
+}
+
+/// Salt deriving the post-migration tenant stream's seed from the
+/// shard seed, so traffic before and after a migration comes from
+/// independent deterministic streams.
+const MIGRATE_SALT: u64 = 0x317A;
 
 /// Plain-data outcome of one shard run.
 #[derive(Debug)]
@@ -135,17 +157,46 @@ impl ShardPlan {
         }
     }
 
-    /// Builds the device, fills it, and drives the tenant workload.
-    /// Everything runs on this shard's private virtual clock starting at
-    /// zero; nothing escapes but plain data.
+    /// The run window's segments: `(ops, tenants, stream seed)` in
+    /// execution order. One segment without a migration; two when the
+    /// migration lands inside the window.
+    fn segments(&self) -> Vec<(u64, &[TenantSpec], u64)> {
+        match &self.migrate {
+            Some(m) if m.at_op < self.ops => vec![
+                (m.at_op, self.tenants.as_slice(), self.seed),
+                (
+                    self.ops - m.at_op,
+                    m.tenants.as_slice(),
+                    split_seed(self.seed, MIGRATE_SALT),
+                ),
+            ],
+            _ => vec![(self.ops, self.tenants.as_slice(), self.seed)],
+        }
+    }
+
+    /// Builds the device, fills it, and drives the tenant workload —
+    /// both segments of it when a migration is planned. Everything runs
+    /// on this shard's private virtual clock starting at zero; nothing
+    /// escapes but plain data.
     ///
     /// # Errors
     ///
-    /// Propagates device construction and write-path errors.
-    pub fn run(&self) -> Result<ShardResult, String> {
-        let mut dev = self.build_device()?;
+    /// Propagates write-path errors as typed [`OpFailure`]s.
+    ///
+    /// # Panics
+    ///
+    /// An invalid device spec or fault template is a configuration bug,
+    /// not a runtime condition: both panic, naming the shard. (Fleet
+    /// configs built through [`crate::FleetConfig`]'s constructors are
+    /// always valid.)
+    pub fn run(&self) -> Result<ShardResult, OpFailure> {
+        let mut dev = self
+            .build_device()
+            .unwrap_or_else(|e| panic!("shard {}: invalid device spec: {e}", self.shard));
         if let Some(faults) = self.faults {
-            faults.validate()?;
+            faults
+                .validate()
+                .unwrap_or_else(|e| panic!("shard {}: invalid fault template: {e}", self.shard));
             dev.install_faults(faults);
         }
         let tracer = if self.trace {
@@ -164,34 +215,49 @@ impl ShardPlan {
         if self.obs {
             dev.set_obs(obs.clone());
         }
-        let filled_at = Runner::fill(dev.as_mut(), Nanos::ZERO).map_err(|e| e.to_string())?;
-        let mut stream = TenantStream::new(
-            dev.capacity_pages(),
-            &self.tenants,
-            self.mix,
-            self.seed,
-            self.hint_streams(),
-        );
-        let runner = Runner::new(
-            RunConfig::new(self.ops)
-                .with_pacing(self.pacing)
-                .with_maintenance_every(self.maintenance_every)
-                .with_queue_depth(self.queue_depth)
-                .with_queue_core(self.queue_core),
-        )
-        .with_obs(obs.clone());
+        let filled_at = Runner::fill(dev.as_mut(), Nanos::ZERO)?;
+        let cap = dev.capacity_pages();
         let mut sampler = Sampler::new(tracer.clone(), self.sample_every);
-        let r = runner
-            .run_traced(dev.as_mut(), &mut stream, filled_at, &mut sampler)
-            .map_err(|e| e.to_string())?;
+        let mut reads = Histogram::new();
+        let mut writes = Histogram::new();
+        let mut errors = 0;
+        let mut now = filled_at;
+        let mut first = true;
+        for (ops, tenants, seed) in self.segments() {
+            if ops == 0 {
+                continue;
+            }
+            let mut stream = TenantStream::new(cap, tenants, self.mix, seed, self.hint_streams());
+            let runner = Runner::new(
+                RunConfig::new(ops)
+                    .with_pacing(self.pacing)
+                    .with_maintenance_every(self.maintenance_every)
+                    .with_queue_depth(self.queue_depth)
+                    .with_queue_core(self.queue_core),
+            )
+            .with_obs(obs.clone());
+            // The first segment primes the sampler (intervals exclude
+            // the fill); later segments keep the baseline so cumulative
+            // WA spans the whole run window across a migration.
+            let r = if first {
+                runner.run_traced(dev.as_mut(), &mut stream, now, &mut sampler)?
+            } else {
+                runner.run_continue(dev.as_mut(), &mut stream, now, &mut sampler)?
+            };
+            reads.merge(&r.reads);
+            writes.merge(&r.writes);
+            errors += r.errors;
+            now += r.elapsed;
+            first = false;
+        }
         Ok(ShardResult {
             shard: self.shard,
             label: dev.label(),
             tenants: self.tenants.len() as u32,
-            reads: r.reads,
-            writes: r.writes,
-            elapsed: r.elapsed,
-            errors: r.errors,
+            reads,
+            writes,
+            elapsed: now.saturating_sub(filled_at),
+            errors,
             run_wa: run_window_wa(&sampler),
             samples: sampler.samples().to_vec(),
             events: tracer.events(),
@@ -244,6 +310,7 @@ mod tests {
             trace: false,
             trace_cap: 1 << 12,
             obs: false,
+            migrate: None,
         }
     }
 
@@ -279,6 +346,59 @@ mod tests {
         assert_eq!(a.writes.summary(), b.writes.summary());
         assert_eq!(a.elapsed, b.elapsed);
         assert_eq!(a.run_wa, b.run_wa);
+    }
+
+    #[test]
+    fn migration_splits_the_window_and_keeps_the_prefix_bit_identical() {
+        let base = plan(StackKind::Conv { op_ratio: 0.2 });
+        let unmigrated = base.run().unwrap();
+
+        // Hand the shard a different tenant set halfway through.
+        let newpop = TenantPopulation::zipf(4, 1.3, 99);
+        let mut p = base.clone();
+        p.migrate = Some(ShardMigration {
+            at_op: 300,
+            tenants: newpop.specs().to_vec(),
+        });
+        let migrated = p.run().unwrap();
+
+        // Total op count is unchanged; the migration is hitless: every
+        // sample taken before the migration instant is bit-identical to
+        // the unmigrated run's prefix (the first segment replays the
+        // same stream against the same device state).
+        assert_eq!(
+            migrated.reads.count() + migrated.writes.count(),
+            unmigrated.reads.count() + unmigrated.writes.count(),
+        );
+        let prefix = 300 / base.sample_every as usize;
+        assert!(prefix >= 2, "test needs at least two pre-migration samples");
+        for (a, b) in migrated.samples[..prefix]
+            .iter()
+            .zip(&unmigrated.samples[..prefix])
+        {
+            assert_eq!(a.at, b.at, "pre-migration sample instants moved");
+            assert_eq!(
+                a.interval_wa.to_bits(),
+                b.interval_wa.to_bits(),
+                "pre-migration interval WA moved"
+            );
+        }
+        // And the tail diverges: a different tenant set drives different
+        // traffic, so the runs must not be identical end to end.
+        assert_ne!(
+            (migrated.elapsed, migrated.run_wa),
+            (unmigrated.elapsed, unmigrated.run_wa),
+            "migration had no observable effect"
+        );
+        // A migration at or past the window end never fires.
+        let mut noop = base.clone();
+        noop.migrate = Some(ShardMigration {
+            at_op: base.ops,
+            tenants: newpop.specs().to_vec(),
+        });
+        let r = noop.run().unwrap();
+        assert_eq!(r.elapsed, unmigrated.elapsed);
+        assert_eq!(r.run_wa, unmigrated.run_wa);
     }
 
     #[test]

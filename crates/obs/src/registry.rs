@@ -337,6 +337,17 @@ impl ObsSnapshot {
         }
     }
 
+    /// Folds a stream of snapshots into one — the batch counterpart of
+    /// repeated [`ObsSnapshot::merge`] calls, used where a fleet merge
+    /// has all shard snapshots in hand at once.
+    pub fn merged<'a>(snapshots: impl IntoIterator<Item = &'a ObsSnapshot>) -> ObsSnapshot {
+        let mut out = ObsSnapshot::default();
+        for s in snapshots {
+            out.merge(s);
+        }
+        out
+    }
+
     /// True when every counter and gauge is zero.
     pub fn is_zero(&self) -> bool {
         self.counters.iter().all(|&c| c == 0)
@@ -413,6 +424,22 @@ mod tests {
         assert_eq!(merged.counter(Ctr::KvWalBytes), 111);
         assert_eq!(merged.gauge(Gauge::ZnsOpenZones).value, 5);
         assert_eq!(merged.gauge(Gauge::ZnsOpenZones).peak, 8);
+    }
+
+    #[test]
+    fn merged_equals_sequential_merge() {
+        let a = Obs::enabled();
+        a.add(Ctr::FlashErases, 7);
+        a.gauge_set(Gauge::QueueInFlight, 4);
+        let b = Obs::enabled();
+        b.add(Ctr::FlashErases, 2);
+        let snaps = [a.snapshot(), b.snapshot()];
+        let mut seq = ObsSnapshot::default();
+        for s in &snaps {
+            seq.merge(s);
+        }
+        assert_eq!(ObsSnapshot::merged(snaps.iter()), seq);
+        assert!(ObsSnapshot::merged([].iter()).is_zero());
     }
 
     #[test]

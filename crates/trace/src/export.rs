@@ -238,6 +238,24 @@ pub fn to_jsonl(events: &[TracedEvent]) -> String {
     out
 }
 
+/// Streams the event stream to `path` as JSONL through a buffered
+/// writer, one compact object per line — the spill path for fleet runs
+/// too large to accumulate every shard's trace in memory. Lines are
+/// identical to [`to_jsonl`]'s.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_jsonl(path: &std::path::Path, events: &[TracedEvent]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for ev in events {
+        w.write_all(event_json(ev).dump().as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
 /// Process-id offsets within one shard's pid block, one per subsystem
 /// family. A single-device trace uses base 0, so pids are 1–5 as they
 /// always were; a fleet trace gives shard `k` the block starting at
@@ -590,6 +608,17 @@ mod tests {
         let begin = bh_json::parse(lines[1]).unwrap();
         assert_eq!(begin["type"], "gc-begin");
         assert_eq!(begin["span"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn write_jsonl_matches_the_in_memory_export() {
+        let events = sample_events();
+        let path =
+            std::env::temp_dir().join(format!("bh-trace-spill-{}.jsonl", std::process::id()));
+        write_jsonl(&path, &events).unwrap();
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(on_disk, to_jsonl(&events));
     }
 
     #[test]
